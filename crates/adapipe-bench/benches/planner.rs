@@ -1,0 +1,63 @@
+//! End-to-end planning latency: the paper's claim that "for typical
+//! models like GPT-3 and Llama 2, the entire search process takes only
+//! seconds" (§5.3).
+
+use adapipe::{Method, Planner};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+
+    let cases = [
+        (
+            "gpt3_8x8",
+            Planner::new(presets::gpt3_175b(), hw::cluster_a()),
+            8usize,
+            8usize,
+            1usize,
+            4096usize,
+            128usize,
+        ),
+        (
+            "llama2_4x8",
+            Planner::new(presets::llama2_70b(), hw::cluster_a_with_nodes(4)),
+            4,
+            8,
+            1,
+            4096,
+            128,
+        ),
+        (
+            "gpt3_16k",
+            Planner::new(presets::gpt3_175b(), hw::cluster_a()),
+            8,
+            8,
+            1,
+            16384,
+            32,
+        ),
+    ];
+    for (name, planner, t, p, d, seq, gbs) in cases {
+        let parallel = ParallelConfig::new(t, p, d).unwrap();
+        let train = TrainConfig::new(1, seq, gbs).unwrap();
+        group.bench_function(BenchmarkId::new("adapipe_search", name), |b| {
+            b.iter(|| {
+                planner
+                    .plan(black_box(Method::AdaPipe), parallel, train)
+                    .unwrap()
+            });
+        });
+        let plan = planner.plan(Method::AdaPipe, parallel, train).unwrap();
+        group.bench_function(BenchmarkId::new("evaluate", name), |b| {
+            b.iter(|| planner.evaluate(black_box(&plan)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

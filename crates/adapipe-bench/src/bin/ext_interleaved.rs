@@ -1,0 +1,65 @@
+//! Extension: interleaved 1F1B vs plain 1F1B vs AdaPipe.
+//!
+//! §2.1 of the paper notes Megatron's interleaved schedule "reduces the
+//! bubble ratio while bringing more communication overhead". This
+//! driver quantifies both effects on our simulator and shows where
+//! AdaPipe's recomputation/partitioning co-design still wins: the
+//! interleaved schedule shrinks bubbles but *raises* per-stage memory
+//! residency, forcing more recomputation under the same budget.
+
+use adapipe::{Method, Planner};
+use adapipe_bench::{print_table, time_cell};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+
+fn main() {
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
+    let methods = [
+        Method::DappleFull,
+        Method::InterleavedFull,
+        Method::DappleNone,
+        Method::InterleavedNone,
+        Method::AdaPipe,
+    ];
+
+    let mut rows = Vec::new();
+    // Few micro-batches (bubble-bound) vs many (steady-bound).
+    for (seq, gbs, regime) in [
+        (4096usize, 16usize, "n=16 (bubble-bound)"),
+        (4096, 128, "n=128 (steady-bound)"),
+    ] {
+        let train = TrainConfig::new(1, seq, gbs).expect("valid");
+        for method in methods {
+            let result = planner
+                .plan(method, parallel, train)
+                .map(|p| planner.evaluate(&p));
+            let (bubble, peak) = match &result {
+                Ok(e) => (
+                    format!("{:.1}%", 100.0 * e.report.bubble_ratio()),
+                    format!("{:.1}", e.max_peak_gb()),
+                ),
+                Err(_) => ("-".into(), "-".into()),
+            };
+            rows.push(vec![
+                regime.to_string(),
+                method.to_string(),
+                time_cell(&result),
+                bubble,
+                peak,
+            ]);
+        }
+    }
+    print_table(
+        "Extension: interleaved 1F1B vs 1F1B vs AdaPipe — GPT-3, (8,8,1)",
+        &["regime", "method", "iter time (s)", "bubble", "peak GB"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: with few micro-batches the interleaved schedule cuts the \
+         bubble ratio (≈1/v of plain 1F1B) at higher peak memory; with many \
+         micro-batches the bubble advantage fades while the extra communication \
+         and memory remain — and AdaPipe, which attacks recomputation instead of \
+         bubbles, wins the steady-bound regime."
+    );
+}

@@ -1,0 +1,39 @@
+//! Extension: time-resolved per-stage memory traces — the dynamic view
+//! behind Figure 1's peaks. Renders each stage's activation ledger over
+//! one iteration as a sparkline (0–9 = fraction of the global dynamic
+//! peak), for DAPPLE-Non and AdaPipe.
+
+use adapipe::{Method, Planner};
+use adapipe_bench::gb;
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_sim::render;
+
+fn main() {
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
+    let train = TrainConfig::new(1, 8192, 64).expect("valid");
+
+    for method in [Method::DappleNone, Method::DappleFull, Method::AdaPipe] {
+        let plan = planner.plan(method, parallel, train).expect("plans");
+        let eval = planner.evaluate(&plan);
+        println!(
+            "\n== {method} — dynamic memory over one iteration ({}) ==",
+            if eval.fits { "fits" } else { "OOM" }
+        );
+        for stage in 0..parallel.pipeline() {
+            let line = render::render_memory_sparkline(&eval.report, stage, 72);
+            println!(
+                "stage {stage} |{line}| peak {:>5.1} GB (+{:>4.1} GB static)",
+                gb(eval.report.devices[stage].peak_dynamic_bytes),
+                gb(plan.stages[stage].memory.static_bytes),
+            );
+        }
+    }
+    println!(
+        "\nExpected shape: DAPPLE-Non's early stages ramp through warmup and sit at \
+         a high plateau through the steady phase (the p − s in-flight micro-batches \
+         of §2.1), draining only in the ending phase; DAPPLE-Full plateaus low; \
+         AdaPipe's plateaus are equalized near the budget across stages."
+    );
+}

@@ -1,0 +1,6 @@
+//! Figure 5: Llama 2 (70B) end-to-end performance on cluster A
+//! (32 A100 GPUs), all methods, sequence lengths 4096/8192/16384.
+
+fn main() {
+    adapipe_bench::cluster_a::run(adapipe_model::presets::llama2_70b(), 32, "Figure 5");
+}

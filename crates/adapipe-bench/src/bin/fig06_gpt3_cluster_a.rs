@@ -1,0 +1,6 @@
+//! Figure 6: GPT-3 (175B) end-to-end performance on cluster A
+//! (64 A100 GPUs), all methods, sequence lengths 4096/8192/16384.
+
+fn main() {
+    adapipe_bench::cluster_a::run(adapipe_model::presets::gpt3_175b(), 64, "Figure 6");
+}

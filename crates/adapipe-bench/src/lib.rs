@@ -1,0 +1,151 @@
+//! Shared helpers for the figure/table regenerators and Criterion
+//! benches. Each binary in `src/bin` reproduces one table or figure of
+//! the paper's evaluation; see `EXPERIMENTS.md` at the workspace root
+//! for the index and expected shapes.
+
+pub mod cluster_a;
+
+use adapipe::{Evaluation, Method, PlanError, Planner};
+use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig};
+
+/// Pretty-prints a fixed-width table.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    println!("{}", fmt_row(&headers));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// A unicode bar scaled to `width` characters.
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
+    "█".repeat(filled)
+}
+
+/// Bytes → GB (decimal, as the paper's figures use).
+#[must_use]
+pub fn gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+/// Formats an evaluation cell: seconds or `OOM`.
+#[must_use]
+pub fn time_cell(result: &Result<Evaluation, PlanError>) -> String {
+    match result {
+        Ok(e) if e.fits => format!("{:.3}", e.iteration_time),
+        Ok(_) => "OOM".to_string(),
+        Err(PlanError::OutOfMemory { .. }) => "OOM".to_string(),
+        Err(PlanError::Unsupported { .. }) => "n/a".to_string(),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+/// Plans and evaluates `method` under every legal parallel strategy for
+/// `devices` devices and returns the best memory-feasible iteration time
+/// (the paper reports the best strategy per method on cluster A).
+#[must_use]
+pub fn best_time_over_strategies(
+    planner: &Planner,
+    method: Method,
+    devices: usize,
+    train: TrainConfig,
+) -> Option<f64> {
+    let outcomes = adapipe::sweep_parallel_strategies(planner, method, devices, train, 8, 2);
+    adapipe::best_outcome(&outcomes).and_then(adapipe::StrategyOutcome::time)
+}
+
+/// The cluster-A workloads of Table 2: `(seq_len, global_batch)` pairs
+/// keeping tokens-per-iteration constant.
+#[must_use]
+pub fn cluster_a_workloads() -> Vec<TrainConfig> {
+    [(4096usize, 128usize), (8192, 64), (16384, 32)]
+        .into_iter()
+        .map(|(s, g)| TrainConfig::new(1, s, g).expect("valid workload"))
+        .collect()
+}
+
+/// Paper evaluation models.
+#[must_use]
+pub fn models() -> [(ModelSpec, usize); 2] {
+    [
+        (adapipe_model::presets::gpt3_175b(), 64),
+        (adapipe_model::presets::llama2_70b(), 32),
+    ]
+}
+
+/// The fixed cluster-B parallel strategies of §7.2.
+#[must_use]
+pub fn cluster_b_parallel(model: &ModelSpec, devices: usize) -> ParallelConfig {
+    let t = if model.name().starts_with("llama") {
+        4
+    } else {
+        8
+    };
+    let p = 8;
+    let d = devices / (t * p);
+    ParallelConfig::new(t, p, d).expect("valid cluster-B strategy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn cluster_b_strategies_match_paper() {
+        let (gpt3, _) = &models()[0];
+        let (llama, _) = &models()[1];
+        let g = cluster_b_parallel(gpt3, 256);
+        assert_eq!((g.tensor(), g.pipeline(), g.data()), (8, 8, 4));
+        let l = cluster_b_parallel(llama, 128);
+        assert_eq!((l.tensor(), l.pipeline(), l.data()), (4, 8, 4));
+        assert_eq!(cluster_b_parallel(gpt3, 2048).data(), 32);
+    }
+
+    #[test]
+    fn workloads_hold_tokens_constant() {
+        let w = cluster_a_workloads();
+        assert_eq!(w.len(), 3);
+        assert!(w
+            .windows(2)
+            .all(|p| p[0].tokens_per_iteration() == p[1].tokens_per_iteration()));
+    }
+}

@@ -1,0 +1,196 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A flag appeared twice.
+    Duplicate(String),
+    /// A required flag is absent.
+    Required(&'static str),
+    /// A value failed to parse.
+    Invalid {
+        /// The flag in question.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An unknown flag for this subcommand.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgsError::UnexpectedPositional(arg) => write!(f, "unexpected argument `{arg}`"),
+            ArgsError::Duplicate(flag) => write!(f, "flag --{flag} given twice"),
+            ArgsError::Required(flag) => write!(f, "missing required flag --{flag}"),
+            ArgsError::Invalid {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+            ArgsError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl Error for ArgsError {}
+
+/// Parsed `--flag value` pairs with typed accessors that track which
+/// flags were consumed (leftovers are reported as unknown).
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (everything after the subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on positionals, duplicates or dangling
+    /// flags.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgsError> {
+        let mut values = BTreeMap::new();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(flag) = arg.strip_prefix("--") else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgsError::MissingValue(flag.to_string()))?;
+            if values.insert(flag.to_string(), value).is_some() {
+                return Err(ArgsError::Duplicate(flag.to_string()));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// Consumes an optional string flag.
+    pub fn take(&mut self, flag: &str) -> Option<String> {
+        self.values.remove(flag)
+    }
+
+    /// Consumes a required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] if absent.
+    pub fn require(&mut self, flag: &'static str) -> Result<String, ArgsError> {
+        self.take(flag).ok_or(ArgsError::Required(flag))
+    }
+
+    /// Consumes an optional parsed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Invalid`] when the value does not parse.
+    pub fn take_parsed<T: std::str::FromStr>(
+        &mut self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgsError> {
+        match self.take(flag) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgsError::Invalid {
+                flag: flag.to_string(),
+                value: v,
+                expected,
+            }),
+        }
+    }
+
+    /// Consumes a required parsed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] or [`ArgsError::Invalid`].
+    pub fn require_parsed<T: std::str::FromStr>(
+        &mut self,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        self.take_parsed(flag, expected)?
+            .ok_or(ArgsError::Required(flag))
+    }
+
+    /// Fails if any flags were left unconsumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Unknown`] naming the first leftover.
+    pub fn finish(self) -> Result<(), ArgsError> {
+        match self.values.into_iter().next() {
+            None => Ok(()),
+            Some((flag, _)) => Err(ArgsError::Unknown(flag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let mut a = parse(&["--model", "gpt3", "--seq", "4096"]).unwrap();
+        assert_eq!(a.require("model").unwrap(), "gpt3");
+        assert_eq!(a.require_parsed::<usize>("seq", "int").unwrap(), 4096);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_positionals_and_duplicates() {
+        assert!(matches!(
+            parse(&["gpt3"]),
+            Err(ArgsError::UnexpectedPositional(_))
+        ));
+        assert!(matches!(
+            parse(&["--m", "1", "--m", "2"]),
+            Err(ArgsError::Duplicate(_))
+        ));
+        assert!(matches!(parse(&["--m"]), Err(ArgsError::MissingValue(_))));
+    }
+
+    #[test]
+    fn reports_missing_invalid_and_unknown() {
+        let mut a = parse(&["--seq", "abc", "--junk", "1"]).unwrap();
+        assert!(matches!(
+            a.require("model"),
+            Err(ArgsError::Required("model"))
+        ));
+        assert!(matches!(
+            a.require_parsed::<usize>("seq", "a positive integer"),
+            Err(ArgsError::Invalid { .. })
+        ));
+        assert!(matches!(a.finish(), Err(ArgsError::Unknown(f)) if f == "junk"));
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = ArgsError::Invalid {
+            flag: "seq".into(),
+            value: "x".into(),
+            expected: "an int",
+        };
+        assert_eq!(e.to_string(), "--seq x: expected an int");
+    }
+}

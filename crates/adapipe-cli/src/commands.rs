@@ -1,0 +1,402 @@
+//! The CLI subcommands: `plan`, `sweep`, `compare`, `models`.
+
+use crate::args::Args;
+use crate::config::{self, ConfigError};
+use adapipe::{best_outcome, sweep_parallel_strategies, Method, Planner};
+use adapipe_memory::OptimizerSpec;
+
+/// Applies the shared planner flags (`--headroom`, `--fp32-grads`).
+fn build_planner(args: &mut Args) -> Result<Planner, ConfigError> {
+    let model = config::model(args)?;
+    let cluster = config::cluster(args)?;
+    let mut planner = Planner::new(model, cluster);
+    if let Some(headroom) = args.take_parsed::<f64>("headroom", "a fraction in (0, 1]")? {
+        if !(headroom > 0.0 && headroom <= 1.0) {
+            return Err(ConfigError::Domain(format!(
+                "--headroom {headroom} must be in (0, 1]"
+            )));
+        }
+        planner = planner.with_search_headroom(headroom);
+    }
+    if let Some(flag) = args.take("fp32-grads") {
+        match flag.as_str() {
+            "true" => planner = planner.with_optimizer(OptimizerSpec::adam_fp32_grad_accum()),
+            "false" => {}
+            other => {
+                return Err(ConfigError::BadChoice {
+                    flag: "fp32-grads",
+                    value: other.to_string(),
+                    choices: "true, false",
+                })
+            }
+        }
+    }
+    Ok(planner)
+}
+
+/// `adapipe plan`: one method, one strategy, full plan dump
+/// (optionally saved to `--out FILE` in the plan text format).
+pub fn plan(mut args: Args) -> Result<String, ConfigError> {
+    let method = config::method(&mut args)?;
+    let planner = build_planner(&mut args)?;
+    let out_file = args.take("out");
+    let parallel = config::parallel(&mut args)?;
+    let train = config::workload(&mut args)?;
+    args.finish()?;
+
+    match planner.plan(method, parallel, train) {
+        Ok(plan) => {
+            let eval = planner.evaluate(&plan);
+            let mut out = format!("{plan}\nevaluation: {eval}\n");
+            if let Some(path) = out_file {
+                std::fs::write(&path, adapipe::plan_io::to_text(&plan))
+                    .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+                out.push_str(&format!("plan written to {path}\n"));
+            }
+            Ok(out)
+        }
+        Err(e) => Ok(format!("{method} cannot run at {parallel}: {e}\n")),
+    }
+}
+
+/// Reads a plan file written by `plan --out`.
+fn read_plan(args: &mut Args) -> Result<adapipe::Plan, ConfigError> {
+    let path = args.require("plan")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ConfigError::Domain(format!("cannot read {path}: {e}")))?;
+    adapipe::plan_io::from_text(&text).map_err(|e| ConfigError::Domain(e.to_string()))
+}
+
+/// `adapipe show`: print a saved plan and re-evaluate it.
+pub fn show(mut args: Args) -> Result<String, ConfigError> {
+    let plan = read_plan(&mut args)?;
+    let planner = build_planner(&mut args)?;
+    args.finish()?;
+    let eval = planner.evaluate(&plan);
+    Ok(format!("{plan}\nevaluation: {eval}\n"))
+}
+
+/// `adapipe trace`: simulate a saved plan and emit Chrome-trace JSON
+/// (load in chrome://tracing or Perfetto).
+pub fn trace(mut args: Args) -> Result<String, ConfigError> {
+    let plan = read_plan(&mut args)?;
+    let out_file = args.take("out");
+    let planner = build_planner(&mut args)?;
+    args.finish()?;
+    let eval = planner.evaluate(&plan);
+    let json = adapipe_sim::render::to_chrome_trace(&eval.report);
+    match out_file {
+        Some(path) => {
+            std::fs::write(&path, &json)
+                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "{} events written to {path} ({:.3}s makespan)\n",
+                eval.report.timeline.len(),
+                eval.iteration_time
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// `adapipe sweep`: one method across every (t, p, d) strategy.
+pub fn sweep(mut args: Args) -> Result<String, ConfigError> {
+    let method = config::method(&mut args)?;
+    let planner = build_planner(&mut args)?;
+    let devices = args
+        .take_parsed("devices", "a positive integer")?
+        .unwrap_or_else(|| planner.cluster().total_devices());
+    let max_tensor = args
+        .take_parsed("max-tensor", "a positive integer")?
+        .unwrap_or_else(|| planner.cluster().devices_per_node());
+    let train = config::workload(&mut args)?;
+    args.finish()?;
+
+    let outcomes = sweep_parallel_strategies(&planner, method, devices, train, max_tensor, 2);
+    let mut out = format!(
+        "{method} on {} devices of {}:\n",
+        devices,
+        planner.cluster().name()
+    );
+    for o in &outcomes {
+        out.push_str(&format!("  {o}\n"));
+    }
+    match best_outcome(&outcomes) {
+        Some(best) => out.push_str(&format!("best: {best}\n")),
+        None => out.push_str("no memory-feasible strategy\n"),
+    }
+    Ok(out)
+}
+
+/// `adapipe compare`: every method at one strategy.
+pub fn compare(mut args: Args) -> Result<String, ConfigError> {
+    let planner = build_planner(&mut args)?;
+    let parallel = config::parallel(&mut args)?;
+    let train = config::workload(&mut args)?;
+    args.finish()?;
+
+    let mut out = format!(
+        "{} at {parallel}, {train} on {}:\n",
+        planner.model().name(),
+        planner.cluster().name()
+    );
+    let mut best: Option<(Method, f64)> = None;
+    for method in Method::all() {
+        let line = match planner.plan(method, parallel, train) {
+            Ok(plan) => {
+                let eval = planner.evaluate(&plan);
+                if eval.fits && best.as_ref().is_none_or(|(_, t)| eval.iteration_time < *t) {
+                    best = Some((method, eval.iteration_time));
+                }
+                if eval.fits {
+                    let tp = planner.throughput(&plan, &eval);
+                    format!("{eval}, {tp}")
+                } else {
+                    format!("{eval}")
+                }
+            }
+            Err(e) => format!("{e}"),
+        };
+        out.push_str(&format!("  {method:<20} {line}\n"));
+    }
+    if let Some((method, t)) = best {
+        out.push_str(&format!("fastest: {method} at {t:.3}s\n"));
+    }
+    Ok(out)
+}
+
+/// `adapipe models`: list presets.
+pub fn models(args: Args) -> Result<String, ConfigError> {
+    args.finish()?;
+    let mut out = String::from("available model presets:\n");
+    for spec in [
+        adapipe_model::presets::gpt3_175b(),
+        adapipe_model::presets::llama2_70b(),
+        adapipe_model::presets::gpt2_small(),
+        adapipe_model::presets::bert_large(),
+        adapipe_model::presets::tiny_gpt(),
+    ] {
+        out.push_str(&format!(
+            "  {spec} — {:.1}B params\n",
+            spec.total_params() as f64 / 1e9
+        ));
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+adapipe — plan pipeline-parallel training with adaptive recomputation & partitioning
+
+USAGE:
+  adapipe plan    --tensor T --pipeline P [--data D] --seq S --global-batch G
+                  [--model M] [--cluster a|b] [--nodes N] [--method NAME]
+                  [--headroom F] [--fp32-grads true|false] [--micro-batch B]
+  adapipe sweep   --seq S --global-batch G [--devices N] [--max-tensor T]
+                  [--model M] [--cluster a|b] [--method NAME] ...
+  adapipe compare --tensor T --pipeline P [--data D] --seq S --global-batch G ...
+  adapipe show    --plan FILE [--model M] [--cluster a|b] [--nodes N]
+  adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
+  adapipe models
+
+MODELS:  gpt3 (default), llama2, gpt2, bert, tiny
+METHODS: adapipe (default), even, dapple-full, dapple-non, dapple-selective,
+         chimera-full, chimera-non, chimerad-full, chimerad-non,
+         gpipe-full, gpipe-non, interleaved-full, interleaved-non
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn plan_produces_a_stage_dump() {
+        let out = plan(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "1024",
+            "--global-batch",
+            "32",
+        ]))
+        .unwrap();
+        assert!(out.contains("stage 0"), "{out}");
+        assert!(out.contains("evaluation"), "{out}");
+    }
+
+    #[test]
+    fn plan_reports_oom_gracefully() {
+        let out = plan(args(&[
+            "--model",
+            "gpt3",
+            "--cluster",
+            "b",
+            "--nodes",
+            "1",
+            "--tensor",
+            "1",
+            "--pipeline",
+            "8",
+            "--seq",
+            "4096",
+            "--global-batch",
+            "64",
+        ]))
+        .unwrap();
+        assert!(out.contains("cannot run"), "{out}");
+    }
+
+    #[test]
+    fn sweep_lists_strategies_and_a_best() {
+        let out = sweep(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--seq",
+            "512",
+            "--global-batch",
+            "32",
+        ]))
+        .unwrap();
+        assert!(out.contains("best:"), "{out}");
+    }
+
+    #[test]
+    fn compare_covers_every_method() {
+        let out = compare(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "32",
+        ]))
+        .unwrap();
+        for m in Method::all() {
+            assert!(out.contains(&m.to_string()), "missing {m}: {out}");
+        }
+        assert!(out.contains("fastest:"), "{out}");
+    }
+
+    #[test]
+    fn plan_show_trace_round_trip_via_files() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join("adapipe-cli-test-plan.txt");
+        let trace_path = dir.join("adapipe-cli-test-trace.json");
+        let plan_path = plan_path.to_str().unwrap();
+        let trace_path = trace_path.to_str().unwrap();
+
+        let out = plan(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "16",
+            "--out",
+            plan_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("plan written"), "{out}");
+
+        let shown = show(args(&[
+            "--plan",
+            plan_path,
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+        ]))
+        .unwrap();
+        assert!(shown.contains("stage 0"), "{shown}");
+
+        let traced = trace(args(&[
+            "--plan",
+            plan_path,
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--out",
+            trace_path,
+        ]))
+        .unwrap();
+        assert!(traced.contains("events written"), "{traced}");
+        let json = std::fs::read_to_string(trace_path).unwrap();
+        assert!(json.starts_with('['));
+        let _ = std::fs::remove_file(plan_path);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn show_rejects_missing_file() {
+        let e = show(args(&["--plan", "/nonexistent/adapipe-plan.txt"])).unwrap_err();
+        assert!(e.to_string().contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn models_lists_presets() {
+        let out = models(args(&[])).unwrap();
+        assert!(out.contains("gpt3-175b"));
+        assert!(out.contains("llama2-70b"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = plan(args(&["--frobnicate", "1"])).unwrap_err();
+        assert!(e.to_string().contains("tensor") || e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_headroom_is_rejected() {
+        let e = plan(args(&[
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "32",
+            "--headroom",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("headroom"), "{e}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Shared flag handling: models, clusters, methods, workloads.
+
+use crate::args::{Args, ArgsError};
+use adapipe::Method;
+use adapipe_hw::{presets as hw, ClusterSpec};
+use adapipe_model::{presets, ModelSpec, ParallelConfig, TrainConfig};
+use std::error::Error;
+use std::fmt;
+
+/// Error from resolving CLI flags into domain objects.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// Argument syntax error.
+    Args(ArgsError),
+    /// A flag had an unrecognized choice.
+    BadChoice {
+        /// The flag.
+        flag: &'static str,
+        /// What was given.
+        value: String,
+        /// Valid choices.
+        choices: &'static str,
+    },
+    /// Domain validation failed (sizes, divisibility, ...).
+    Domain(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Args(e) => write!(f, "{e}"),
+            ConfigError::BadChoice {
+                flag,
+                value,
+                choices,
+            } => {
+                write!(f, "--{flag} {value}: expected one of {choices}")
+            }
+            ConfigError::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<ArgsError> for ConfigError {
+    fn from(e: ArgsError) -> Self {
+        ConfigError::Args(e)
+    }
+}
+
+/// Known model names, for help output.
+pub const MODEL_CHOICES: &str = "gpt3, gpt3-13b, llama2, llama2-13b, gpt2, bert, tiny";
+
+/// Resolves `--model`.
+pub fn model(args: &mut Args) -> Result<ModelSpec, ConfigError> {
+    let name = args.take("model").unwrap_or_else(|| "gpt3".to_string());
+    match name.as_str() {
+        "gpt3" => Ok(presets::gpt3_175b()),
+        "gpt3-13b" => Ok(presets::gpt3_13b()),
+        "llama2" => Ok(presets::llama2_70b()),
+        "llama2-13b" => Ok(presets::llama2_13b()),
+        "gpt2" => Ok(presets::gpt2_small()),
+        "bert" => Ok(presets::bert_large()),
+        "tiny" => Ok(presets::tiny_gpt()),
+        other => Err(ConfigError::BadChoice {
+            flag: "model",
+            value: other.to_string(),
+            choices: MODEL_CHOICES,
+        }),
+    }
+}
+
+/// Resolves `--cluster` (+ `--nodes`).
+pub fn cluster(args: &mut Args) -> Result<ClusterSpec, ConfigError> {
+    let name = args.take("cluster").unwrap_or_else(|| "a".to_string());
+    let nodes: Option<usize> = args.take_parsed("nodes", "a positive integer")?;
+    match name.as_str() {
+        "a" => Ok(hw::cluster_a_with_nodes(nodes.unwrap_or(8))),
+        "b" => Ok(hw::cluster_b_with_nodes(nodes.unwrap_or(32))),
+        other => Err(ConfigError::BadChoice {
+            flag: "cluster",
+            value: other.to_string(),
+            choices: "a (DGX-A100), b (Atlas 800)",
+        }),
+    }
+}
+
+/// Known method names, for help output.
+pub const METHOD_CHOICES: &str = "adapipe, even, dapple-full, dapple-non, dapple-selective, \
+                                  chimera-full, chimera-non, chimerad-full, chimerad-non, \
+                                  gpipe-full, gpipe-non, interleaved-full, interleaved-non";
+
+/// Resolves `--method`.
+pub fn method(args: &mut Args) -> Result<Method, ConfigError> {
+    let name = args.take("method").unwrap_or_else(|| "adapipe".to_string());
+    parse_method(&name)
+}
+
+/// Parses one method name.
+pub fn parse_method(name: &str) -> Result<Method, ConfigError> {
+    match name {
+        "adapipe" => Ok(Method::AdaPipe),
+        "even" => Ok(Method::EvenPartitioning),
+        "dapple-full" => Ok(Method::DappleFull),
+        "dapple-non" => Ok(Method::DappleNone),
+        "dapple-selective" => Ok(Method::DappleSelective),
+        "chimera-full" => Ok(Method::ChimeraFull),
+        "chimera-non" => Ok(Method::ChimeraNone),
+        "chimerad-full" => Ok(Method::ChimeraDFull),
+        "chimerad-non" => Ok(Method::ChimeraDNone),
+        "gpipe-full" => Ok(Method::GpipeFull),
+        "gpipe-non" => Ok(Method::GpipeNone),
+        "interleaved-full" => Ok(Method::InterleavedFull),
+        "interleaved-non" => Ok(Method::InterleavedNone),
+        other => Err(ConfigError::BadChoice {
+            flag: "method",
+            value: other.to_string(),
+            choices: METHOD_CHOICES,
+        }),
+    }
+}
+
+/// Resolves `--tensor/--pipeline/--data`.
+pub fn parallel(args: &mut Args) -> Result<ParallelConfig, ConfigError> {
+    let t = args.require_parsed("tensor", "a positive integer")?;
+    let p = args.require_parsed("pipeline", "a positive integer")?;
+    let d = args.take_parsed("data", "a positive integer")?.unwrap_or(1);
+    ParallelConfig::new(t, p, d).map_err(|e| ConfigError::Domain(e.to_string()))
+}
+
+/// Resolves `--seq/--global-batch/--micro-batch`.
+pub fn workload(args: &mut Args) -> Result<TrainConfig, ConfigError> {
+    let seq = args.require_parsed("seq", "a positive integer")?;
+    let gbs = args.require_parsed("global-batch", "a positive integer")?;
+    let mb = args
+        .take_parsed("micro-batch", "a positive integer")?
+        .unwrap_or(1);
+    TrainConfig::new(mb, seq, gbs).map_err(|e| ConfigError::Domain(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn resolves_models_and_defaults() {
+        let mut a = args(&["--model", "llama2"]);
+        assert_eq!(model(&mut a).unwrap().name(), "llama2-70b");
+        let mut a = args(&[]);
+        assert_eq!(model(&mut a).unwrap().name(), "gpt3-175b");
+    }
+
+    #[test]
+    fn rejects_unknown_choices() {
+        let mut a = args(&["--model", "bloom"]);
+        assert!(matches!(model(&mut a), Err(ConfigError::BadChoice { .. })));
+        let mut a = args(&["--cluster", "z"]);
+        assert!(matches!(
+            cluster(&mut a),
+            Err(ConfigError::BadChoice { .. })
+        ));
+        assert!(parse_method("fastest").is_err());
+    }
+
+    #[test]
+    fn every_documented_method_parses() {
+        for name in METHOD_CHOICES.split(", ") {
+            let name = name.trim();
+            assert!(parse_method(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_workload_validate() {
+        let mut a = args(&["--tensor", "8", "--pipeline", "8"]);
+        let p = parallel(&mut a).unwrap();
+        assert_eq!(p.devices(), 64);
+        let mut a = args(&["--seq", "4096", "--global-batch", "64"]);
+        let w = workload(&mut a).unwrap();
+        assert_eq!(
+            (w.micro_batch(), w.seq_len(), w.global_batch()),
+            (1, 4096, 64)
+        );
+        let mut a = args(&["--seq", "0", "--global-batch", "64"]);
+        assert!(matches!(workload(&mut a), Err(ConfigError::Domain(_))));
+    }
+
+    #[test]
+    fn cluster_nodes_flag_scales() {
+        let mut a = args(&["--cluster", "b", "--nodes", "256"]);
+        assert_eq!(cluster(&mut a).unwrap().total_devices(), 2048);
+    }
+}

@@ -1,0 +1,59 @@
+//! `adapipe` — the command-line planner.
+//!
+//! ```bash
+//! adapipe plan --model gpt3 --tensor 8 --pipeline 8 --seq 16384 --global-batch 32
+//! adapipe sweep --model llama2 --nodes 4 --seq 8192 --global-batch 64
+//! adapipe compare --model gpt2 --nodes 1 --tensor 2 --pipeline 4 --seq 1024 --global-batch 32
+//! adapipe models
+//! ```
+
+mod args;
+mod commands;
+mod config;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(subcommand) = argv.next() else {
+        eprint!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    if matches!(subcommand.as_str(), "-h" | "--help" | "help") {
+        print!("{}", commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let rest: Vec<String> = argv.collect();
+    let parsed = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match subcommand.as_str() {
+        "plan" => commands::plan(parsed),
+        "sweep" => commands::sweep(parsed),
+        "compare" => commands::compare(parsed),
+        "show" => commands::show(parsed),
+        "trace" => commands::trace(parsed),
+        "models" => commands::models(parsed),
+        other => {
+            eprintln!("error: unknown subcommand `{other}`\n");
+            eprint!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,200 @@
+use crate::device::DeviceSpec;
+use crate::link::LinkSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A homogeneous cluster: one device type, `devices_per_node` accelerators
+/// per node joined by `intra_link`, and nodes joined by `inter_link`.
+///
+/// Tensor-parallel groups are assumed to live inside one node (the paper
+/// caps `t` at 8 for the same reason); pipeline-stage boundaries are
+/// assumed to cross nodes, which is the placement the paper motivates in
+/// §1 ("pipeline parallelism is often used at the inter-node level").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    name: String,
+    device: DeviceSpec,
+    devices_per_node: usize,
+    nodes: usize,
+    intra_link: LinkSpec,
+    inter_link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices_per_node` or `nodes` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        device: DeviceSpec,
+        devices_per_node: usize,
+        nodes: usize,
+        intra_link: LinkSpec,
+        inter_link: LinkSpec,
+    ) -> Self {
+        assert!(devices_per_node > 0, "devices_per_node must be positive");
+        assert!(nodes > 0, "nodes must be positive");
+        ClusterSpec {
+            name: name.into(),
+            device,
+            devices_per_node,
+            nodes,
+            intra_link,
+            inter_link,
+        }
+    }
+
+    /// Cluster name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accelerator model installed in every node.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Accelerators per node.
+    #[must_use]
+    pub fn devices_per_node(&self) -> usize {
+        self.devices_per_node
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total accelerators in the cluster.
+    #[must_use]
+    pub fn total_devices(&self) -> usize {
+        self.devices_per_node * self.nodes
+    }
+
+    /// Intra-node accelerator link (NVLink / on-board mesh).
+    #[must_use]
+    pub fn intra_link(&self) -> LinkSpec {
+        self.intra_link
+    }
+
+    /// Inter-node link (InfiniBand / Ethernet NIC).
+    #[must_use]
+    pub fn inter_link(&self) -> LinkSpec {
+        self.inter_link
+    }
+
+    /// Time of a ring all-reduce of `bytes` across a tensor-parallel group
+    /// of `group` devices inside a node: `2 (g-1)/g · bytes` over the
+    /// intra-node link, plus per-step latencies.
+    ///
+    /// Returns zero when `group <= 1`.
+    #[must_use]
+    pub fn allreduce_time(&self, bytes: u64, group: usize) -> f64 {
+        if group <= 1 {
+            return 0.0;
+        }
+        let g = group as f64;
+        let volume = 2.0 * (g - 1.0) / g * bytes as f64;
+        let steps = 2.0 * (g - 1.0);
+        steps * self.intra_link.latency() + volume / self.intra_link.bandwidth()
+    }
+
+    /// Time of a reduce-scatter *or* all-gather of `bytes` across `group`
+    /// devices (each is half an all-reduce). Sequence parallelism replaces
+    /// each all-reduce with one reduce-scatter plus one all-gather of the
+    /// same total volume, so modelling both halves at `allreduce/2` keeps
+    /// the aggregate identical.
+    #[must_use]
+    pub fn half_collective_time(&self, bytes: u64, group: usize) -> f64 {
+        self.allreduce_time(bytes, group) / 2.0
+    }
+
+    /// Time to send `bytes` from one pipeline stage to the next
+    /// (inter-node point-to-point).
+    #[must_use]
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.inter_link.transfer_time(bytes)
+    }
+
+    /// Time of the end-of-iteration gradient all-reduce across a
+    /// data-parallel group of `group` replicas. Data-parallel replicas
+    /// sit on different nodes, so this rides the inter-node link:
+    /// `2 (g−1)/g · bytes` plus per-step latencies. Zero for `group <= 1`.
+    #[must_use]
+    pub fn grad_allreduce_time(&self, bytes: u64, group: usize) -> f64 {
+        if group <= 1 {
+            return 0.0;
+        }
+        let g = group as f64;
+        let volume = 2.0 * (g - 1.0) / g * bytes as f64;
+        let steps = 2.0 * (g - 1.0);
+        steps * self.inter_link.latency() + volume / self.inter_link.bandwidth()
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes x {} {}",
+            self.name,
+            self.nodes,
+            self.devices_per_node,
+            self.device.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::presets;
+
+    #[test]
+    fn allreduce_grows_with_group_size() {
+        let c = presets::cluster_a();
+        let t2 = c.allreduce_time(1 << 24, 2);
+        let t8 = c.allreduce_time(1 << 24, 8);
+        assert!(t8 > t2);
+        assert_eq!(c.allreduce_time(1 << 24, 1), 0.0);
+    }
+
+    #[test]
+    fn half_collective_is_half() {
+        let c = presets::cluster_a();
+        let full = c.allreduce_time(1 << 20, 4);
+        let half = c.half_collective_time(1 << 20, 4);
+        assert!((full - 2.0 * half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2p_uses_inter_node_link() {
+        let c = presets::cluster_b_small();
+        let t = c.p2p_time(1 << 20);
+        assert!((t - c.inter_link().transfer_time(1 << 20)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn totals() {
+        let c = presets::cluster_a();
+        assert_eq!(c.total_devices(), 64);
+    }
+
+    #[test]
+    fn grad_allreduce_scales_with_group_and_rides_the_slow_link() {
+        let c = presets::cluster_a();
+        assert_eq!(c.grad_allreduce_time(1 << 30, 1), 0.0);
+        let t2 = c.grad_allreduce_time(1 << 30, 2);
+        let t8 = c.grad_allreduce_time(1 << 30, 8);
+        assert!(t8 > t2);
+        // Inter-node bandwidth, not NVLink: slower than the TP collective
+        // of the same volume.
+        assert!(t2 > c.allreduce_time(1 << 30, 2) / 4.0);
+    }
+}

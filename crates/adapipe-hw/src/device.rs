@@ -1,0 +1,272 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Throughput model of one accelerator (GPU or NPU).
+///
+/// Computation-unit times come from a two-regime roofline: matmul-dominated
+/// units run at `peak_flops * matmul_efficiency`, bandwidth-dominated units
+/// at `hbm_bandwidth * mem_efficiency`, and every kernel pays a fixed
+/// launch overhead. These three knobs are what on-device profiling would
+/// otherwise measure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    mem_bytes: u64,
+    reserved_bytes: u64,
+    peak_flops: f64,
+    hbm_bandwidth: f64,
+    matmul_efficiency: f64,
+    mem_efficiency: f64,
+    kernel_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// Starts building a device description.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> DeviceSpecBuilder {
+        DeviceSpecBuilder::new(name)
+    }
+
+    /// Device name, e.g. `"a100-80gb"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device memory capacity in bytes.
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Bytes unavailable to the training job (driver context, collective
+    /// communication buffers, allocator fragmentation).
+    #[must_use]
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Memory the job may actually allocate: capacity minus reservation.
+    #[must_use]
+    pub fn usable_bytes(&self) -> u64 {
+        self.mem_bytes - self.reserved_bytes
+    }
+
+    /// Peak half-precision math rate in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// Device-memory bandwidth in bytes/s.
+    #[must_use]
+    pub fn hbm_bandwidth(&self) -> f64 {
+        self.hbm_bandwidth
+    }
+
+    /// Fraction of peak FLOP/s achieved by large matrix multiplications.
+    #[must_use]
+    pub fn matmul_efficiency(&self) -> f64 {
+        self.matmul_efficiency
+    }
+
+    /// Fraction of peak bandwidth achieved by elementwise kernels.
+    #[must_use]
+    pub fn mem_efficiency(&self) -> f64 {
+        self.mem_efficiency
+    }
+
+    /// Fixed per-kernel launch overhead in seconds.
+    #[must_use]
+    pub fn kernel_overhead(&self) -> f64 {
+        self.kernel_overhead
+    }
+
+    /// Time for a matmul-bound kernel doing `flops` floating-point
+    /// operations and moving `bytes` through memory: the roofline maximum
+    /// of the math time and the memory time, plus launch overhead.
+    #[must_use]
+    pub fn matmul_time(&self, flops: f64, bytes: f64) -> f64 {
+        let math = flops / (self.peak_flops * self.matmul_efficiency);
+        let mem = bytes / (self.hbm_bandwidth * self.mem_efficiency);
+        self.kernel_overhead + math.max(mem)
+    }
+
+    /// Time for a bandwidth-bound kernel moving `bytes` through memory.
+    #[must_use]
+    pub fn bandwidth_time(&self, bytes: f64) -> f64 {
+        self.kernel_overhead + bytes / (self.hbm_bandwidth * self.mem_efficiency)
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GB, {:.0} TFLOPs, {:.0} GB/s)",
+            self.name,
+            self.mem_bytes >> 30,
+            self.peak_flops / 1e12,
+            self.hbm_bandwidth / 1e9
+        )
+    }
+}
+
+/// Builder for [`DeviceSpec`].
+#[derive(Debug, Clone)]
+pub struct DeviceSpecBuilder {
+    name: String,
+    mem_bytes: u64,
+    reserved_bytes: u64,
+    peak_flops: f64,
+    hbm_bandwidth: f64,
+    matmul_efficiency: f64,
+    mem_efficiency: f64,
+    kernel_overhead: f64,
+}
+
+impl DeviceSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        DeviceSpecBuilder {
+            name: name.into(),
+            mem_bytes: 0,
+            reserved_bytes: 0,
+            peak_flops: 0.0,
+            hbm_bandwidth: 0.0,
+            matmul_efficiency: 0.5,
+            mem_efficiency: 0.8,
+            kernel_overhead: 6e-6,
+        }
+    }
+
+    /// Sets the memory capacity in bytes.
+    #[must_use]
+    pub fn mem_bytes(mut self, mem_bytes: u64) -> Self {
+        self.mem_bytes = mem_bytes;
+        self
+    }
+
+    /// Sets the reserved (non-allocatable) bytes — driver context,
+    /// collective buffers, fragmentation. Default 0.
+    #[must_use]
+    pub fn reserved_bytes(mut self, reserved_bytes: u64) -> Self {
+        self.reserved_bytes = reserved_bytes;
+        self
+    }
+
+    /// Sets the peak half-precision FLOP/s.
+    #[must_use]
+    pub fn peak_flops(mut self, peak_flops: f64) -> Self {
+        self.peak_flops = peak_flops;
+        self
+    }
+
+    /// Sets the device-memory bandwidth in bytes/s.
+    #[must_use]
+    pub fn hbm_bandwidth(mut self, hbm_bandwidth: f64) -> Self {
+        self.hbm_bandwidth = hbm_bandwidth;
+        self
+    }
+
+    /// Sets the matmul efficiency fraction (default 0.5).
+    #[must_use]
+    pub fn matmul_efficiency(mut self, eff: f64) -> Self {
+        self.matmul_efficiency = eff;
+        self
+    }
+
+    /// Sets the bandwidth efficiency fraction (default 0.8).
+    #[must_use]
+    pub fn mem_efficiency(mut self, eff: f64) -> Self {
+        self.mem_efficiency = eff;
+        self
+    }
+
+    /// Sets the per-kernel launch overhead in seconds (default 6 µs).
+    #[must_use]
+    pub fn kernel_overhead(mut self, overhead: f64) -> Self {
+        self.kernel_overhead = overhead;
+        self
+    }
+
+    /// Builds the [`DeviceSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity, peak FLOP/s or bandwidth were left unset or an
+    /// efficiency fraction is outside `(0, 1]`.
+    #[must_use]
+    pub fn build(self) -> DeviceSpec {
+        assert!(self.mem_bytes > 0, "device memory capacity must be set");
+        assert!(
+            self.reserved_bytes < self.mem_bytes,
+            "reservation must leave usable memory"
+        );
+        assert!(self.peak_flops > 0.0, "device peak FLOP/s must be set");
+        assert!(
+            self.hbm_bandwidth > 0.0,
+            "device memory bandwidth must be set"
+        );
+        assert!(
+            self.matmul_efficiency > 0.0 && self.matmul_efficiency <= 1.0,
+            "matmul efficiency must be in (0, 1]"
+        );
+        assert!(
+            self.mem_efficiency > 0.0 && self.mem_efficiency <= 1.0,
+            "memory efficiency must be in (0, 1]"
+        );
+        assert!(
+            self.kernel_overhead >= 0.0,
+            "kernel overhead must be non-negative"
+        );
+        DeviceSpec {
+            name: self.name,
+            mem_bytes: self.mem_bytes,
+            reserved_bytes: self.reserved_bytes,
+            peak_flops: self.peak_flops,
+            hbm_bandwidth: self.hbm_bandwidth,
+            matmul_efficiency: self.matmul_efficiency,
+            mem_efficiency: self.mem_efficiency,
+            kernel_overhead: self.kernel_overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn roofline_picks_the_binding_resource() {
+        let dev = presets::a100_80gb();
+        // Huge math, tiny data: math-bound.
+        let math_bound = dev.matmul_time(1e15, 1.0);
+        assert!(math_bound > 1e15 / dev.peak_flops() / 2.0);
+        // Tiny math, huge data: memory-bound.
+        let mem_bound = dev.matmul_time(1.0, 1e12);
+        assert!(mem_bound > 1e12 / dev.hbm_bandwidth() / 2.0);
+    }
+
+    #[test]
+    fn overhead_dominates_empty_kernels() {
+        let dev = presets::a100_80gb();
+        let t = dev.matmul_time(0.0, 0.0);
+        assert!((t - dev.kernel_overhead()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be set")]
+    fn unset_capacity_panics() {
+        let _ = DeviceSpec::builder("x")
+            .peak_flops(1.0)
+            .hbm_bandwidth(1.0)
+            .build();
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let s = presets::ascend910_32gb().to_string();
+        assert!(s.contains("32 GB"), "{s}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Hardware and cluster descriptions for the AdaPipe reproduction.
+//!
+//! The paper evaluates on two clusters: DGX-A100 nodes (NVLink +
+//! 800 Gb/s InfiniBand, 80 GB devices) and Atlas 800 nodes (Ascend 910,
+//! 32 GB devices, 30 GB/s intra-board mesh + 100 Gb/s NICs). We have no
+//! such hardware, so this crate models the *throughput-relevant* facts of
+//! each device and interconnect: peak math rate, achievable efficiency,
+//! memory capacity and bandwidth, and link bandwidth/latency.
+//!
+//! The rest of the workspace consumes only the derived quantities —
+//! seconds per FLOP, seconds per moved byte, collective and point-to-point
+//! transfer times — so any internally-consistent description exercises the
+//! same code paths as a profiled machine.
+//!
+//! # Example
+//!
+//! ```
+//! use adapipe_hw::presets;
+//!
+//! let cluster = presets::cluster_a();
+//! assert_eq!(cluster.device().mem_bytes(), 80 * (1 << 30));
+//! // An 8-way all-reduce of 1 MiB over NVLink takes microseconds.
+//! let t = cluster.allreduce_time(1 << 20, 8);
+//! assert!(t > 0.0 && t < 1e-3);
+//! ```
+
+mod cluster;
+mod device;
+mod link;
+pub mod presets;
+
+pub use cluster::ClusterSpec;
+pub use device::{DeviceSpec, DeviceSpecBuilder};
+pub use link::LinkSpec;

@@ -1,0 +1,78 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A link between devices: sustained bandwidth and per-message latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    bandwidth: f64,
+    latency: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link with `bandwidth` bytes/s and `latency` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not strictly positive or `latency` is
+    /// negative.
+    #[must_use]
+    pub fn new(bandwidth: f64, latency: f64) -> Self {
+        assert!(bandwidth > 0.0, "link bandwidth must be positive");
+        assert!(latency >= 0.0, "link latency must be non-negative");
+        LinkSpec { bandwidth, latency }
+    }
+
+    /// Sustained bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Per-message latency in seconds.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Time in seconds to move `bytes` over this link once.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GB/s, {:.1} us",
+            self.bandwidth / 1e9,
+            self.latency * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly_past_latency() {
+        let link = LinkSpec::new(1e9, 1e-6);
+        let t1 = link.transfer_time(1_000_000);
+        let t2 = link.transfer_time(2_000_000);
+        assert!((t2 - t1 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let link = LinkSpec::new(5e9, 2e-6);
+        assert!((link.transfer_time(0) - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = LinkSpec::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Device and cluster presets matching the paper's two testbeds (§7.1).
+
+use crate::cluster::ClusterSpec;
+use crate::device::DeviceSpec;
+use crate::link::LinkSpec;
+
+/// NVIDIA A100 80 GB SXM: 312 TFLOP/s bf16 peak, ~2 TB/s HBM2e.
+///
+/// The efficiency knobs (45 % of peak for large GEMMs, 80 % of bandwidth
+/// for elementwise kernels) reflect commonly measured Megatron-LM
+/// utilization on this part.
+#[must_use]
+pub fn a100_80gb() -> DeviceSpec {
+    DeviceSpec::builder("a100-80gb")
+        .mem_bytes(80 * (1 << 30))
+        .reserved_bytes(3 * (1 << 30))
+        .peak_flops(312e12)
+        .hbm_bandwidth(2.0e12)
+        .matmul_efficiency(0.45)
+        .mem_efficiency(0.8)
+        .kernel_overhead(6e-6)
+        .build()
+}
+
+/// Huawei Ascend 910 32 GB: 256 TFLOP/s fp16 peak, ~1.2 TB/s HBM.
+#[must_use]
+pub fn ascend910_32gb() -> DeviceSpec {
+    DeviceSpec::builder("ascend910-32gb")
+        .mem_bytes(32 * (1 << 30))
+        .reserved_bytes(3 * (1 << 29))
+        .peak_flops(256e12)
+        .hbm_bandwidth(1.2e12)
+        .matmul_efficiency(0.35)
+        .mem_efficiency(0.7)
+        .kernel_overhead(8e-6)
+        .build()
+}
+
+/// Cluster A of the paper: 8 DGX-A100 nodes, 8 GPUs each, NVLink inside
+/// a node (~250 GB/s effective ring bandwidth) and 800 Gb/s InfiniBand
+/// between nodes.
+#[must_use]
+pub fn cluster_a() -> ClusterSpec {
+    cluster_a_with_nodes(8)
+}
+
+/// Cluster A scaled to `nodes` DGX-A100 nodes (the Llama 2 experiments use
+/// 4 nodes / 32 GPUs).
+#[must_use]
+pub fn cluster_a_with_nodes(nodes: usize) -> ClusterSpec {
+    ClusterSpec::new(
+        "cluster-a",
+        a100_80gb(),
+        8,
+        nodes,
+        LinkSpec::new(250e9, 5e-6),
+        LinkSpec::new(100e9, 10e-6),
+    )
+}
+
+/// Cluster B of the paper at small scale: 32 Atlas 800 nodes, 8 Ascend 910
+/// NPUs each, 30 GB/s on-board mesh and one 100 Gb/s NIC per NPU.
+#[must_use]
+pub fn cluster_b_small() -> ClusterSpec {
+    cluster_b_with_nodes(32)
+}
+
+/// Cluster B at large scale (2048 NPUs = 256 nodes).
+#[must_use]
+pub fn cluster_b_large() -> ClusterSpec {
+    cluster_b_with_nodes(256)
+}
+
+/// Cluster B scaled to `nodes` Atlas 800 nodes.
+#[must_use]
+pub fn cluster_b_with_nodes(nodes: usize) -> ClusterSpec {
+    ClusterSpec::new(
+        "cluster-b",
+        ascend910_32gb(),
+        8,
+        nodes,
+        LinkSpec::new(30e9, 8e-6),
+        LinkSpec::new(12.5e9, 15e-6),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_paper() {
+        assert_eq!(a100_80gb().mem_bytes(), 80 << 30);
+        assert_eq!(ascend910_32gb().mem_bytes(), 32 << 30);
+    }
+
+    #[test]
+    fn cluster_sizes_match_paper() {
+        assert_eq!(cluster_a().total_devices(), 64);
+        assert_eq!(cluster_b_small().total_devices(), 256);
+        assert_eq!(cluster_b_large().total_devices(), 2048);
+        assert_eq!(cluster_a_with_nodes(4).total_devices(), 32);
+    }
+
+    #[test]
+    fn a100_is_faster_than_ascend_for_same_gemm() {
+        let a = a100_80gb();
+        let b = ascend910_32gb();
+        let (flops, bytes) = (1e12, 1e9);
+        assert!(a.matmul_time(flops, bytes) < b.matmul_time(flops, bytes));
+    }
+
+    #[test]
+    fn cluster_b_interconnect_is_slower() {
+        let a = cluster_a();
+        let b = cluster_b_small();
+        assert!(b.p2p_time(1 << 24) > a.p2p_time(1 << 24));
+        assert!(b.allreduce_time(1 << 24, 8) > a.allreduce_time(1 << 24, 8));
+    }
+}

@@ -1,0 +1,41 @@
+//! Per-stage memory model (§4.2 of the paper).
+//!
+//! The paper splits a stage's device memory into three parts:
+//!
+//! 1. **Static memory** — parameters, gradients and (ZeRO-1-sharded)
+//!    optimizer states. Independent of recomputation.
+//! 2. **Recompute buffer** — space to rematerialize the intermediates of
+//!    one decoder layer during backward. Bounded by a single layer because
+//!    every layer's output GEMM is pinned saved.
+//! 3. **Saved intermediates** — `(p − s) · Σ_{U ∉ R} Mem(U)` under 1F1B,
+//!    since stage `s` holds activations of `p − s` in-flight micro-batches.
+//!
+//! Subtracting (1) and (2) from the device capacity yields the budget the
+//! recomputation knapsack may spend on (3).
+//!
+//! # Example
+//!
+//! ```
+//! use adapipe_hw::presets as hw;
+//! use adapipe_memory::{MemoryModel, OptimizerSpec};
+//! use adapipe_model::{presets, LayerRange, LayerSeq, ParallelConfig, TrainConfig};
+//! use adapipe_profiler::Profiler;
+//!
+//! let model = presets::gpt3_175b();
+//! let parallel = ParallelConfig::new(8, 8, 1)?;
+//! let train = TrainConfig::new(1, 4096, 128)?;
+//! let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+//! let seq = LayerSeq::for_model(&model);
+//!
+//! let mem = MemoryModel::new(model.clone(), parallel, OptimizerSpec::adam_fp32());
+//! let range = LayerRange::new(0, 24);
+//! let stage0 = mem.stage_breakdown(&table, &seq, range, 0, table.saved_bytes_pinned(range));
+//! assert!(stage0.static_bytes > 0);
+//! # Ok::<(), adapipe_model::ConfigError>(())
+//! ```
+
+mod model;
+mod optimizer;
+
+pub use model::{f1b_live_microbatches, MemoryModel, StageMemory};
+pub use optimizer::OptimizerSpec;

@@ -1,0 +1,295 @@
+use crate::optimizer::OptimizerSpec;
+use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig};
+use adapipe_profiler::ProfileTable;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of micro-batches whose activations stage `s` (0-based) of a
+/// `p`-stage 1F1B pipeline holds simultaneously: `p − s` (§2.1).
+///
+/// # Panics
+///
+/// Panics if `stage >= pipeline`.
+#[must_use]
+pub fn f1b_live_microbatches(pipeline: usize, stage: usize) -> usize {
+    assert!(
+        stage < pipeline,
+        "stage {stage} out of range for p={pipeline}"
+    );
+    pipeline - stage
+}
+
+/// Full memory breakdown of one pipeline stage on one device, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Parameters + gradients + ZeRO-sharded optimizer states.
+    pub static_bytes: u64,
+    /// Recompute buffer: intermediates of one decoder layer (§4.2).
+    pub buffer_bytes: u64,
+    /// Saved intermediates: per-micro-batch saved bytes times the number
+    /// of live micro-batches.
+    pub intermediate_bytes: u64,
+}
+
+impl StageMemory {
+    /// Total bytes used on the device.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.static_bytes + self.buffer_bytes + self.intermediate_bytes
+    }
+
+    /// Whether the stage fits in `capacity` bytes.
+    #[must_use]
+    pub fn fits(&self, capacity: u64) -> bool {
+        self.total() <= capacity
+    }
+}
+
+impl fmt::Display for StageMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static {:.2} GB + buffer {:.2} GB + intermediates {:.2} GB = {:.2} GB",
+            self.static_bytes as f64 / 1e9,
+            self.buffer_bytes as f64 / 1e9,
+            self.intermediate_bytes as f64 / 1e9,
+            self.total() as f64 / 1e9,
+        )
+    }
+}
+
+/// The §4.2 memory model: computes static memory, recompute buffers and
+/// the activation budget handed to the recomputation knapsack.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    model: ModelSpec,
+    parallel: ParallelConfig,
+    optimizer: OptimizerSpec,
+}
+
+impl MemoryModel {
+    /// Creates a memory model for `model` trained under `parallel` with
+    /// `optimizer`.
+    #[must_use]
+    pub fn new(model: ModelSpec, parallel: ParallelConfig, optimizer: OptimizerSpec) -> Self {
+        MemoryModel {
+            model,
+            parallel,
+            optimizer,
+        }
+    }
+
+    /// The model being described.
+    #[must_use]
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The parallel configuration.
+    #[must_use]
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
+    }
+
+    /// Static bytes for a stage holding the layers of `range`:
+    /// `params·dtype/t + params·grad_bytes/t + params·(state+master)/(t·d)`.
+    #[must_use]
+    pub fn static_bytes(&self, seq: &LayerSeq, range: LayerRange) -> u64 {
+        let (pg, opt) = self.static_bytes_split(seq, range);
+        pg + opt
+    }
+
+    /// Static bytes split into the replicated part (parameters +
+    /// gradients) and the ZeRO-sharded part (optimizer states + master
+    /// copy). Bidirectional schedules like Chimera replicate the former
+    /// per hosted pipeline but shard the latter across the replica pair.
+    #[must_use]
+    pub fn static_bytes_split(&self, seq: &LayerSeq, range: LayerRange) -> (u64, u64) {
+        let n = self.model.range_params(seq, range);
+        let t = self.parallel.tensor() as u64;
+        let d = self.parallel.data() as u64;
+        let params = n * self.model.dtype_bytes() as u64 / t;
+        let grads = n * self.optimizer.grad_bytes_per_param / t;
+        let opt = n
+            * (self.optimizer.state_bytes_per_param + self.optimizer.master_bytes_per_param)
+            / (t * d);
+        (params + grads, opt)
+    }
+
+    /// Full breakdown for stage `stage` of a 1F1B pipeline whose
+    /// per-micro-batch saved intermediates occupy `saved_bytes_per_mb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for the pipeline size.
+    #[must_use]
+    pub fn stage_breakdown(
+        &self,
+        table: &ProfileTable,
+        seq: &LayerSeq,
+        range: LayerRange,
+        stage: usize,
+        saved_bytes_per_mb: u64,
+    ) -> StageMemory {
+        let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
+        StageMemory {
+            static_bytes: self.static_bytes(seq, range),
+            buffer_bytes: table.recompute_buffer_bytes(range),
+            intermediate_bytes: live * saved_bytes_per_mb,
+        }
+    }
+
+    /// Breakdown with an explicit live-micro-batch count, for non-1F1B
+    /// schedules (GPipe holds all `n`; Chimera holds direction-dependent
+    /// counts).
+    #[must_use]
+    pub fn stage_breakdown_with_live(
+        &self,
+        table: &ProfileTable,
+        seq: &LayerSeq,
+        range: LayerRange,
+        live_microbatches: usize,
+        saved_bytes_per_mb: u64,
+    ) -> StageMemory {
+        StageMemory {
+            static_bytes: self.static_bytes(seq, range),
+            buffer_bytes: table.recompute_buffer_bytes(range),
+            intermediate_bytes: live_microbatches as u64 * saved_bytes_per_mb,
+        }
+    }
+
+    /// The per-micro-batch activation budget the recomputation knapsack
+    /// may spend for stage `stage` holding `range`, under device capacity
+    /// `capacity` bytes: `(capacity − static − buffer) / (p − s)`.
+    ///
+    /// Returns `None` when static memory plus the recompute buffer already
+    /// exceed the capacity — the stage cannot run at all (the OOM cases in
+    /// Table 3).
+    #[must_use]
+    pub fn activation_budget(
+        &self,
+        table: &ProfileTable,
+        seq: &LayerSeq,
+        range: LayerRange,
+        stage: usize,
+        capacity: u64,
+    ) -> Option<u64> {
+        let fixed = self.static_bytes(seq, range) + table.recompute_buffer_bytes(range);
+        let free = capacity.checked_sub(fixed)?;
+        let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
+        Some(free / live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_hw::presets as hw;
+    use adapipe_model::{presets, TrainConfig};
+    use adapipe_profiler::Profiler;
+
+    fn setup() -> (ModelSpec, ParallelConfig, ProfileTable, LayerSeq) {
+        let model = presets::gpt3_175b();
+        let parallel = ParallelConfig::new(8, 8, 1).unwrap();
+        let train = TrainConfig::new(1, 4096, 128).unwrap();
+        let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+        let seq = LayerSeq::for_model(&model);
+        (model, parallel, table, seq)
+    }
+
+    #[test]
+    fn live_microbatches_decrease_along_pipeline() {
+        assert_eq!(f1b_live_microbatches(8, 0), 8);
+        assert_eq!(f1b_live_microbatches(8, 7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn live_microbatches_rejects_bad_stage() {
+        let _ = f1b_live_microbatches(4, 4);
+    }
+
+    #[test]
+    fn gpt3_static_memory_matches_back_of_envelope() {
+        // A GPT-3 stage of 12 decoder blocks at t=8, d=1 holds ~2.7B
+        // params/device: 5.5 GB params + 5.5 GB grads + 33 GB optimizer.
+        let (_, parallel, _, seq) = setup();
+        let mem = MemoryModel::new(presets::gpt3_175b(), parallel, OptimizerSpec::adam_fp32());
+        let parts = seq.even_partition(8);
+        let gb = mem.static_bytes(&seq, parts[3]) as f64 / 1e9;
+        assert!((35.0..55.0).contains(&gb), "static = {gb:.1} GB");
+    }
+
+    #[test]
+    fn budget_shrinks_for_earlier_stages() {
+        let (model, parallel, table, seq) = setup();
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        let range = seq.even_partition(8)[3];
+        let cap = 80 << 30;
+        let b0 = mem.activation_budget(&table, &seq, range, 0, cap).unwrap();
+        let b7 = mem.activation_budget(&table, &seq, range, 7, cap).unwrap();
+        assert!(b0 < b7);
+        assert_eq!(b0 * 8, b7 - b7 % 8);
+    }
+
+    #[test]
+    fn budget_none_when_static_exceeds_capacity() {
+        let (model, parallel, table, seq) = setup();
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        let whole = LayerRange::new(0, seq.len() - 1);
+        assert!(mem
+            .activation_budget(&table, &seq, whole, 0, 8 << 30)
+            .is_none());
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let (model, parallel, table, seq) = setup();
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        let range = seq.even_partition(8)[0];
+        let bd = mem.stage_breakdown(&table, &seq, range, 0, 123_456_789);
+        assert_eq!(
+            bd.total(),
+            bd.static_bytes + bd.buffer_bytes + bd.intermediate_bytes
+        );
+        assert_eq!(bd.intermediate_bytes, 8 * 123_456_789);
+        assert!(bd.fits(u64::MAX));
+        assert!(!bd.fits(1));
+    }
+
+    #[test]
+    fn explicit_live_counts_cover_gpipe_and_chimera() {
+        let (model, parallel, table, seq) = setup();
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        let range = seq.even_partition(8)[0];
+        let saved = 1_000_000u64;
+        // GPipe holds all n micro-batches; 1F1B stage 0 holds p.
+        let gpipe = mem.stage_breakdown_with_live(&table, &seq, range, 128, saved);
+        let f1b = mem.stage_breakdown(&table, &seq, range, 0, saved);
+        assert_eq!(gpipe.intermediate_bytes, 128 * saved);
+        assert_eq!(f1b.intermediate_bytes, 8 * saved);
+        assert_eq!(gpipe.static_bytes, f1b.static_bytes);
+    }
+
+    #[test]
+    fn split_static_parts_sum_to_total() {
+        let (model, parallel, _, seq) = setup();
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        for range in seq.even_partition(8) {
+            let (pg, opt) = mem.static_bytes_split(&seq, range);
+            assert_eq!(pg + opt, mem.static_bytes(&seq, range));
+            assert!(pg > 0 && opt > 0);
+        }
+    }
+
+    #[test]
+    fn zero2_style_sharding_reduces_optimizer_share() {
+        let (model, _, _, seq) = setup();
+        let p1 = ParallelConfig::new(8, 8, 1).unwrap();
+        let p4 = ParallelConfig::new(8, 8, 4).unwrap();
+        let m1 = MemoryModel::new(model.clone(), p1, OptimizerSpec::adam_fp32());
+        let m4 = MemoryModel::new(model, p4, OptimizerSpec::adam_fp32());
+        let range = seq.even_partition(8)[0];
+        assert!(m4.static_bytes(&seq, range) < m1.static_bytes(&seq, range));
+    }
+}

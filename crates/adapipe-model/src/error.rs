@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model or parallelism configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A size parameter that must be positive was zero.
+    ZeroField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// `hidden` is not divisible by the number of attention heads.
+    HiddenNotDivisibleByHeads {
+        /// Hidden dimension of the model.
+        hidden: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// The number of attention heads is not divisible by the KV-head count.
+    HeadsNotDivisibleByKvHeads {
+        /// Number of attention heads.
+        heads: usize,
+        /// Number of KV heads (grouped-query attention).
+        kv_heads: usize,
+    },
+    /// The global batch size is not divisible by `data_parallel * micro_batch`.
+    BatchNotDivisible {
+        /// Global batch size.
+        global_batch: usize,
+        /// Product that must divide it.
+        divisor: usize,
+    },
+    /// Something that must divide another quantity does not.
+    NotDivisible {
+        /// Description of the relationship that failed.
+        what: &'static str,
+        /// Dividend.
+        value: usize,
+        /// Divisor.
+        by: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField { field } => {
+                write!(f, "configuration field `{field}` must be positive")
+            }
+            ConfigError::HiddenNotDivisibleByHeads { hidden, heads } => {
+                write!(f, "hidden size {hidden} is not divisible by {heads} heads")
+            }
+            ConfigError::HeadsNotDivisibleByKvHeads { heads, kv_heads } => {
+                write!(f, "{heads} heads are not divisible by {kv_heads} kv heads")
+            }
+            ConfigError::BatchNotDivisible {
+                global_batch,
+                divisor,
+            } => write!(
+                f,
+                "global batch size {global_batch} is not divisible by \
+                 data_parallel * micro_batch = {divisor}"
+            ),
+            ConfigError::NotDivisible { what, value, by } => {
+                write!(f, "{what}: {value} is not divisible by {by}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            ConfigError::ZeroField { field: "hidden" },
+            ConfigError::HiddenNotDivisibleByHeads {
+                hidden: 10,
+                heads: 3,
+            },
+            ConfigError::HeadsNotDivisibleByKvHeads {
+                heads: 7,
+                kv_heads: 2,
+            },
+            ConfigError::BatchNotDivisible {
+                global_batch: 7,
+                divisor: 2,
+            },
+            ConfigError::NotDivisible {
+                what: "devices",
+                value: 7,
+                by: 2,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

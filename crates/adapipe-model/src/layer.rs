@@ -1,0 +1,77 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a coarse-grained model layer.
+///
+/// §5 of the paper treats a transformer as a flat sequence of layers:
+/// the embedding, then an alternation of attention and feed-forward layers,
+/// and finally the decoding head. Adaptive partitioning assigns each
+/// pipeline stage a contiguous sub-sequence of these layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Token + position embedding; always the first layer.
+    Embedding,
+    /// Self-attention half of a decoder block.
+    Attention,
+    /// Feed-forward (MLP) half of a decoder block.
+    FeedForward,
+    /// Final layer-norm + LM head projection; always the last layer.
+    DecodingHead,
+}
+
+impl LayerKind {
+    /// Whether this layer is one of the two halves of a decoder block.
+    #[must_use]
+    pub fn is_decoder_half(self) -> bool {
+        matches!(self, LayerKind::Attention | LayerKind::FeedForward)
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LayerKind::Embedding => "embedding",
+            LayerKind::Attention => "attention",
+            LayerKind::FeedForward => "feed-forward",
+            LayerKind::DecodingHead => "decoding-head",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One layer in a [`LayerSeq`](crate::LayerSeq): its kind plus its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// The kind of this layer.
+    pub kind: LayerKind,
+    /// Index of this layer within the model's layer sequence.
+    pub index: usize,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.kind, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_half_classification() {
+        assert!(LayerKind::Attention.is_decoder_half());
+        assert!(LayerKind::FeedForward.is_decoder_half());
+        assert!(!LayerKind::Embedding.is_decoder_half());
+        assert!(!LayerKind::DecodingHead.is_decoder_half());
+    }
+
+    #[test]
+    fn display_round_trips_via_debug() {
+        let l = Layer {
+            kind: LayerKind::Attention,
+            index: 3,
+        };
+        assert_eq!(l.to_string(), "attention#3");
+    }
+}

@@ -1,0 +1,44 @@
+//! Model, workload and parallelism descriptions for the AdaPipe reproduction.
+//!
+//! This crate is the vocabulary shared by every other crate in the
+//! workspace. It describes
+//!
+//! * transformer models as a *sequence of layers*
+//!   (`[Embedding, (Attention, FeedForward) × L, DecodingHead]`, the view
+//!   taken by §5 of the paper),
+//! * the finer-grained *computation units* inside each layer (Figure 4 of
+//!   the paper) that adaptive recomputation decides to save or recompute,
+//! * 3D-parallel training configurations (tensor / data / pipeline sizes,
+//!   micro-batch size, sequence length, global batch size).
+//!
+//! # Example
+//!
+//! ```
+//! use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
+//!
+//! let model = presets::gpt3_175b();
+//! let seq = LayerSeq::for_model(&model);
+//! // GPT-3 has 96 decoder layers -> 2*96 + 2 entries in the layer sequence.
+//! assert_eq!(seq.len(), 194);
+//!
+//! let parallel = ParallelConfig::new(8, 8, 1)?;
+//! let train = TrainConfig::new(1, 4096, 128)?;
+//! assert_eq!(train.micro_batches(&parallel), 128);
+//! # Ok::<(), adapipe_model::ConfigError>(())
+//! ```
+
+mod error;
+mod layer;
+mod parallel;
+mod params;
+pub mod presets;
+mod seq;
+mod spec;
+mod unit;
+
+pub use error::ConfigError;
+pub use layer::{Layer, LayerKind};
+pub use parallel::{ParallelConfig, TrainConfig};
+pub use seq::{LayerRange, LayerSeq};
+pub use spec::{FfnKind, ModelSpec, ModelSpecBuilder};
+pub use unit::{units_for_layer, ComputationUnit, UnitKind};

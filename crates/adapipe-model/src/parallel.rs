@@ -1,0 +1,287 @@
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 3D-parallel configuration: tensor-, pipeline- and data-parallel sizes.
+///
+/// These are the `t`, `p`, `d` of Table 1 in the paper. The total number of
+/// devices used by a job is `t * p * d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    tensor: usize,
+    pipeline: usize,
+    data: usize,
+}
+
+impl ParallelConfig {
+    /// Creates a configuration with tensor-parallel size `tensor`,
+    /// pipeline-parallel size `pipeline` and data-parallel size `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroField`] if any size is zero.
+    pub fn new(tensor: usize, pipeline: usize, data: usize) -> Result<Self, ConfigError> {
+        for (field, v) in [("tensor", tensor), ("pipeline", pipeline), ("data", data)] {
+            if v == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        Ok(ParallelConfig {
+            tensor,
+            pipeline,
+            data,
+        })
+    }
+
+    /// Tensor-parallel size `t`.
+    #[must_use]
+    pub fn tensor(&self) -> usize {
+        self.tensor
+    }
+
+    /// Pipeline-parallel size `p` (number of pipeline stages).
+    #[must_use]
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Data-parallel size `d`.
+    #[must_use]
+    pub fn data(&self) -> usize {
+        self.data
+    }
+
+    /// Total devices used: `t * p * d`.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.tensor * self.pipeline * self.data
+    }
+
+    /// Enumerates every `(t, p, d)` combination that uses exactly
+    /// `devices` devices, with `t <= max_tensor` and `p >= min_pipeline`.
+    ///
+    /// This is the strategy iteration of §7.1 (Table 3): the paper limits
+    /// the tensor-parallel size to the number of accelerators in one node
+    /// because cross-node tensor parallelism is prohibitively expensive.
+    #[must_use]
+    pub fn enumerate(devices: usize, max_tensor: usize, min_pipeline: usize) -> Vec<Self> {
+        let mut out = Vec::new();
+        let mut t = 1;
+        while t <= max_tensor && t <= devices {
+            if devices.is_multiple_of(t) {
+                let rest = devices / t;
+                let mut p = min_pipeline.max(1);
+                while p <= rest {
+                    if rest.is_multiple_of(p) {
+                        let d = rest / p;
+                        out.push(ParallelConfig {
+                            tensor: t,
+                            pipeline: p,
+                            data: d,
+                        });
+                    }
+                    p += 1;
+                }
+            }
+            t *= 2;
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(t={}, p={}, d={})",
+            self.tensor, self.pipeline, self.data
+        )
+    }
+}
+
+/// A training workload: micro-batch size, sequence length and global batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrainConfig {
+    micro_batch: usize,
+    seq_len: usize,
+    global_batch: usize,
+}
+
+impl TrainConfig {
+    /// Creates a workload description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroField`] if any parameter is zero.
+    pub fn new(
+        micro_batch: usize,
+        seq_len: usize,
+        global_batch: usize,
+    ) -> Result<Self, ConfigError> {
+        for (field, v) in [
+            ("micro_batch", micro_batch),
+            ("seq_len", seq_len),
+            ("global_batch", global_batch),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        Ok(TrainConfig {
+            micro_batch,
+            seq_len,
+            global_batch,
+        })
+    }
+
+    /// Micro-batch size `b` (samples per pipeline injection).
+    #[must_use]
+    pub fn micro_batch(&self) -> usize {
+        self.micro_batch
+    }
+
+    /// Sequence length in tokens.
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Global batch size (samples per optimizer step across all replicas).
+    #[must_use]
+    pub fn global_batch(&self) -> usize {
+        self.global_batch
+    }
+
+    /// Number of micro-batches `n` each pipeline replica processes per
+    /// iteration: `global_batch / (data * micro_batch)`.
+    ///
+    /// Saturates at 1 if the global batch does not cover every replica;
+    /// use [`TrainConfig::validate_for`] to reject such configurations.
+    #[must_use]
+    pub fn micro_batches(&self, parallel: &ParallelConfig) -> usize {
+        (self.global_batch / (parallel.data() * self.micro_batch)).max(1)
+    }
+
+    /// Checks that the global batch divides evenly over the data-parallel
+    /// replicas and that each replica receives at least `pipeline`
+    /// micro-batches (1F1B needs `n >= p` to fill the pipe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BatchNotDivisible`] when the division is not
+    /// exact, and [`ConfigError::NotDivisible`] when `n < p`.
+    pub fn validate_for(&self, parallel: &ParallelConfig) -> Result<(), ConfigError> {
+        let divisor = parallel.data() * self.micro_batch;
+        if !self.global_batch.is_multiple_of(divisor) {
+            return Err(ConfigError::BatchNotDivisible {
+                global_batch: self.global_batch,
+                divisor,
+            });
+        }
+        let n = self.global_batch / divisor;
+        if n < parallel.pipeline() {
+            return Err(ConfigError::NotDivisible {
+                what: "micro-batches per replica must cover the pipeline depth",
+                value: n,
+                by: parallel.pipeline(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Tokens processed per iteration across the whole job.
+    #[must_use]
+    pub fn tokens_per_iteration(&self) -> usize {
+        self.global_batch * self.seq_len
+    }
+}
+
+impl fmt::Display for TrainConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(b={}, seq={}, gbs={})",
+            self.micro_batch, self.seq_len, self.global_batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_is_product() {
+        let p = ParallelConfig::new(8, 8, 2).unwrap();
+        assert_eq!(p.devices(), 128);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(ParallelConfig::new(0, 8, 1).is_err());
+        assert!(ParallelConfig::new(8, 0, 1).is_err());
+        assert!(ParallelConfig::new(8, 8, 0).is_err());
+    }
+
+    #[test]
+    fn enumerate_covers_table3_strategies() {
+        // Cluster A GPT-3 runs on 64 GPUs with TP <= 8.
+        let strategies = ParallelConfig::enumerate(64, 8, 2);
+        let as_tuples: Vec<(usize, usize, usize)> = strategies
+            .iter()
+            .map(|s| (s.tensor(), s.pipeline(), s.data()))
+            .collect();
+        for expected in [
+            (1, 32, 2),
+            (2, 16, 2),
+            (2, 32, 1),
+            (4, 8, 2),
+            (4, 16, 1),
+            (8, 4, 2),
+            (8, 8, 1),
+        ] {
+            assert!(as_tuples.contains(&expected), "missing {expected:?}");
+        }
+        for s in &strategies {
+            assert_eq!(s.devices(), 64);
+            assert!(s.tensor() <= 8);
+            assert!(s.pipeline() >= 2);
+        }
+    }
+
+    #[test]
+    fn micro_batch_count_matches_paper() {
+        // GPT-3 on cluster A: gbs=128, b=1, d=2 -> n=64 per replica.
+        let parallel = ParallelConfig::new(4, 8, 2).unwrap();
+        let train = TrainConfig::new(1, 4096, 128).unwrap();
+        assert_eq!(train.micro_batches(&parallel), 64);
+        train.validate_for(&parallel).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_uneven_batch() {
+        let parallel = ParallelConfig::new(1, 2, 3).unwrap();
+        let train = TrainConfig::new(1, 128, 8).unwrap();
+        assert!(matches!(
+            train.validate_for(&parallel),
+            Err(ConfigError::BatchNotDivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_underfilled_pipeline() {
+        let parallel = ParallelConfig::new(1, 8, 1).unwrap();
+        let train = TrainConfig::new(1, 128, 4).unwrap();
+        assert!(train.validate_for(&parallel).is_err());
+    }
+
+    #[test]
+    fn tokens_per_iteration_is_constant_across_paper_configs() {
+        // The paper halves the global batch when doubling sequence length.
+        let a = TrainConfig::new(1, 4096, 128).unwrap();
+        let b = TrainConfig::new(1, 8192, 64).unwrap();
+        let c = TrainConfig::new(1, 16384, 32).unwrap();
+        assert_eq!(a.tokens_per_iteration(), b.tokens_per_iteration());
+        assert_eq!(b.tokens_per_iteration(), c.tokens_per_iteration());
+    }
+}

@@ -1,0 +1,92 @@
+//! Parameter counting for layers and layer ranges.
+//!
+//! §4.2 of the paper sizes the recomputation-independent part of memory
+//! (parameters, gradients, optimizer states) from the per-layer parameter
+//! counts `P_a` and `P_f`; these functions provide them.
+
+use crate::layer::LayerKind;
+use crate::seq::{LayerRange, LayerSeq};
+use crate::spec::{FfnKind, ModelSpec};
+
+impl ModelSpec {
+    /// Number of parameters in one layer of `kind`.
+    ///
+    /// Attention: QKV and output projections plus the preceding layer norm
+    /// (`2h² + 2·h·kv_hidden + 2h`). Feed-forward: two (GeLU) or three
+    /// (SwiGLU) projection matrices plus layer norm. Embedding and head:
+    /// one `vocab × h` matrix each (the head also owns the final norm).
+    #[must_use]
+    pub fn layer_params(&self, kind: LayerKind) -> u64 {
+        let h = self.hidden() as u64;
+        let kv = self.kv_hidden() as u64;
+        let i = self.ffn_hidden() as u64;
+        let v = self.vocab() as u64;
+        match kind {
+            LayerKind::Embedding => v * h,
+            LayerKind::DecodingHead => v * h + 2 * h,
+            LayerKind::Attention => 2 * h * h + 2 * h * kv + 2 * h,
+            LayerKind::FeedForward => match self.ffn() {
+                FfnKind::Gelu => 2 * h * i + 2 * h,
+                FfnKind::SwiGlu => 3 * h * i + 2 * h,
+            },
+        }
+    }
+
+    /// Total parameters of the whole model.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        let l = self.decoder_layers() as u64;
+        self.layer_params(LayerKind::Embedding)
+            + l * (self.layer_params(LayerKind::Attention)
+                + self.layer_params(LayerKind::FeedForward))
+            + self.layer_params(LayerKind::DecodingHead)
+    }
+
+    /// Parameters of the layers in `range` of `seq`.
+    #[must_use]
+    pub fn range_params(&self, seq: &LayerSeq, range: LayerRange) -> u64 {
+        seq.slice(range)
+            .iter()
+            .map(|l| self.layer_params(l.kind))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn gpt3_is_about_175b_params() {
+        let spec = presets::gpt3_175b();
+        let n = spec.total_params() as f64;
+        assert!((1.70e11..1.80e11).contains(&n), "gpt-3 params = {n:.3e}");
+    }
+
+    #[test]
+    fn llama2_is_about_70b_params() {
+        let spec = presets::llama2_70b();
+        let n = spec.total_params() as f64;
+        assert!((6.6e10..7.2e10).contains(&n), "llama-2 params = {n:.3e}");
+    }
+
+    #[test]
+    fn range_params_sum_to_total() {
+        let spec = presets::gpt3_175b();
+        let seq = LayerSeq::for_model(&spec);
+        let full = LayerRange::new(0, seq.len() - 1);
+        assert_eq!(spec.range_params(&seq, full), spec.total_params());
+        let parts = seq.even_partition(8);
+        let sum: u64 = parts.iter().map(|r| spec.range_params(&seq, *r)).sum();
+        assert_eq!(sum, spec.total_params());
+    }
+
+    #[test]
+    fn ffn_dominates_attention_in_gpt3() {
+        let spec = presets::gpt3_175b();
+        assert!(
+            spec.layer_params(LayerKind::FeedForward) > spec.layer_params(LayerKind::Attention)
+        );
+    }
+}

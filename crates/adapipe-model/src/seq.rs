@@ -1,0 +1,279 @@
+use crate::layer::{Layer, LayerKind};
+use crate::spec::ModelSpec;
+use crate::unit::{units_for_layer, ComputationUnit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::RangeInclusive;
+
+/// An inclusive range of layer indices assigned to one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerRange {
+    /// Index of the first layer in the range.
+    pub first: usize,
+    /// Index of the last layer in the range (inclusive).
+    pub last: usize,
+}
+
+impl LayerRange {
+    /// Creates a range; `first` must not exceed `last`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > last`.
+    #[must_use]
+    pub fn new(first: usize, last: usize) -> Self {
+        assert!(first <= last, "invalid layer range {first}..={last}");
+        LayerRange { first, last }
+    }
+
+    /// Number of layers in the range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Always false: a `LayerRange` holds at least one layer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The equivalent `std` inclusive range, for iteration.
+    #[must_use]
+    pub fn as_range(&self) -> RangeInclusive<usize> {
+        self.first..=self.last
+    }
+
+    /// Whether `layer` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, layer: usize) -> bool {
+        (self.first..=self.last).contains(&layer)
+    }
+}
+
+impl fmt::Display for LayerRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..={}]", self.first, self.last)
+    }
+}
+
+/// The flat layer sequence of a model:
+/// `[Embedding, (Attention, FeedForward) × L, DecodingHead]`.
+///
+/// This is the sequence adaptive partitioning divides into contiguous
+/// stages (§5 of the paper). Table 4 of the paper counts "layers" in
+/// exactly this flattened form: GPT-3's 96 decoder blocks become
+/// 2·96 + 2 = 194 layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSeq {
+    layers: Vec<Layer>,
+}
+
+impl LayerSeq {
+    /// Builds the layer sequence for `spec`.
+    #[must_use]
+    pub fn for_model(spec: &ModelSpec) -> Self {
+        let mut layers = Vec::with_capacity(2 * spec.decoder_layers() + 2);
+        layers.push(Layer {
+            kind: LayerKind::Embedding,
+            index: 0,
+        });
+        for _ in 0..spec.decoder_layers() {
+            let i = layers.len();
+            layers.push(Layer {
+                kind: LayerKind::Attention,
+                index: i,
+            });
+            layers.push(Layer {
+                kind: LayerKind::FeedForward,
+                index: i + 1,
+            });
+        }
+        let i = layers.len();
+        layers.push(Layer {
+            kind: LayerKind::DecodingHead,
+            index: i,
+        });
+        LayerSeq { layers }
+    }
+
+    /// Number of layers in the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the sequence is empty (never true for sequences built by
+    /// [`LayerSeq::for_model`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn layer(&self, index: usize) -> Layer {
+        self.layers[index]
+    }
+
+    /// Iterates over the layers in order.
+    pub fn iter(&self) -> impl Iterator<Item = Layer> + '_ {
+        self.layers.iter().copied()
+    }
+
+    /// The layers of `range` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the sequence.
+    #[must_use]
+    pub fn slice(&self, range: LayerRange) -> &[Layer] {
+        &self.layers[range.first..=range.last]
+    }
+
+    /// The computation units of all layers in `range`, in execution order.
+    #[must_use]
+    pub fn units_in(&self, spec: &ModelSpec, range: LayerRange) -> Vec<ComputationUnit> {
+        let mut units = Vec::new();
+        for layer in self.slice(range) {
+            for kind in units_for_layer(spec, layer.kind) {
+                units.push(ComputationUnit {
+                    kind,
+                    layer: layer.index,
+                });
+            }
+        }
+        units
+    }
+
+    /// Splits the sequence into `stages` contiguous ranges with layer
+    /// counts as equal as possible (earlier stages take the remainder).
+    ///
+    /// This is the *even partitioning* baseline of the paper's evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero or exceeds the number of layers.
+    #[must_use]
+    pub fn even_partition(&self, stages: usize) -> Vec<LayerRange> {
+        assert!(stages > 0, "cannot partition into zero stages");
+        assert!(
+            stages <= self.len(),
+            "cannot split {} layers into {stages} stages",
+            self.len()
+        );
+        let base = self.len() / stages;
+        let extra = self.len() % stages;
+        let mut ranges = Vec::with_capacity(stages);
+        let mut start = 0;
+        for s in 0..stages {
+            let take = base + usize::from(s < extra);
+            ranges.push(LayerRange::new(start, start + take - 1));
+            start += take;
+        }
+        ranges
+    }
+
+    /// Validates that `ranges` is a partition of the full sequence into
+    /// contiguous, non-overlapping, exhaustive stage assignments.
+    #[must_use]
+    pub fn is_valid_partition(&self, ranges: &[LayerRange]) -> bool {
+        if ranges.is_empty() || ranges[0].first != 0 {
+            return false;
+        }
+        for w in ranges.windows(2) {
+            if w[1].first != w[0].last + 1 {
+                return false;
+            }
+        }
+        ranges.last().is_some_and(|r| r.last == self.len() - 1)
+    }
+}
+
+impl fmt::Display for LayerSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer sequence of {} layers", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn sequence_shape_matches_paper_counting() {
+        let spec = presets::gpt3_175b();
+        let seq = LayerSeq::for_model(&spec);
+        assert_eq!(seq.len(), 194);
+        assert_eq!(seq.layer(0).kind, LayerKind::Embedding);
+        assert_eq!(seq.layer(1).kind, LayerKind::Attention);
+        assert_eq!(seq.layer(2).kind, LayerKind::FeedForward);
+        assert_eq!(seq.layer(193).kind, LayerKind::DecodingHead);
+    }
+
+    #[test]
+    fn interior_alternates_strictly() {
+        let spec = presets::llama2_70b();
+        let seq = LayerSeq::for_model(&spec);
+        for i in 1..seq.len() - 1 {
+            let expect = if i % 2 == 1 {
+                LayerKind::Attention
+            } else {
+                LayerKind::FeedForward
+            };
+            assert_eq!(seq.layer(i).kind, expect, "layer {i}");
+        }
+    }
+
+    #[test]
+    fn even_partition_is_valid_and_balanced() {
+        let spec = presets::gpt3_175b();
+        let seq = LayerSeq::for_model(&spec);
+        let parts = seq.even_partition(8);
+        assert_eq!(parts.len(), 8);
+        assert!(seq.is_valid_partition(&parts));
+        // 194 = 8*24 + 2 -> two stages of 25, six of 24.
+        let lens: Vec<usize> = parts.iter().map(LayerRange::len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 194);
+        assert!(lens.iter().all(|&l| l == 24 || l == 25));
+    }
+
+    #[test]
+    fn invalid_partitions_detected() {
+        let spec = presets::tiny_gpt();
+        let seq = LayerSeq::for_model(&spec);
+        let good = seq.even_partition(2);
+        assert!(seq.is_valid_partition(&good));
+        // gap
+        let bad = vec![LayerRange::new(0, 1), LayerRange::new(3, seq.len() - 1)];
+        assert!(!seq.is_valid_partition(&bad));
+        // not covering the tail
+        let bad = vec![LayerRange::new(0, 1)];
+        assert!(!seq.is_valid_partition(&bad));
+        // not starting at zero
+        let bad = vec![LayerRange::new(1, seq.len() - 1)];
+        assert!(!seq.is_valid_partition(&bad));
+    }
+
+    #[test]
+    fn units_in_range_cover_each_layer() {
+        let spec = presets::tiny_gpt();
+        let seq = LayerSeq::for_model(&spec);
+        let units = seq.units_in(&spec, LayerRange::new(1, 2));
+        // attention (6 units) + gelu ffn (4 units)
+        assert_eq!(units.len(), 10);
+        assert!(units.iter().take(6).all(|u| u.layer == 1));
+        assert!(units.iter().skip(6).all(|u| u.layer == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid layer range")]
+    fn reversed_range_panics() {
+        let _ = LayerRange::new(3, 2);
+    }
+}

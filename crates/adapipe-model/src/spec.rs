@@ -1,0 +1,346 @@
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The feed-forward flavour of a transformer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FfnKind {
+    /// Classic two-matrix MLP with a GeLU in between (GPT-2/GPT-3, BERT).
+    Gelu,
+    /// Gated three-matrix MLP with SiLU (Llama family).
+    SwiGlu,
+}
+
+impl fmt::Display for FfnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FfnKind::Gelu => "gelu",
+            FfnKind::SwiGlu => "swiglu",
+        })
+    }
+}
+
+/// Architectural description of a decoder-only transformer.
+///
+/// A `ModelSpec` carries everything the profiler and memory model need to
+/// size tensors and count FLOPs: hidden width, head layout, feed-forward
+/// width and flavour, vocabulary size, depth and activation precision.
+///
+/// Construct one with [`ModelSpec::builder`] or use a preset from
+/// [`presets`](crate::presets).
+///
+/// ```
+/// use adapipe_model::{FfnKind, ModelSpec};
+///
+/// let spec = ModelSpec::builder("toy")
+///     .hidden(256)
+///     .heads(8)
+///     .ffn_hidden(1024)
+///     .vocab(1000)
+///     .decoder_layers(4)
+///     .build()?;
+/// assert_eq!(spec.head_dim(), 32);
+/// # Ok::<(), adapipe_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    name: String,
+    hidden: usize,
+    heads: usize,
+    kv_heads: usize,
+    ffn_hidden: usize,
+    vocab: usize,
+    decoder_layers: usize,
+    ffn: FfnKind,
+    dtype_bytes: usize,
+}
+
+impl ModelSpec {
+    /// Starts building a model specification with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ModelSpecBuilder {
+        ModelSpecBuilder::new(name)
+    }
+
+    /// Human-readable model name, e.g. `"gpt3-175b"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hidden (embedding) dimension.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of attention (query) heads.
+    #[must_use]
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Number of key/value heads (grouped-query attention); equals
+    /// [`heads`](Self::heads) for classic multi-head attention.
+    #[must_use]
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Inner width of the feed-forward block.
+    #[must_use]
+    pub fn ffn_hidden(&self) -> usize {
+        self.ffn_hidden
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Number of decoder blocks (each contributes an attention layer and a
+    /// feed-forward layer to the layer sequence).
+    #[must_use]
+    pub fn decoder_layers(&self) -> usize {
+        self.decoder_layers
+    }
+
+    /// Feed-forward flavour.
+    #[must_use]
+    pub fn ffn(&self) -> FfnKind {
+        self.ffn
+    }
+
+    /// Bytes per activation/parameter element (2 for fp16/bf16).
+    #[must_use]
+    pub fn dtype_bytes(&self) -> usize {
+        self.dtype_bytes
+    }
+
+    /// Per-head dimension, `hidden / heads`.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Width of the concatenated key/value projections,
+    /// `kv_heads * head_dim`. Smaller than `hidden` under grouped-query
+    /// attention.
+    #[must_use]
+    pub fn kv_hidden(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (h={}, heads={}/{}, ffn={}, L={}, vocab={}, {})",
+            self.name,
+            self.hidden,
+            self.heads,
+            self.kv_heads,
+            self.ffn_hidden,
+            self.decoder_layers,
+            self.vocab,
+            self.ffn
+        )
+    }
+}
+
+/// Builder for [`ModelSpec`].
+///
+/// All dimension fields default to zero and must be set; `kv_heads`
+/// defaults to `heads` (multi-head attention), `ffn` to [`FfnKind::Gelu`]
+/// and `dtype_bytes` to 2 (half precision).
+#[derive(Debug, Clone)]
+pub struct ModelSpecBuilder {
+    name: String,
+    hidden: usize,
+    heads: usize,
+    kv_heads: Option<usize>,
+    ffn_hidden: usize,
+    vocab: usize,
+    decoder_layers: usize,
+    ffn: FfnKind,
+    dtype_bytes: usize,
+}
+
+impl ModelSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ModelSpecBuilder {
+            name: name.into(),
+            hidden: 0,
+            heads: 0,
+            kv_heads: None,
+            ffn_hidden: 0,
+            vocab: 0,
+            decoder_layers: 0,
+            ffn: FfnKind::Gelu,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// Sets the hidden dimension.
+    #[must_use]
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Sets the number of attention heads.
+    #[must_use]
+    pub fn heads(mut self, heads: usize) -> Self {
+        self.heads = heads;
+        self
+    }
+
+    /// Sets the number of key/value heads (grouped-query attention).
+    #[must_use]
+    pub fn kv_heads(mut self, kv_heads: usize) -> Self {
+        self.kv_heads = Some(kv_heads);
+        self
+    }
+
+    /// Sets the feed-forward inner width.
+    #[must_use]
+    pub fn ffn_hidden(mut self, ffn_hidden: usize) -> Self {
+        self.ffn_hidden = ffn_hidden;
+        self
+    }
+
+    /// Sets the vocabulary size.
+    #[must_use]
+    pub fn vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Sets the number of decoder blocks.
+    #[must_use]
+    pub fn decoder_layers(mut self, decoder_layers: usize) -> Self {
+        self.decoder_layers = decoder_layers;
+        self
+    }
+
+    /// Sets the feed-forward flavour.
+    #[must_use]
+    pub fn ffn(mut self, ffn: FfnKind) -> Self {
+        self.ffn = ffn;
+        self
+    }
+
+    /// Sets the bytes per activation element (default 2 = half precision).
+    #[must_use]
+    pub fn dtype_bytes(mut self, dtype_bytes: usize) -> Self {
+        self.dtype_bytes = dtype_bytes;
+        self
+    }
+
+    /// Validates the configuration and builds the [`ModelSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero, if `hidden` is not
+    /// divisible by `heads`, or if `heads` is not divisible by `kv_heads`.
+    pub fn build(self) -> Result<ModelSpec, ConfigError> {
+        let check = |field: &'static str, v: usize| {
+            if v == 0 {
+                Err(ConfigError::ZeroField { field })
+            } else {
+                Ok(())
+            }
+        };
+        check("hidden", self.hidden)?;
+        check("heads", self.heads)?;
+        check("ffn_hidden", self.ffn_hidden)?;
+        check("vocab", self.vocab)?;
+        check("decoder_layers", self.decoder_layers)?;
+        check("dtype_bytes", self.dtype_bytes)?;
+        let kv_heads = self.kv_heads.unwrap_or(self.heads);
+        check("kv_heads", kv_heads)?;
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(ConfigError::HiddenNotDivisibleByHeads {
+                hidden: self.hidden,
+                heads: self.heads,
+            });
+        }
+        if !self.heads.is_multiple_of(kv_heads) {
+            return Err(ConfigError::HeadsNotDivisibleByKvHeads {
+                heads: self.heads,
+                kv_heads,
+            });
+        }
+        Ok(ModelSpec {
+            name: self.name,
+            hidden: self.hidden,
+            heads: self.heads,
+            kv_heads,
+            ffn_hidden: self.ffn_hidden,
+            vocab: self.vocab,
+            decoder_layers: self.decoder_layers,
+            ffn: self.ffn,
+            dtype_bytes: self.dtype_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ModelSpecBuilder {
+        ModelSpec::builder("toy")
+            .hidden(256)
+            .heads(8)
+            .ffn_hidden(1024)
+            .vocab(1000)
+            .decoder_layers(4)
+    }
+
+    #[test]
+    fn builder_fills_defaults() {
+        let spec = toy().build().unwrap();
+        assert_eq!(spec.kv_heads(), spec.heads());
+        assert_eq!(spec.ffn(), FfnKind::Gelu);
+        assert_eq!(spec.dtype_bytes(), 2);
+        assert_eq!(spec.head_dim(), 32);
+        assert_eq!(spec.kv_hidden(), 256);
+    }
+
+    #[test]
+    fn grouped_query_attention_shrinks_kv_hidden() {
+        let spec = toy().kv_heads(2).build().unwrap();
+        assert_eq!(spec.kv_hidden(), 64);
+    }
+
+    #[test]
+    fn zero_field_rejected() {
+        let err = toy().hidden(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroField { field: "hidden" });
+    }
+
+    #[test]
+    fn indivisible_heads_rejected() {
+        let err = toy().hidden(250).build().unwrap_err();
+        assert!(matches!(err, ConfigError::HiddenNotDivisibleByHeads { .. }));
+    }
+
+    #[test]
+    fn indivisible_kv_heads_rejected() {
+        let err = toy().kv_heads(3).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::HeadsNotDivisibleByKvHeads { .. }
+        ));
+    }
+
+    #[test]
+    fn display_mentions_name_and_dims() {
+        let s = toy().build().unwrap().to_string();
+        assert!(s.contains("toy"));
+        assert!(s.contains("h=256"));
+    }
+}

@@ -1,0 +1,245 @@
+use crate::layer::LayerKind;
+use crate::spec::{FfnKind, ModelSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a computation unit (Figure 4 of the paper).
+///
+/// A computation unit is the minimal group of operators that adaptive
+/// recomputation saves or recomputes *together*: operators whose
+/// intermediate tensors would not be kept even by a non-recomputed backward
+/// pass (transposes, additions, reshapes, …) are merged into the unit of the
+/// tensor they feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Token/position embedding lookup (pinned: its output is the stage
+    /// input for layer 0 and is always kept).
+    Embedding,
+    /// Pre-attention layer norm.
+    AttnNorm,
+    /// Query projection GEMM (plus folded bias/transpose/scale).
+    QProj,
+    /// Key projection GEMM.
+    KProj,
+    /// Value projection GEMM.
+    VProj,
+    /// Fused FlashAttention core (QKᵀ, softmax, PV). Saves its output and a
+    /// small fp32 log-sum-exp tensor internally.
+    CoreAttention,
+    /// Attention output projection GEMM. Pinned saved (§4.2: the last GEMM
+    /// of each layer is never recomputed, bounding the recompute buffer).
+    OutProj,
+    /// Pre-FFN layer norm.
+    FfnNorm,
+    /// First FFN GEMM (h → ffn_hidden), GeLU models.
+    FfnFc1,
+    /// GeLU activation.
+    FfnAct,
+    /// Second FFN GEMM (ffn_hidden → h), GeLU models. Pinned saved.
+    FfnFc2,
+    /// Gate projection GEMM (SwiGLU models).
+    FfnGate,
+    /// Up projection GEMM (SwiGLU models).
+    FfnUp,
+    /// SiLU(gate) * up elementwise (SwiGLU models).
+    FfnActGated,
+    /// Down projection GEMM (SwiGLU models). Pinned saved.
+    FfnDown,
+    /// Final norm + LM head projection (pinned).
+    DecodingHead,
+}
+
+impl UnitKind {
+    /// Whether this unit's output is *pinned saved*: the paper restricts
+    /// the output of the last GEMM of each attention / feed-forward layer
+    /// (and the embedding / head boundaries) to always be saved, so that
+    /// the recompute buffer never exceeds one decoder layer (§4.2).
+    #[must_use]
+    pub fn is_pinned(self) -> bool {
+        matches!(
+            self,
+            UnitKind::Embedding
+                | UnitKind::OutProj
+                | UnitKind::FfnFc2
+                | UnitKind::FfnDown
+                | UnitKind::DecodingHead
+        )
+    }
+
+    /// Whether the unit is dominated by a matrix multiplication (vs a
+    /// bandwidth-bound elementwise / normalization op).
+    #[must_use]
+    pub fn is_matmul(self) -> bool {
+        matches!(
+            self,
+            UnitKind::QProj
+                | UnitKind::KProj
+                | UnitKind::VProj
+                | UnitKind::CoreAttention
+                | UnitKind::OutProj
+                | UnitKind::FfnFc1
+                | UnitKind::FfnFc2
+                | UnitKind::FfnGate
+                | UnitKind::FfnUp
+                | UnitKind::FfnDown
+                | UnitKind::DecodingHead
+        )
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            UnitKind::Embedding => "embedding",
+            UnitKind::AttnNorm => "attn-norm",
+            UnitKind::QProj => "q-proj",
+            UnitKind::KProj => "k-proj",
+            UnitKind::VProj => "v-proj",
+            UnitKind::CoreAttention => "core-attention",
+            UnitKind::OutProj => "out-proj",
+            UnitKind::FfnNorm => "ffn-norm",
+            UnitKind::FfnFc1 => "ffn-fc1",
+            UnitKind::FfnAct => "ffn-act",
+            UnitKind::FfnFc2 => "ffn-fc2",
+            UnitKind::FfnGate => "ffn-gate",
+            UnitKind::FfnUp => "ffn-up",
+            UnitKind::FfnActGated => "ffn-act-gated",
+            UnitKind::FfnDown => "ffn-down",
+            UnitKind::DecodingHead => "decoding-head",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A computation unit instantiated at a concrete position in the model:
+/// its kind plus the index of the layer it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComputationUnit {
+    /// What this unit computes.
+    pub kind: UnitKind,
+    /// Index of the parent layer within the model's layer sequence.
+    pub layer: usize,
+}
+
+impl ComputationUnit {
+    /// Whether the unit's output must always be saved (see
+    /// [`UnitKind::is_pinned`]).
+    #[must_use]
+    pub fn is_pinned(&self) -> bool {
+        self.kind.is_pinned()
+    }
+}
+
+impl fmt::Display for ComputationUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.layer)
+    }
+}
+
+/// Returns the computation units making up one layer of `kind` for `spec`,
+/// in execution order (Figure 4 of the paper).
+///
+/// Attention layers decompose into
+/// `[AttnNorm, QProj, KProj, VProj, CoreAttention, OutProj]`; feed-forward
+/// layers into `[FfnNorm, FfnFc1, FfnAct, FfnFc2]` (GeLU) or
+/// `[FfnNorm, FfnGate, FfnUp, FfnActGated, FfnDown]` (SwiGLU); embedding
+/// and decoding head are single pinned units.
+#[must_use]
+pub fn units_for_layer(spec: &ModelSpec, kind: LayerKind) -> Vec<UnitKind> {
+    match kind {
+        LayerKind::Embedding => vec![UnitKind::Embedding],
+        LayerKind::DecodingHead => vec![UnitKind::DecodingHead],
+        LayerKind::Attention => vec![
+            UnitKind::AttnNorm,
+            UnitKind::QProj,
+            UnitKind::KProj,
+            UnitKind::VProj,
+            UnitKind::CoreAttention,
+            UnitKind::OutProj,
+        ],
+        LayerKind::FeedForward => match spec.ffn() {
+            FfnKind::Gelu => vec![
+                UnitKind::FfnNorm,
+                UnitKind::FfnFc1,
+                UnitKind::FfnAct,
+                UnitKind::FfnFc2,
+            ],
+            FfnKind::SwiGlu => vec![
+                UnitKind::FfnNorm,
+                UnitKind::FfnGate,
+                UnitKind::FfnUp,
+                UnitKind::FfnActGated,
+                UnitKind::FfnDown,
+            ],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn pinned_units_are_layer_outputs() {
+        for kind in [
+            UnitKind::Embedding,
+            UnitKind::OutProj,
+            UnitKind::FfnFc2,
+            UnitKind::FfnDown,
+            UnitKind::DecodingHead,
+        ] {
+            assert!(kind.is_pinned(), "{kind} should be pinned");
+        }
+        for kind in [
+            UnitKind::AttnNorm,
+            UnitKind::QProj,
+            UnitKind::CoreAttention,
+            UnitKind::FfnAct,
+        ] {
+            assert!(!kind.is_pinned(), "{kind} should be free");
+        }
+    }
+
+    #[test]
+    fn attention_layer_decomposition_matches_figure4() {
+        let spec = presets::gpt3_175b();
+        let units = units_for_layer(&spec, LayerKind::Attention);
+        assert_eq!(
+            units,
+            vec![
+                UnitKind::AttnNorm,
+                UnitKind::QProj,
+                UnitKind::KProj,
+                UnitKind::VProj,
+                UnitKind::CoreAttention,
+                UnitKind::OutProj
+            ]
+        );
+        // Exactly one pinned unit per layer, and it is last.
+        assert!(units.last().unwrap().is_pinned());
+        assert_eq!(units.iter().filter(|u| u.is_pinned()).count(), 1);
+    }
+
+    #[test]
+    fn ffn_decomposition_depends_on_flavour() {
+        let gpt = presets::gpt3_175b();
+        let llama = presets::llama2_70b();
+        assert_eq!(units_for_layer(&gpt, LayerKind::FeedForward).len(), 4);
+        assert_eq!(units_for_layer(&llama, LayerKind::FeedForward).len(), 5);
+        for spec in [gpt, llama] {
+            let units = units_for_layer(&spec, LayerKind::FeedForward);
+            assert!(units.last().unwrap().is_pinned());
+        }
+    }
+
+    #[test]
+    fn embedding_and_head_are_single_pinned_units() {
+        let spec = presets::gpt3_175b();
+        for kind in [LayerKind::Embedding, LayerKind::DecodingHead] {
+            let units = units_for_layer(&spec, kind);
+            assert_eq!(units.len(), 1);
+            assert!(units[0].is_pinned());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The analytic 1F1B cost model (§5.1, Equation (3)).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-stage forward and backward times of one micro-batch (`F_s`, `B_s`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Forward time of one micro-batch through the stage.
+    pub f: f64,
+    /// Backward time of one micro-batch through the stage (including any
+    /// recomputation the stage's strategy performs).
+    pub b: f64,
+}
+
+impl StageTimes {
+    /// Micro-step time `F_s + B_s` — what Figure 9 of the paper plots.
+    #[must_use]
+    pub fn micro_step(&self) -> f64 {
+        self.f + self.b
+    }
+}
+
+/// Breakdown of one 1F1B iteration into the three phases of §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F1bBreakdown {
+    /// Warmup time `W₀`: first forward until stage 0's first backward.
+    pub warmup: f64,
+    /// Steady time `(n − p) · M₀`.
+    pub steady: f64,
+    /// Ending time `E₀`.
+    pub ending: f64,
+    /// Bottleneck micro-step `M₀ = max_s (F_s + B_s)`.
+    pub bottleneck: f64,
+}
+
+impl F1bBreakdown {
+    /// Total iteration time `W₀ + steady + E₀`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.warmup + self.steady + self.ending
+    }
+}
+
+impl fmt::Display for F1bBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warmup {:.3}s + steady {:.3}s + ending {:.3}s = {:.3}s",
+            self.warmup,
+            self.steady,
+            self.ending,
+            self.total()
+        )
+    }
+}
+
+/// Evaluates the Equation (3) recurrences for a concrete pipeline.
+///
+/// For the last stage `W = F`, `E = B`, `M = F + B`; going backwards,
+///
+/// ```text
+/// W_s = F_s + max(W_{s+1} + B_{s+1}, (p − s − 1) · F_s)
+/// E_s = B_s + max(E_{s+1} + F_{s+1}, (p − s − 1) · B_s)
+/// M_s = max(M_{s+1}, F_s + B_s)
+/// ```
+///
+/// and the iteration takes `W₀ + E₀ + (n − p) · M₀`.
+///
+/// # Panics
+///
+/// Panics if `times` is empty or `n` is smaller than the stage count.
+#[must_use]
+pub fn f1b_iteration_time(times: &[StageTimes], n: usize) -> F1bBreakdown {
+    let p = times.len();
+    assert!(p > 0, "pipeline must have at least one stage");
+    assert!(n >= p, "1F1B needs at least p micro-batches (n={n}, p={p})");
+
+    let last = times[p - 1];
+    let mut w = last.f;
+    let mut e = last.b;
+    let mut m = last.f + last.b;
+    let mut prev = last;
+    for s in (0..p - 1).rev() {
+        let cur = times[s];
+        let ahead = (p - s - 1) as f64;
+        w = cur.f + (w + prev.b).max(ahead * cur.f);
+        e = cur.b + (e + prev.f).max(ahead * cur.b);
+        m = m.max(cur.f + cur.b);
+        prev = cur;
+    }
+    F1bBreakdown {
+        warmup: w,
+        steady: (n - p) as f64 * m,
+        ending: e,
+        bottleneck: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(p: usize, f: f64, b: f64) -> Vec<StageTimes> {
+        vec![StageTimes { f, b }; p]
+    }
+
+    #[test]
+    fn single_stage_is_sequential() {
+        let bd = f1b_iteration_time(&uniform(1, 2.0, 3.0), 10);
+        assert!((bd.total() - 10.0 * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_pipeline_matches_closed_form() {
+        // Balanced 1F1B: T = (n + p − 1)(f + b).
+        for p in [2usize, 4, 8] {
+            for n in [p, 2 * p, 64] {
+                let (f, b) = (1.0, 2.0);
+                let bd = f1b_iteration_time(&uniform(p, f, b), n);
+                let expect = (n + p - 1) as f64 * (f + b);
+                assert!(
+                    (bd.total() - expect).abs() < 1e-9,
+                    "p={p} n={n}: {} vs {expect}",
+                    bd.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_fraction_matches_paper_formula() {
+        // Bubble ratio of 1F1B is (p − 1) / n.
+        let (p, n) = (8usize, 64usize);
+        let bd = f1b_iteration_time(&uniform(p, 1.0, 2.0), n);
+        let work = n as f64 * 3.0;
+        let bubble = bd.total() - work;
+        let ratio = bubble / work;
+        assert!((ratio - (p - 1) as f64 / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_stage_dominates_steady_phase() {
+        let mut times = uniform(4, 1.0, 2.0);
+        times[2] = StageTimes { f: 2.0, b: 4.0 };
+        let bd = f1b_iteration_time(&times, 100);
+        assert!((bd.bottleneck - 6.0).abs() < 1e-12);
+        assert!((bd.steady - 96.0 * 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_stage_example_from_figure3() {
+        // Stage 1 warmup is one forward; stage 0 warmup adds its own
+        // forward plus max(fwd+bwd downstream, its second forward).
+        let times = [StageTimes { f: 1.0, b: 2.0 }, StageTimes { f: 1.0, b: 2.0 }];
+        let bd = f1b_iteration_time(&times, 2);
+        // W0 = 1 + max(1+2, 1) = 4; E0 = 2 + max(2+1, 2) = 5; steady 0.
+        assert!((bd.warmup - 4.0).abs() < 1e-12);
+        assert!((bd.ending - 5.0).abs() < 1e-12);
+        assert!((bd.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducing_backward_time_shortens_warmup() {
+        let slow = f1b_iteration_time(&uniform(4, 1.0, 3.0), 8);
+        let fast = f1b_iteration_time(&uniform(4, 1.0, 2.0), 8);
+        assert!(fast.warmup < slow.warmup);
+        assert!(fast.ending < slow.ending);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least p micro-batches")]
+    fn underfilled_pipeline_panics() {
+        let _ = f1b_iteration_time(&uniform(4, 1.0, 1.0), 3);
+    }
+
+    #[test]
+    fn micro_step_is_f_plus_b() {
+        assert!((StageTimes { f: 1.5, b: 2.5 }.micro_step() - 4.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,270 @@
+//! Stage-cost providers: map `(stage, layer window)` to optimized
+//! forward/backward times by running the recomputation knapsack.
+
+use crate::cost::StageTimes;
+use adapipe_memory::MemoryModel;
+use adapipe_model::{LayerKind, LayerRange, LayerSeq};
+use adapipe_profiler::ProfileTable;
+use adapipe_recompute::{optimize_with, KnapsackConfig, OptimizedStage, StrategyError};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Source of the `f[s,i,j]` / `b[s,i,j]` arrays consumed by Algorithm 1.
+///
+/// Returning `None` marks the assignment infeasible (the stage cannot fit
+/// even under full recomputation), which Algorithm 1 propagates into OOM
+/// verdicts for whole configurations.
+pub trait StageCostProvider {
+    /// Optimized forward/backward times for assigning the layers of
+    /// `range` to pipeline stage `stage`, or `None` if infeasible.
+    fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes>;
+}
+
+/// Isomorphism-class key (§5.3): within a homogeneous transformer, two
+/// layer windows with equal length, equal first-layer kind and the same
+/// "reaches the final layer" flag contain identical layer sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct IsoKey {
+    stage: usize,
+    first_kind: LayerKind,
+    len: usize,
+    ends_last: bool,
+}
+
+/// The production provider: budgets each `(stage, window)` with the
+/// memory model and optimizes it with the recomputation knapsack, caching
+/// by isomorphism class.
+#[derive(Debug)]
+pub struct KnapsackCostProvider<'a> {
+    seq: &'a LayerSeq,
+    table: &'a ProfileTable,
+    mem: &'a MemoryModel,
+    capacity: u64,
+    iso_cache: bool,
+    knapsack: KnapsackConfig,
+    cache: RefCell<HashMap<IsoKey, Option<StageTimes>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<'a> KnapsackCostProvider<'a> {
+    /// Creates a provider for stages drawn from `seq`, profiled in
+    /// `table`, budgeted by `mem` against a per-device `capacity` in
+    /// bytes.
+    #[must_use]
+    pub fn new(
+        seq: &'a LayerSeq,
+        table: &'a ProfileTable,
+        mem: &'a MemoryModel,
+        capacity: u64,
+    ) -> Self {
+        KnapsackCostProvider {
+            seq,
+            table,
+            mem,
+            capacity,
+            iso_cache: true,
+            knapsack: KnapsackConfig::default(),
+            cache: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Enables or disables the §5.3 isomorphism cache (disable only for
+    /// the ablation benchmark; results are identical either way).
+    #[must_use]
+    pub fn with_isomorphism_cache(mut self, enabled: bool) -> Self {
+        self.iso_cache = enabled;
+        self
+    }
+
+    /// Overrides the knapsack tuning (cell cap, GCD rescaling).
+    #[must_use]
+    pub fn with_knapsack_config(mut self, knapsack: KnapsackConfig) -> Self {
+        self.knapsack = knapsack;
+        self
+    }
+
+    /// `(cache hits, cache misses)` accumulated so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// The device capacity the provider budgets against.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Runs the full knapsack for one concrete stage assignment,
+    /// returning the chosen strategy (used to materialize the final plan
+    /// after Algorithm 1 picks the boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::OutOfMemory`] when the stage cannot fit
+    /// even under full recomputation.
+    pub fn optimize_stage(
+        &self,
+        stage: usize,
+        range: LayerRange,
+    ) -> Result<OptimizedStage, StrategyError> {
+        let budget = self
+            .mem
+            .activation_budget(self.table, self.seq, range, stage, self.capacity)
+            .ok_or(StrategyError::OutOfMemory {
+                required: u64::MAX,
+                budget: 0,
+            })?;
+        let units = self.table.units_in(range);
+        optimize_with(&units, budget, self.knapsack)
+    }
+
+    fn compute(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
+        let opt = self.optimize_stage(stage, range).ok()?;
+        Some(StageTimes {
+            f: opt.cost.time_f,
+            b: opt.cost.time_b,
+        })
+    }
+}
+
+impl StageCostProvider for KnapsackCostProvider<'_> {
+    fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
+        if !self.iso_cache {
+            self.misses.set(self.misses.get() + 1);
+            return self.compute(stage, range);
+        }
+        let key = IsoKey {
+            stage,
+            first_kind: self.seq.layer(range.first).kind,
+            len: range.len(),
+            ends_last: range.last == self.seq.len() - 1,
+        };
+        if let Some(cached) = self.cache.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return *cached;
+        }
+        self.misses.set(self.misses.get() + 1);
+        let result = self.compute(stage, range);
+        self.cache.borrow_mut().insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::f1b_iteration_time;
+    use adapipe_hw::presets as hw;
+    use adapipe_memory::OptimizerSpec;
+    use adapipe_model::{presets, ModelSpec, ParallelConfig, TrainConfig};
+    use adapipe_profiler::Profiler;
+
+    struct Fixture {
+        seq: LayerSeq,
+        table: ProfileTable,
+        mem: MemoryModel,
+    }
+
+    fn fixture(model: ModelSpec, parallel: ParallelConfig, seq_len: usize) -> Fixture {
+        let train = TrainConfig::new(1, seq_len, 16 * parallel.data()).unwrap();
+        let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+        let seq = LayerSeq::for_model(&model);
+        let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
+        Fixture { seq, table, mem }
+    }
+
+    #[test]
+    fn iso_cache_changes_nothing_but_hit_counts() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let cached = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let raw = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30)
+            .with_isomorphism_cache(false);
+        for stage in 0..4 {
+            for first in [0usize, 1, 5, 10] {
+                for last in [12usize, 20, 25] {
+                    let r = LayerRange::new(first, last);
+                    assert_eq!(cached.stage_times(stage, r), raw.stage_times(stage, r));
+                    // Querying twice hits the cache.
+                    let (h0, _) = cached.cache_stats();
+                    let _ = cached.stage_times(stage, r);
+                    let (h1, _) = cached.cache_stats();
+                    assert_eq!(h1, h0 + 1);
+                }
+            }
+        }
+        let (hits, _) = cached.cache_stats();
+        assert!(hits > 0);
+        let (raw_hits, _) = raw.cache_stats();
+        assert_eq!(raw_hits, 0);
+    }
+
+    #[test]
+    fn isomorphic_windows_share_cost() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        // Layers 3..=6 and 5..=8 both start with an attention layer and
+        // span four layers.
+        let a = p.stage_times(1, LayerRange::new(3, 6));
+        let b = p.stage_times(1, LayerRange::new(5, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn earlier_stage_has_slower_backward() {
+        // Same window, earlier stage -> tighter budget -> more
+        // recomputation -> larger b; f never changes.
+        let fx = fixture(
+            presets::gpt3_175b(),
+            ParallelConfig::new(8, 8, 1).unwrap(),
+            16384,
+        );
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let range = fx.seq.even_partition(8)[4];
+        let s0 = p.stage_times(0, range).unwrap();
+        let s7 = p.stage_times(7, range).unwrap();
+        assert!((s0.f - s7.f).abs() < 1e-12);
+        assert!(s0.b >= s7.b);
+    }
+
+    #[test]
+    fn infeasible_window_is_none() {
+        let fx = fixture(
+            presets::gpt3_175b(),
+            ParallelConfig::new(8, 8, 1).unwrap(),
+            16384,
+        );
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 4 << 30);
+        let whole = LayerRange::new(0, fx.seq.len() - 1);
+        assert!(p.stage_times(0, whole).is_none());
+    }
+
+    #[test]
+    fn even_partition_end_to_end_cost_is_finite() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let parts = fx.seq.even_partition(4);
+        let times: Vec<StageTimes> = parts
+            .iter()
+            .enumerate()
+            .map(|(s, r)| p.stage_times(s, *r).unwrap())
+            .collect();
+        let bd = f1b_iteration_time(&times, 16);
+        assert!(bd.total().is_finite() && bd.total() > 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! FLOP counts and activation-byte formulas per computation unit.
+//!
+//! All quantities are *per device of the tensor-parallel group* for one
+//! micro-batch. Conventions:
+//!
+//! * Sequence parallelism (Korthikanti et al.) is always on: layer norms
+//!   and residuals operate on `seq/t` shards, so their activations are a
+//!   `1/t` slice; GEMM inputs are all-gathered to the full sequence and
+//!   their *outputs* are sharded `1/t` along the hidden (or reduce-scattered
+//!   along the sequence, same volume).
+//! * FlashAttention is always on: the attention core saves only its output
+//!   and a small fp32 log-sum-exp vector, never the `seq × seq` score
+//!   matrix, and its FLOPs exploit causality (half the full rectangle).
+//! * A GEMM of `m×k·k×n` costs `2·m·k·n` FLOPs forward and twice that
+//!   backward (data-gradient plus weight-gradient GEMMs).
+
+use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig, UnitKind};
+
+/// Per-unit cost description in device-independent terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitCost {
+    /// Forward floating-point operations.
+    pub flops_f: f64,
+    /// Backward floating-point operations (excluding any recomputation).
+    pub flops_b: f64,
+    /// Bytes read + written by the forward kernel (roofline memory term).
+    pub bytes_moved: f64,
+    /// Bytes kept per micro-batch when the unit is configured *saved*:
+    /// the output tensor plus any internally saved tensors.
+    pub mem_saved: u64,
+    /// Tensor-parallel collective payload (bytes) triggered by the unit's
+    /// forward pass: all-gather before a layer's first GEMM,
+    /// reduce-scatter after its last. Zero for interior units.
+    pub comm_bytes: u64,
+}
+
+/// Activation element size tracking helper.
+#[derive(Debug, Clone, Copy)]
+struct Dims {
+    /// Tokens in one micro-batch (`micro_batch * seq_len`).
+    tokens: f64,
+    seq: f64,
+    hidden: f64,
+    kv_hidden: f64,
+    ffn_hidden: f64,
+    vocab: f64,
+    heads: f64,
+    t: f64,
+    dtype: f64,
+}
+
+impl Dims {
+    fn new(model: &ModelSpec, parallel: &ParallelConfig, train: &TrainConfig) -> Self {
+        Dims {
+            tokens: (train.micro_batch() * train.seq_len()) as f64,
+            seq: train.seq_len() as f64,
+            hidden: model.hidden() as f64,
+            kv_hidden: model.kv_hidden() as f64,
+            ffn_hidden: model.ffn_hidden() as f64,
+            vocab: model.vocab() as f64,
+            heads: model.heads() as f64,
+            t: parallel.tensor() as f64,
+            dtype: model.dtype_bytes() as f64,
+        }
+    }
+
+    /// Bytes of a `tokens × width` half-precision activation sharded 1/t.
+    fn act(&self, width: f64) -> f64 {
+        self.tokens * width * self.dtype / self.t
+    }
+}
+
+/// Computes the cost of one `kind` unit for the given model and workload.
+///
+/// # Panics
+///
+/// Panics if `kind` does not belong to `model`'s feed-forward flavour
+/// (e.g. asking for [`UnitKind::FfnGate`] on a GeLU model is a logic error
+/// upstream).
+#[must_use]
+pub fn unit_cost(
+    model: &ModelSpec,
+    parallel: &ParallelConfig,
+    train: &TrainConfig,
+    kind: UnitKind,
+) -> UnitCost {
+    let d = Dims::new(model, parallel, train);
+    match kind {
+        UnitKind::Embedding => embedding(&d),
+        UnitKind::AttnNorm | UnitKind::FfnNorm => norm(&d),
+        UnitKind::QProj => gemm_unit(&d, d.hidden, d.hidden, GemmComm::AllGatherIn),
+        UnitKind::KProj => gemm_unit(&d, d.hidden, d.kv_hidden, GemmComm::None),
+        UnitKind::VProj => gemm_unit(&d, d.hidden, d.kv_hidden, GemmComm::None),
+        UnitKind::CoreAttention => core_attention(&d),
+        UnitKind::OutProj => gemm_unit(&d, d.hidden, d.hidden, GemmComm::ReduceScatterOut),
+        UnitKind::FfnFc1 | UnitKind::FfnGate => {
+            gemm_unit(&d, d.hidden, d.ffn_hidden, GemmComm::AllGatherIn)
+        }
+        UnitKind::FfnUp => gemm_unit(&d, d.hidden, d.ffn_hidden, GemmComm::None),
+        UnitKind::FfnAct => elementwise(&d, d.ffn_hidden, 2.0),
+        UnitKind::FfnActGated => elementwise(&d, d.ffn_hidden, 3.0),
+        UnitKind::FfnFc2 | UnitKind::FfnDown => {
+            gemm_unit(&d, d.ffn_hidden, d.hidden, GemmComm::ReduceScatterOut)
+        }
+        UnitKind::DecodingHead => decoding_head(&d),
+    }
+}
+
+enum GemmComm {
+    /// The unit's input must be all-gathered from sequence shards.
+    AllGatherIn,
+    /// The unit's output is reduce-scattered back to sequence shards.
+    ReduceScatterOut,
+    /// No collective attached (input already materialized by a sibling).
+    None,
+}
+
+fn gemm_unit(d: &Dims, k: f64, n: f64, comm: GemmComm) -> UnitCost {
+    let flops_f = 2.0 * d.tokens * k * n / d.t;
+    // Input (full sequence after gather), weight shard, output shard.
+    let bytes_moved = d.tokens * k * d.dtype + k * n * d.dtype / d.t + d.act(n);
+    let comm_bytes = match comm {
+        GemmComm::AllGatherIn => (d.tokens * k * d.dtype) as u64,
+        GemmComm::ReduceScatterOut => (d.tokens * n * d.dtype) as u64,
+        GemmComm::None => 0,
+    };
+    UnitCost {
+        flops_f,
+        flops_b: 2.0 * flops_f,
+        bytes_moved,
+        mem_saved: d.act(n) as u64,
+        comm_bytes,
+    }
+}
+
+fn norm(d: &Dims) -> UnitCost {
+    // LayerNorm / RMSNorm over the local sequence shard:
+    // read input + residual, write output.
+    let bytes_moved = 3.0 * d.act(d.hidden);
+    UnitCost {
+        flops_f: 5.0 * d.tokens * d.hidden / d.t,
+        flops_b: 7.0 * d.tokens * d.hidden / d.t,
+        bytes_moved,
+        mem_saved: d.act(d.hidden) as u64,
+        comm_bytes: 0,
+    }
+}
+
+fn elementwise(d: &Dims, width: f64, tensors_touched: f64) -> UnitCost {
+    let bytes_moved = tensors_touched * d.act(width);
+    UnitCost {
+        flops_f: 4.0 * d.tokens * width / d.t,
+        flops_b: 6.0 * d.tokens * width / d.t,
+        bytes_moved,
+        mem_saved: d.act(width) as u64,
+        comm_bytes: 0,
+    }
+}
+
+fn core_attention(d: &Dims) -> UnitCost {
+    // Causal FlashAttention: QKᵀ and PV are each tokens·seq·hidden GEMMs,
+    // halved by causal masking, over heads/t local heads.
+    let flops_f = 2.0 * d.tokens * d.seq * d.hidden / d.t;
+    // IO-aware kernel: streams Q, K, V once and writes O once.
+    let bytes_moved = 2.0 * d.act(d.hidden) + 2.0 * d.act(d.kv_hidden);
+    // Saved: output O plus the fp32 log-sum-exp per head per token.
+    let lse = d.tokens * (d.heads / d.t) * 4.0;
+    UnitCost {
+        flops_f,
+        // FlashAttention backward re-streams the inputs and computes
+        // dQ, dK, dV: ~2.5× the forward math.
+        flops_b: 2.5 * flops_f,
+        bytes_moved,
+        mem_saved: (d.act(d.hidden) + lse) as u64,
+        comm_bytes: 0,
+    }
+}
+
+fn embedding(d: &Dims) -> UnitCost {
+    // Table lookup: bandwidth only. Saves its output (the stage-0 input).
+    UnitCost {
+        flops_f: 0.0,
+        flops_b: 0.0,
+        bytes_moved: 2.0 * d.act(d.hidden),
+        mem_saved: d.act(d.hidden) as u64,
+        comm_bytes: 0,
+    }
+}
+
+fn decoding_head(d: &Dims) -> UnitCost {
+    // Final norm + vocab projection + fused softmax/cross-entropy.
+    let flops_f = 2.0 * d.tokens * d.hidden * d.vocab / d.t;
+    let bytes_moved = d.tokens * d.hidden * d.dtype
+        + d.hidden * d.vocab * d.dtype / d.t
+        + d.tokens * d.vocab * 4.0 / d.t;
+    UnitCost {
+        flops_f,
+        flops_b: 2.0 * flops_f,
+        bytes_moved,
+        // The fused loss keeps fp32 softmax statistics for backward.
+        mem_saved: (d.tokens * d.vocab * 4.0 / d.t) as u64,
+        comm_bytes: (d.tokens * d.hidden * d.dtype) as u64,
+    }
+}
+
+/// Bytes of the activation tensor crossing a pipeline-stage boundary for
+/// one micro-batch (`tokens × hidden`, sharded over the TP group since
+/// each rank forwards its own sequence shard).
+#[must_use]
+pub fn boundary_bytes(model: &ModelSpec, parallel: &ParallelConfig, train: &TrainConfig) -> u64 {
+    let d = Dims::new(model, parallel, train);
+    d.act(d.hidden) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_model::presets;
+
+    fn setup() -> (ModelSpec, ParallelConfig, TrainConfig) {
+        (
+            presets::gpt3_175b(),
+            ParallelConfig::new(8, 8, 1).unwrap(),
+            TrainConfig::new(1, 4096, 128).unwrap(),
+        )
+    }
+
+    #[test]
+    fn qproj_flops_match_closed_form() {
+        let (m, p, t) = setup();
+        let c = unit_cost(&m, &p, &t, UnitKind::QProj);
+        let expect = 2.0 * 4096.0 * 12288.0 * 12288.0 / 8.0;
+        assert!((c.flops_f - expect).abs() / expect < 1e-12);
+        assert_eq!(c.flops_b, 2.0 * c.flops_f);
+    }
+
+    #[test]
+    fn kv_proj_cheaper_under_gqa() {
+        let m = presets::llama2_70b();
+        let p = ParallelConfig::new(8, 8, 1).unwrap();
+        let t = TrainConfig::new(1, 4096, 128).unwrap();
+        let q = unit_cost(&m, &p, &t, UnitKind::QProj);
+        let k = unit_cost(&m, &p, &t, UnitKind::KProj);
+        assert!(k.flops_f < q.flops_f / 4.0);
+        assert!(k.mem_saved < q.mem_saved);
+    }
+
+    #[test]
+    fn core_attention_scales_quadratically_with_seq() {
+        let m = presets::gpt3_175b();
+        let p = ParallelConfig::new(8, 8, 1).unwrap();
+        let t1 = TrainConfig::new(1, 4096, 128).unwrap();
+        let t2 = TrainConfig::new(1, 8192, 64).unwrap();
+        let c1 = unit_cost(&m, &p, &t1, UnitKind::CoreAttention);
+        let c2 = unit_cost(&m, &p, &t2, UnitKind::CoreAttention);
+        assert!((c2.flops_f / c1.flops_f - 4.0).abs() < 1e-9);
+        // ...but its saved memory only linearly (FlashAttention).
+        assert!((c2.mem_saved as f64 / c1.mem_saved as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn activation_memory_is_sharded_by_tp() {
+        let m = presets::gpt3_175b();
+        let tr = TrainConfig::new(1, 4096, 128).unwrap();
+        let p1 = ParallelConfig::new(1, 8, 8).unwrap();
+        let p8 = ParallelConfig::new(8, 8, 1).unwrap();
+        let c1 = unit_cost(&m, &p1, &tr, UnitKind::FfnFc1);
+        let c8 = unit_cost(&m, &p8, &tr, UnitKind::FfnFc1);
+        assert_eq!(c1.mem_saved, 8 * c8.mem_saved);
+    }
+
+    #[test]
+    fn collectives_attach_to_boundary_gemms_only() {
+        let (m, p, t) = setup();
+        assert!(unit_cost(&m, &p, &t, UnitKind::QProj).comm_bytes > 0);
+        assert!(unit_cost(&m, &p, &t, UnitKind::OutProj).comm_bytes > 0);
+        assert_eq!(unit_cost(&m, &p, &t, UnitKind::KProj).comm_bytes, 0);
+        assert_eq!(unit_cost(&m, &p, &t, UnitKind::CoreAttention).comm_bytes, 0);
+        assert_eq!(unit_cost(&m, &p, &t, UnitKind::AttnNorm).comm_bytes, 0);
+    }
+
+    #[test]
+    fn ffn_act_memory_is_4x_hidden_for_gpt() {
+        let (m, p, t) = setup();
+        let act = unit_cost(&m, &p, &t, UnitKind::FfnAct);
+        let nrm = unit_cost(&m, &p, &t, UnitKind::AttnNorm);
+        assert_eq!(act.mem_saved, 4 * nrm.mem_saved);
+    }
+
+    #[test]
+    fn swiglu_units_cost_like_their_gelu_counterparts() {
+        let m = presets::llama2_70b();
+        let p = ParallelConfig::new(8, 8, 1).unwrap();
+        let t = TrainConfig::new(1, 4096, 128).unwrap();
+        let gate = unit_cost(&m, &p, &t, UnitKind::FfnGate);
+        let up = unit_cost(&m, &p, &t, UnitKind::FfnUp);
+        let down = unit_cost(&m, &p, &t, UnitKind::FfnDown);
+        // Gate and up are identical GEMMs; only gate carries the
+        // all-gather.
+        assert_eq!(gate.flops_f, up.flops_f);
+        assert_eq!(gate.mem_saved, up.mem_saved);
+        assert!(gate.comm_bytes > 0);
+        assert_eq!(up.comm_bytes, 0);
+        // Down projects back to hidden: smaller output, reduce-scatter.
+        assert!(down.mem_saved < gate.mem_saved);
+        assert!(down.comm_bytes > 0);
+        // Gated activation touches three tensors of ffn width.
+        let act = unit_cost(&m, &p, &t, UnitKind::FfnActGated);
+        assert_eq!(act.mem_saved, gate.mem_saved);
+        assert!(act.bytes_moved > 2.9 * gate.mem_saved as f64);
+    }
+
+    #[test]
+    fn decoding_head_dominates_any_single_unit() {
+        let (m, p, t) = setup();
+        let head = unit_cost(&m, &p, &t, UnitKind::DecodingHead);
+        let fc1 = unit_cost(&m, &p, &t, UnitKind::FfnFc1);
+        // vocab 50257 >> 4h: the head GEMM out-flops the FFN.
+        assert!(head.flops_f > fc1.flops_f);
+        // And it pins fp32 softmax statistics.
+        let expect = 4096u64 * 50257 * 4 / 8;
+        assert_eq!(head.mem_saved, expect);
+    }
+
+    #[test]
+    fn boundary_bytes_match_hidden_activation() {
+        let (m, p, t) = setup();
+        assert_eq!(boundary_bytes(&m, &p, &t), (4096u64 * 12288 * 2) / 8);
+    }
+}

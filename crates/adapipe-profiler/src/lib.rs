@@ -1,0 +1,45 @@
+//! Analytical per-computation-unit cost profiler.
+//!
+//! The paper obtains `Time_f(U)`, `Time_b(U)` and `Mem(U)` for every
+//! computation unit by running 5–10 training iterations on the target
+//! cluster and timestamping each unit (§4.2). Without the cluster, this
+//! crate *derives* the same table from first principles:
+//!
+//! * FLOP counts and activation sizes per unit under tensor parallelism,
+//!   sequence parallelism and FlashAttention ([`flops`]),
+//! * a two-regime roofline on the device model from
+//!   [`adapipe_hw`] (matmul-bound vs bandwidth-bound kernels),
+//! * tensor-parallel collective times folded into the units that trigger
+//!   them (the all-gather before the first GEMM of each layer, the
+//!   reduce-scatter after the last).
+//!
+//! The downstream search algorithms consume only this table, so they run
+//! unchanged against a measured table. Optional seeded noise
+//! ([`Profiler::with_noise`]) emulates measurement jitter for robustness
+//! testing.
+//!
+//! # Example
+//!
+//! ```
+//! use adapipe_hw::presets as hw;
+//! use adapipe_model::{presets, ParallelConfig, TrainConfig};
+//! use adapipe_profiler::Profiler;
+//!
+//! let model = presets::gpt3_175b();
+//! let parallel = ParallelConfig::new(8, 8, 1)?;
+//! let train = TrainConfig::new(1, 4096, 128)?;
+//! let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+//!
+//! // Backward is at least as expensive as forward for every unit.
+//! for unit in table.all_units() {
+//!     assert!(unit.time_b >= unit.time_f * 0.9);
+//! }
+//! # Ok::<(), adapipe_model::ConfigError>(())
+//! ```
+
+pub mod flops;
+mod profile;
+mod profiler;
+
+pub use profile::{MeasurementError, ProfileTable, UnitProfile};
+pub use profiler::{NoiseConfig, Profiler};

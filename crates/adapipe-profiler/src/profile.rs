@@ -1,0 +1,324 @@
+use adapipe_model::{ComputationUnit, LayerRange};
+use serde::{Deserialize, Serialize};
+
+/// Profiled cost of one computation unit: the `Time_f(U)`, `Time_b(U)` and
+/// `Mem(U)` of §4.2, per micro-batch on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitProfile {
+    /// Which unit this row describes.
+    pub unit: ComputationUnit,
+    /// Forward time in seconds (including the unit's share of
+    /// tensor-parallel collectives).
+    pub time_f: f64,
+    /// Backward time in seconds, *excluding* recomputation — the
+    /// recomputation DP adds `time_f` back for each recomputed unit.
+    pub time_b: f64,
+    /// Bytes kept per micro-batch when the unit is *saved* (its output
+    /// plus internally saved tensors).
+    pub mem_saved: u64,
+}
+
+impl UnitProfile {
+    /// Whether the unit's output is pinned saved (§4.2 restriction).
+    #[must_use]
+    pub fn is_pinned(&self) -> bool {
+        self.unit.is_pinned()
+    }
+}
+
+/// The full profiling result for a model under one (parallelism, workload)
+/// configuration: one [`UnitProfile`] per computation unit of every layer.
+///
+/// Produced by [`Profiler::profile`](crate::Profiler::profile); consumed by
+/// the recomputation knapsack, the partitioning DP, the memory model and
+/// the schedule simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileTable {
+    /// `per_layer[l]` holds the unit profiles of layer `l` in execution
+    /// order.
+    per_layer: Vec<Vec<UnitProfile>>,
+    /// Bytes crossing a pipeline-stage boundary per micro-batch.
+    boundary_bytes: u64,
+}
+
+/// Error returned by [`ProfileTable::from_measurements`] when a supplied
+/// measurement table is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeasurementError {
+    /// The table contains no layers or an empty layer.
+    Empty,
+    /// A unit's recorded layer index does not match its position.
+    LayerIndexMismatch {
+        /// Position in the table.
+        expected: usize,
+        /// Index recorded in the unit.
+        found: usize,
+    },
+    /// A time or size is negative or non-finite.
+    InvalidValue {
+        /// Which layer the bad row is in.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for MeasurementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasurementError::Empty => write!(f, "measurement table has no units"),
+            MeasurementError::LayerIndexMismatch { expected, found } => {
+                write!(f, "unit records layer {found} but sits at layer {expected}")
+            }
+            MeasurementError::InvalidValue { layer } => {
+                write!(f, "non-finite or negative measurement in layer {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasurementError {}
+
+impl ProfileTable {
+    pub(crate) fn new(per_layer: Vec<Vec<UnitProfile>>, boundary_bytes: u64) -> Self {
+        ProfileTable {
+            per_layer,
+            boundary_bytes,
+        }
+    }
+
+    /// Builds a table from externally measured unit profiles — the
+    /// drop-in path for running the search on *real* profiling data
+    /// instead of the analytical model. `per_layer[l]` must hold layer
+    /// `l`'s units in execution order; `boundary_bytes` is the
+    /// stage-boundary activation size per micro-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasurementError`] if the table is empty, a unit's
+    /// layer index disagrees with its position, or any time is negative
+    /// or non-finite.
+    pub fn from_measurements(
+        per_layer: Vec<Vec<UnitProfile>>,
+        boundary_bytes: u64,
+    ) -> Result<Self, MeasurementError> {
+        if per_layer.is_empty() || per_layer.iter().any(Vec::is_empty) {
+            return Err(MeasurementError::Empty);
+        }
+        for (l, units) in per_layer.iter().enumerate() {
+            for u in units {
+                if u.unit.layer != l {
+                    return Err(MeasurementError::LayerIndexMismatch {
+                        expected: l,
+                        found: u.unit.layer,
+                    });
+                }
+                if !u.time_f.is_finite()
+                    || !u.time_b.is_finite()
+                    || u.time_f < 0.0
+                    || u.time_b < 0.0
+                {
+                    return Err(MeasurementError::InvalidValue { layer: l });
+                }
+            }
+        }
+        Ok(ProfileTable {
+            per_layer,
+            boundary_bytes,
+        })
+    }
+
+    /// Number of layers profiled.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.per_layer.len()
+    }
+
+    /// Unit profiles of layer `layer`, in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn layer_units(&self, layer: usize) -> &[UnitProfile] {
+        &self.per_layer[layer]
+    }
+
+    /// All unit profiles of the layers in `range`, in execution order.
+    #[must_use]
+    pub fn units_in(&self, range: LayerRange) -> Vec<UnitProfile> {
+        range
+            .as_range()
+            .flat_map(|l| self.per_layer[l].iter().copied())
+            .collect()
+    }
+
+    /// Every unit profile of the model, in execution order.
+    pub fn all_units(&self) -> impl Iterator<Item = &UnitProfile> + '_ {
+        self.per_layer.iter().flatten()
+    }
+
+    /// Total forward time of the layers in `range` (the `F` of a stage
+    /// with no recomputation decisions applied — recomputation never
+    /// changes forward time).
+    #[must_use]
+    pub fn forward_time(&self, range: LayerRange) -> f64 {
+        range
+            .as_range()
+            .map(|l| self.per_layer[l].iter().map(|u| u.time_f).sum::<f64>())
+            .sum()
+    }
+
+    /// Total backward time of the layers in `range`, excluding
+    /// recomputation.
+    #[must_use]
+    pub fn backward_time(&self, range: LayerRange) -> f64 {
+        range
+            .as_range()
+            .map(|l| self.per_layer[l].iter().map(|u| u.time_b).sum::<f64>())
+            .sum()
+    }
+
+    /// Bytes of intermediates per micro-batch if *every* unit in `range`
+    /// is saved (the no-recomputation activation footprint).
+    #[must_use]
+    pub fn saved_bytes_all(&self, range: LayerRange) -> u64 {
+        range
+            .as_range()
+            .map(|l| self.per_layer[l].iter().map(|u| u.mem_saved).sum::<u64>())
+            .sum()
+    }
+
+    /// Bytes of intermediates per micro-batch if only *pinned* units in
+    /// `range` are saved (the full-recomputation floor).
+    #[must_use]
+    pub fn saved_bytes_pinned(&self, range: LayerRange) -> u64 {
+        range
+            .as_range()
+            .map(|l| {
+                self.per_layer[l]
+                    .iter()
+                    .filter(|u| u.is_pinned())
+                    .map(|u| u.mem_saved)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Size of the recomputation buffer (§4.2): large enough for all
+    /// intermediates of the most expensive single decoder layer in
+    /// `range`. Because layer outputs are pinned saved, recomputation
+    /// never spans more than one layer.
+    #[must_use]
+    pub fn recompute_buffer_bytes(&self, range: LayerRange) -> u64 {
+        range
+            .as_range()
+            .map(|l| {
+                self.per_layer[l]
+                    .iter()
+                    .filter(|u| !u.is_pinned())
+                    .map(|u| u.mem_saved)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bytes of the activation crossing a pipeline-stage boundary per
+    /// micro-batch.
+    #[must_use]
+    pub fn boundary_bytes(&self) -> u64 {
+        self.boundary_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profiler;
+    use adapipe_hw::presets as hw;
+    use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
+
+    fn table() -> ProfileTable {
+        let model = presets::gpt2_small();
+        let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+        let train = TrainConfig::new(1, 1024, 16).unwrap();
+        Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train)
+    }
+
+    #[test]
+    fn layer_count_matches_model() {
+        let t = table();
+        assert_eq!(t.num_layers(), 2 * 12 + 2);
+    }
+
+    #[test]
+    fn pinned_bytes_are_a_lower_bound() {
+        let t = table();
+        let range = LayerRange::new(0, t.num_layers() - 1);
+        assert!(t.saved_bytes_pinned(range) < t.saved_bytes_all(range));
+        assert!(t.saved_bytes_pinned(range) > 0);
+    }
+
+    #[test]
+    fn forward_time_additive_over_split() {
+        let t = table();
+        let full = LayerRange::new(0, t.num_layers() - 1);
+        let a = LayerRange::new(0, 9);
+        let b = LayerRange::new(10, t.num_layers() - 1);
+        let sum = t.forward_time(a) + t.forward_time(b);
+        assert!((t.forward_time(full) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_is_one_layer_not_whole_range() {
+        let t = table();
+        let one = t.recompute_buffer_bytes(LayerRange::new(1, 2));
+        let many = t.recompute_buffer_bytes(LayerRange::new(1, 20));
+        // Homogeneous layers: the max over more layers equals one layer.
+        assert_eq!(
+            one.max(t.recompute_buffer_bytes(LayerRange::new(2, 2))),
+            many
+        );
+    }
+
+    #[test]
+    fn units_in_matches_layer_units() {
+        let t = table();
+        let units = t.units_in(LayerRange::new(1, 1));
+        assert_eq!(units.len(), t.layer_units(1).len());
+    }
+
+    #[test]
+    fn measurements_round_trip_through_constructor() {
+        let t = table();
+        let per_layer: Vec<Vec<UnitProfile>> = (0..t.num_layers())
+            .map(|l| t.layer_units(l).to_vec())
+            .collect();
+        let rebuilt = ProfileTable::from_measurements(per_layer, t.boundary_bytes()).unwrap();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn malformed_measurements_rejected() {
+        use crate::profile::MeasurementError;
+        let t = table();
+        // Empty table.
+        assert_eq!(
+            ProfileTable::from_measurements(vec![], 0).unwrap_err(),
+            MeasurementError::Empty
+        );
+        // Mismatched layer index.
+        let mut bad: Vec<Vec<UnitProfile>> = vec![t.layer_units(1).to_vec()];
+        assert!(matches!(
+            ProfileTable::from_measurements(bad.clone(), 0).unwrap_err(),
+            MeasurementError::LayerIndexMismatch { .. }
+        ));
+        // Negative time.
+        bad[0] = t.layer_units(0).to_vec();
+        bad[0][0].time_f = -1.0;
+        assert!(matches!(
+            ProfileTable::from_measurements(bad, 0).unwrap_err(),
+            MeasurementError::InvalidValue { layer: 0 }
+        ));
+    }
+}

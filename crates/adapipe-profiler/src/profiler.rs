@@ -1,0 +1,194 @@
+use crate::flops::{boundary_bytes, unit_cost};
+use crate::profile::{ProfileTable, UnitProfile};
+use adapipe_hw::ClusterSpec;
+use adapipe_model::{
+    units_for_layer, ComputationUnit, LayerSeq, ModelSpec, ParallelConfig, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Measurement-noise configuration for robustness experiments: each unit
+/// time is multiplied by `1 + e` with `e` uniform in `[-amplitude,
+/// +amplitude]`, deterministically from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Relative amplitude, e.g. `0.05` for ±5 %.
+    pub amplitude: f64,
+    /// RNG seed; the same seed reproduces the same jitter.
+    pub seed: u64,
+}
+
+/// Builds [`ProfileTable`]s from a cluster description.
+///
+/// This is the stand-in for the paper's profiling run: where AdaPipe
+/// timestamps each computation unit over 5–10 warm-up iterations, we
+/// evaluate a roofline on the [`ClusterSpec`]'s device and interconnect.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    cluster: ClusterSpec,
+    noise: Option<NoiseConfig>,
+}
+
+impl Profiler {
+    /// Creates a profiler for `cluster`.
+    #[must_use]
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Profiler {
+            cluster,
+            noise: None,
+        }
+    }
+
+    /// Adds multiplicative measurement noise to every profiled time.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The cluster this profiler models.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Profiles every computation unit of `model` under the given
+    /// parallelism and workload, yielding per-unit forward/backward times
+    /// and saved-memory sizes.
+    #[must_use]
+    pub fn profile(
+        &self,
+        model: &ModelSpec,
+        parallel: &ParallelConfig,
+        train: &TrainConfig,
+    ) -> ProfileTable {
+        let seq = LayerSeq::for_model(model);
+        let device = self.cluster.device().clone();
+        let mut rng = self
+            .noise
+            .map(|n| (StdRng::seed_from_u64(n.seed), n.amplitude));
+        let mut per_layer = Vec::with_capacity(seq.len());
+        for layer in seq.iter() {
+            let mut units = Vec::new();
+            for kind in units_for_layer(model, layer.kind) {
+                let cost = unit_cost(model, parallel, train, kind);
+                let comm = self
+                    .cluster
+                    .half_collective_time(cost.comm_bytes, parallel.tensor());
+                let mut time_f = if kind.is_matmul() {
+                    device.matmul_time(cost.flops_f, cost.bytes_moved)
+                } else {
+                    device.bandwidth_time(cost.bytes_moved)
+                } + comm;
+                // Backward kernels move roughly the same bytes but do
+                // flops_b math; collectives mirror in the backward pass.
+                let mut time_b = if kind.is_matmul() {
+                    device.matmul_time(cost.flops_b, cost.bytes_moved)
+                } else {
+                    device.bandwidth_time(cost.bytes_moved)
+                } + comm;
+                if let Some((rng, amp)) = rng.as_mut() {
+                    time_f *= 1.0 + rng.gen_range(-*amp..=*amp);
+                    time_b *= 1.0 + rng.gen_range(-*amp..=*amp);
+                }
+                units.push(UnitProfile {
+                    unit: ComputationUnit {
+                        kind,
+                        layer: layer.index,
+                    },
+                    time_f,
+                    time_b,
+                    mem_saved: cost.mem_saved,
+                });
+            }
+            per_layer.push(units);
+        }
+        ProfileTable::new(per_layer, boundary_bytes(model, parallel, train))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_hw::presets as hw;
+    use adapipe_model::presets;
+
+    fn setup() -> (ModelSpec, ParallelConfig, TrainConfig) {
+        (
+            presets::gpt3_175b(),
+            ParallelConfig::new(8, 8, 1).unwrap(),
+            TrainConfig::new(1, 4096, 128).unwrap(),
+        )
+    }
+
+    #[test]
+    fn profile_is_deterministic_without_noise() {
+        let (m, p, t) = setup();
+        let prof = Profiler::new(hw::cluster_a());
+        assert_eq!(prof.profile(&m, &p, &t), prof.profile(&m, &p, &t));
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_seed() {
+        let (m, p, t) = setup();
+        let mk = |seed| {
+            Profiler::new(hw::cluster_a())
+                .with_noise(NoiseConfig {
+                    amplitude: 0.05,
+                    seed,
+                })
+                .profile(&m, &p, &t)
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn decoder_layer_time_is_realistic_for_a100() {
+        // One GPT-3 decoder block fwd at (t=8, seq=4096, b=1) runs a few
+        // milliseconds on A100s; the roofline must land in that decade.
+        let (m, p, t) = setup();
+        let table = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
+        let fwd: f64 = table.layer_units(1).iter().map(|u| u.time_f).sum::<f64>()
+            + table.layer_units(2).iter().map(|u| u.time_f).sum::<f64>();
+        assert!((1e-3..50e-3).contains(&fwd), "block fwd = {fwd:.4}s");
+    }
+
+    #[test]
+    fn backward_exceeds_forward_for_gemms() {
+        let (m, p, t) = setup();
+        let table = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
+        for u in table.all_units() {
+            if u.unit.kind.is_matmul() {
+                assert!(
+                    u.time_b > u.time_f * 1.2,
+                    "{}: b={} f={}",
+                    u.unit,
+                    u.time_b,
+                    u.time_f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascend_is_slower_than_a100() {
+        let (m, p, t) = setup();
+        let a = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
+        let b = Profiler::new(hw::cluster_b_small()).profile(&m, &p, &t);
+        let fa: f64 = a.all_units().map(|u| u.time_f).sum();
+        let fb: f64 = b.all_units().map(|u| u.time_f).sum();
+        assert!(fb > fa);
+    }
+
+    #[test]
+    fn homogeneous_layers_profile_identically() {
+        let (m, p, t) = setup();
+        let table = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
+        // All attention layers (odd indices 1, 3, ...) share unit costs.
+        let a: Vec<f64> = table.layer_units(1).iter().map(|u| u.time_f).collect();
+        let b: Vec<f64> = table.layer_units(3).iter().map(|u| u.time_f).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when no recomputation strategy can satisfy a stage's
+/// memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StrategyError {
+    /// Even recomputing every non-pinned unit, the pinned intermediates
+    /// alone exceed the per-micro-batch budget. This is how the OOM
+    /// entries of Table 3 arise (e.g. the `(1, 32, 2)` strategy, where
+    /// unsharded layer outputs are too large to pin).
+    OutOfMemory {
+        /// Bytes required by pinned units per micro-batch.
+        required: u64,
+        /// Bytes available per micro-batch.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::OutOfMemory { required, budget } => write!(
+                f,
+                "pinned intermediates need {required} bytes per micro-batch \
+                 but only {budget} are available"
+            ),
+        }
+    }
+}
+
+impl Error for StrategyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_sides() {
+        let e = StrategyError::OutOfMemory {
+            required: 10,
+            budget: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('5'));
+    }
+}

@@ -1,0 +1,402 @@
+//! The §4.3 knapsack: choose saved units to maximize avoided
+//! recomputation under a memory budget.
+
+use crate::error::StrategyError;
+use crate::strategy::{cost_of, RecomputeStrategy, StageCost};
+use adapipe_profiler::UnitProfile;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the knapsack DP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnapsackConfig {
+    /// Upper bound on DP cells along the memory axis. When the
+    /// GCD-rescaled budget still exceeds this, weights are re-bucketed
+    /// conservatively (rounded up), trading a sliver of optimality for
+    /// bounded time and space.
+    pub max_capacity_cells: usize,
+    /// Disables the §5.3 GCD rescaling (ablation benchmarks only; the
+    /// capacity-cell cap still bounds the DP, so results stay feasible
+    /// but the DP axis is much longer).
+    pub disable_gcd: bool,
+}
+
+impl Default for KnapsackConfig {
+    fn default() -> Self {
+        KnapsackConfig {
+            max_capacity_cells: 1 << 20,
+            disable_gcd: false,
+        }
+    }
+}
+
+/// Result of optimizing one stage: the chosen strategy, its exact cost
+/// and the portion of the budget left unused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedStage {
+    /// The saved/recomputed decision per unit.
+    pub strategy: RecomputeStrategy,
+    /// Exact cost of the chosen strategy.
+    pub cost: StageCost,
+    /// Budget bytes not consumed by saved intermediates.
+    pub slack_bytes: u64,
+}
+
+/// Optimizes the recomputation strategy for one stage with the default
+/// configuration. See [`optimize_with`].
+///
+/// # Errors
+///
+/// Returns [`StrategyError::OutOfMemory`] when the pinned units alone
+/// exceed `budget_per_mb`.
+pub fn optimize(
+    units: &[UnitProfile],
+    budget_per_mb: u64,
+) -> Result<OptimizedStage, StrategyError> {
+    optimize_with(units, budget_per_mb, KnapsackConfig::default())
+}
+
+/// Finds the saved-unit set maximizing `Σ Time_f(saved)` subject to
+/// `Σ Mem(saved) ≤ budget_per_mb` — Equations (1)–(2) of the paper.
+///
+/// `budget_per_mb` is the *per-micro-batch* activation budget: the caller
+/// (the memory model) has already divided the stage's free memory by its
+/// live micro-batch count `p − s`, which is equivalent to the paper's
+/// formulation with the `(p − s)` factor on the weights.
+///
+/// Pinned units are charged against the budget first; the DP runs only
+/// over the free units, on a memory axis rescaled by the GCD of their
+/// sizes (§5.3).
+///
+/// # Errors
+///
+/// Returns [`StrategyError::OutOfMemory`] when the pinned units alone
+/// exceed the budget.
+pub fn optimize_with(
+    units: &[UnitProfile],
+    budget_per_mb: u64,
+    config: KnapsackConfig,
+) -> Result<OptimizedStage, StrategyError> {
+    let pinned_bytes: u64 = units
+        .iter()
+        .filter(|u| u.is_pinned())
+        .map(|u| u.mem_saved)
+        .sum();
+    let free_budget =
+        budget_per_mb
+            .checked_sub(pinned_bytes)
+            .ok_or(StrategyError::OutOfMemory {
+                required: pinned_bytes,
+                budget: budget_per_mb,
+            })?;
+
+    let free: Vec<(usize, &UnitProfile)> = units
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| !u.is_pinned() && u.mem_saved > 0)
+        .collect();
+
+    let mut saved: Vec<bool> = units.iter().map(UnitProfile::is_pinned).collect();
+    // Zero-size free units are free to save; never recompute them.
+    for (i, u) in units.iter().enumerate() {
+        if !u.is_pinned() && u.mem_saved == 0 {
+            saved[i] = true;
+        }
+    }
+
+    if !free.is_empty() {
+        let chosen = solve(&free, free_budget, config);
+        for idx in chosen {
+            saved[idx] = true;
+        }
+    }
+
+    let strategy = RecomputeStrategy::from_flags(units, saved);
+    let cost = cost_of(units, &strategy);
+    Ok(OptimizedStage {
+        slack_bytes: budget_per_mb - cost.saved_bytes_per_mb,
+        strategy,
+        cost,
+    })
+}
+
+/// 0/1 knapsack over the free units; returns the original indices of the
+/// units to save.
+fn solve(free: &[(usize, &UnitProfile)], budget: u64, config: KnapsackConfig) -> Vec<usize> {
+    // Everything fits: skip the DP entirely.
+    let total: u64 = free.iter().map(|(_, u)| u.mem_saved).sum();
+    if total <= budget {
+        return free.iter().map(|(i, _)| *i).collect();
+    }
+
+    // §5.3 GCD rescaling of the memory axis.
+    let g = if config.disable_gcd {
+        1
+    } else {
+        free.iter().fold(0u64, |acc, (_, u)| gcd(acc, u.mem_saved))
+    };
+    debug_assert!(g > 0);
+    let mut scale = g;
+    // Re-bucket further if the capacity axis would still be too long.
+    let mut capacity = (budget / scale) as usize;
+    while capacity > config.max_capacity_cells {
+        scale *= 2;
+        capacity = (budget / scale) as usize;
+    }
+    let exact = scale == g;
+
+    // weights rounded up when re-bucketed (conservative: never exceeds
+    // the real budget).
+    let weights: Vec<usize> = free
+        .iter()
+        .map(|(_, u)| (u.mem_saved.div_ceil(scale)) as usize)
+        .collect();
+
+    // value[m]: best saved forward time using capacity m.
+    // take[i] is a bitset over capacities where item i is taken.
+    let mut value = vec![0.0f64; capacity + 1];
+    let words = capacity / 64 + 1;
+    let mut take: Vec<Vec<u64>> = Vec::with_capacity(free.len());
+    for (item, (_, u)) in free.iter().enumerate() {
+        let w = weights[item];
+        let mut bits = vec![0u64; words];
+        if w <= capacity {
+            for m in (w..=capacity).rev() {
+                let cand = value[m - w] + u.time_f;
+                if cand > value[m] {
+                    value[m] = cand;
+                    bits[m / 64] |= 1 << (m % 64);
+                }
+            }
+        }
+        take.push(bits);
+    }
+
+    // Trace back the chosen set.
+    let mut chosen = Vec::new();
+    let mut m = capacity;
+    for item in (0..free.len()).rev() {
+        if take[item][m / 64] >> (m % 64) & 1 == 1 {
+            chosen.push(free[item].0);
+            m -= weights[item];
+        }
+    }
+    let _ = exact; // retained for debugging/bench ablations
+    chosen
+}
+
+/// Greatest common divisor (used by the §5.3 rescaling).
+#[must_use]
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_hw::presets as hw;
+    use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
+    use adapipe_profiler::Profiler;
+    use proptest::prelude::*;
+
+    fn units(layers: LayerRange) -> Vec<UnitProfile> {
+        let model = presets::gpt2_small();
+        let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+        let train = TrainConfig::new(1, 1024, 16).unwrap();
+        let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+        table.units_in(layers)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 1_000_000), 1);
+    }
+
+    #[test]
+    fn unbounded_budget_saves_everything() {
+        let us = units(LayerRange::new(1, 6));
+        let opt = optimize(&us, u64::MAX).unwrap();
+        assert_eq!(opt.strategy.saved_count(), us.len());
+    }
+
+    #[test]
+    fn pinned_overflow_is_oom() {
+        let us = units(LayerRange::new(1, 6));
+        let err = optimize(&us, 0).unwrap_err();
+        assert!(matches!(err, StrategyError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn tight_budget_degenerates_to_full_recompute() {
+        let us = units(LayerRange::new(1, 6));
+        let pinned: u64 = us
+            .iter()
+            .filter(|u| u.is_pinned())
+            .map(|u| u.mem_saved)
+            .sum();
+        let opt = optimize(&us, pinned).unwrap();
+        assert_eq!(
+            opt.strategy.saved_count(),
+            us.iter().filter(|u| u.is_pinned()).count()
+        );
+        assert_eq!(opt.slack_bytes, 0);
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        // More budget never yields worse (larger) backward time.
+        let us = units(LayerRange::new(1, 8));
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let mut last_b = f64::INFINITY;
+        for frac in [25u64, 50, 75, 100] {
+            let opt = optimize(&us, all * frac / 100).unwrap();
+            assert!(opt.cost.time_b <= last_b + 1e-12, "frac {frac}");
+            last_b = opt.cost.time_b;
+        }
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let us = units(LayerRange::new(1, 8));
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let budget = all * 60 / 100;
+        let opt = optimize(&us, budget).unwrap();
+        assert!(opt.cost.saved_bytes_per_mb <= budget);
+        assert_eq!(opt.slack_bytes, budget - opt.cost.saved_bytes_per_mb);
+    }
+
+    /// Brute force over all subsets of free units (for small n).
+    fn brute_force(us: &[UnitProfile], budget: u64) -> f64 {
+        let pinned_bytes: u64 = us
+            .iter()
+            .filter(|u| u.is_pinned())
+            .map(|u| u.mem_saved)
+            .sum();
+        if pinned_bytes > budget {
+            return f64::NAN;
+        }
+        let free: Vec<&UnitProfile> = us.iter().filter(|u| !u.is_pinned()).collect();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << free.len()) {
+            let bytes: u64 = free
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, u)| u.mem_saved)
+                .sum();
+            let val: f64 = free
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, u)| u.time_f)
+                .sum();
+            if pinned_bytes + bytes <= budget && val > best {
+                best = val;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_one_block() {
+        let us = units(LayerRange::new(1, 2)); // 10 units, 8 free
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        for frac in [10u64, 30, 55, 80, 95] {
+            let budget = all * frac / 100;
+            let Ok(opt) = optimize(&us, budget) else {
+                continue;
+            };
+            let saved_f: f64 = us
+                .iter()
+                .enumerate()
+                .filter(|(i, u)| opt.strategy.is_saved(*i) && !u.is_pinned())
+                .map(|(_, u)| u.time_f)
+                .sum();
+            let best = brute_force(&us, budget);
+            assert!(
+                (saved_f - best).abs() <= 1e-12 + best * 1e-9,
+                "frac {frac}: dp {saved_f} vs brute {best}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn dp_matches_brute_force_random_units(
+            sizes in proptest::collection::vec(1u64..64, 1..10),
+            values in proptest::collection::vec(1u32..1000, 10),
+            budget_scale in 0u64..100,
+        ) {
+            use adapipe_model::{ComputationUnit, UnitKind};
+            let us: Vec<UnitProfile> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| UnitProfile {
+                    unit: ComputationUnit { kind: UnitKind::FfnAct, layer: i },
+                    time_f: f64::from(values[i % values.len()]),
+                    time_b: 1.0,
+                    mem_saved: s * 7, // common factor exercises the GCD path
+                })
+                .collect();
+            let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+            let budget = all * budget_scale / 100;
+            let opt = optimize(&us, budget).unwrap();
+            let saved_f: f64 = us
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| opt.strategy.is_saved(*i))
+                .map(|(_, u)| u.time_f)
+                .sum();
+            let best = brute_force(&us, budget);
+            prop_assert!((saved_f - best).abs() <= 1e-9 * (1.0 + best));
+        }
+    }
+
+    #[test]
+    fn gcd_rescaling_is_exact() {
+        // Disabling the GCD rescaling (ablation) must not change the
+        // chosen value when the cell cap is not binding.
+        let us = units(LayerRange::new(1, 4));
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let budget = all * 60 / 100;
+        let fast = optimize(&us, budget).unwrap();
+        let slow = optimize_with(
+            &us,
+            budget,
+            KnapsackConfig {
+                max_capacity_cells: 1 << 26,
+                disable_gcd: true,
+            },
+        )
+        .unwrap();
+        assert!((fast.cost.time_b - slow.cost.time_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebucketing_stays_feasible() {
+        // Force re-bucketing with a tiny cell cap; result must respect the
+        // budget even if slightly suboptimal.
+        let us = units(LayerRange::new(1, 20));
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let budget = all * 70 / 100;
+        let opt = optimize_with(
+            &us,
+            budget,
+            KnapsackConfig {
+                max_capacity_cells: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(opt.cost.saved_bytes_per_mb <= budget);
+        // And still save strictly more than the pinned floor.
+        assert!(opt.strategy.saved_count() > us.iter().filter(|u| u.is_pinned()).count());
+    }
+}

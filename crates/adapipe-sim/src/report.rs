@@ -1,0 +1,118 @@
+use crate::task::TaskMeta;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point of a device's dynamic-memory trace: the level right after
+/// an allocation or release.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySample {
+    /// Simulation time of the change.
+    pub time: f64,
+    /// Device whose ledger changed.
+    pub device: usize,
+    /// Dynamic bytes held right after the change.
+    pub bytes: u64,
+}
+
+/// One executed task on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Device that ran the task.
+    pub device: usize,
+    /// What ran.
+    pub meta: TaskMeta,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// Per-device aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Seconds the device spent computing.
+    pub busy: f64,
+    /// Seconds idle within the iteration span (bubbles).
+    pub bubble: f64,
+    /// Peak bytes of dynamic memory (activations + recompute buffers)
+    /// observed on the device. Static memory is the caller's to add.
+    pub peak_dynamic_bytes: u64,
+}
+
+/// The simulator's output: what the paper measures on hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Schedule name the report was produced from.
+    pub schedule: String,
+    /// End-to-end iteration time in seconds.
+    pub makespan: f64,
+    /// Per-device aggregates, indexed by device.
+    pub devices: Vec<DeviceReport>,
+    /// Every executed task, ordered by start time.
+    pub timeline: Vec<TimelineEntry>,
+    /// Dynamic-memory trace: one sample per allocation/release, in time
+    /// order (the time-resolved version of the Figure 1 measurements).
+    pub memory_timeline: Vec<MemorySample>,
+}
+
+impl SimReport {
+    /// Total bubble time across devices.
+    #[must_use]
+    pub fn total_bubble(&self) -> f64 {
+        self.devices.iter().map(|d| d.bubble).sum()
+    }
+
+    /// Fraction of device-seconds wasted in bubbles.
+    #[must_use]
+    pub fn bubble_ratio(&self) -> f64 {
+        let span = self.makespan * self.devices.len() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            self.total_bubble() / span
+        }
+    }
+
+    /// Largest per-device peak of dynamic memory.
+    #[must_use]
+    pub fn max_peak_dynamic_bytes(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.peak_dynamic_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3}s over {} devices, bubble ratio {:.1}%, peak dynamic {:.2} GB",
+            self.schedule,
+            self.makespan,
+            self.devices.len(),
+            100.0 * self.bubble_ratio(),
+            self.max_peak_dynamic_bytes() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_reports() {
+        let r = SimReport {
+            schedule: "x".into(),
+            makespan: 0.0,
+            devices: vec![],
+            timeline: vec![],
+            memory_timeline: vec![],
+        };
+        assert_eq!(r.bubble_ratio(), 0.0);
+        assert_eq!(r.max_peak_dynamic_bytes(), 0);
+        assert_eq!(r.total_bubble(), 0.0);
+    }
+}

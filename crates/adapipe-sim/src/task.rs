@@ -1,0 +1,212 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Forward or backward pass of one micro-batch through one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass.
+    Forward,
+    /// Backward pass (including any recomputation).
+    Backward,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::Forward => "F",
+            OpKind::Backward => "B",
+        })
+    }
+}
+
+/// What a task represents, for timelines and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskMeta {
+    /// Forward or backward.
+    pub kind: OpKind,
+    /// Micro-batch index (for doubled forwards, the first of the pair).
+    pub micro_batch: usize,
+    /// Pipeline stage the op belongs to.
+    pub stage: usize,
+    /// Model replica (0 for single pipelines; Chimera uses 0 = down,
+    /// 1 = up).
+    pub replica: usize,
+}
+
+/// Per-stage execution profile handed to the schedule generators: the
+/// durations and activation footprint of one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageExec {
+    /// Forward duration in seconds.
+    pub time_f: f64,
+    /// Backward duration in seconds (including recomputation).
+    pub time_b: f64,
+    /// Bytes of intermediates stored per in-flight micro-batch.
+    pub saved_bytes: u64,
+    /// Bytes of the recompute buffer live during a backward pass.
+    pub buffer_bytes: u64,
+}
+
+/// How devices choose their next task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Run each device's queue strictly in insertion order.
+    FixedOrder,
+    /// Run the ready task with the smallest priority value.
+    GreedyPriority,
+}
+
+/// One schedulable task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Task {
+    pub device: usize,
+    pub dur: f64,
+    /// `(task id, extra edge delay)` — the task may start only after
+    /// every dependency has finished plus its edge delay (P2P transfer).
+    pub deps: Vec<(usize, f64)>,
+    /// Bytes acquired on the device when the task starts.
+    pub mem_acquire: u64,
+    /// Bytes released on the device when the task ends.
+    pub mem_release: u64,
+    /// Priority for [`Discipline::GreedyPriority`] (smaller runs first).
+    pub priority: u64,
+    pub meta: TaskMeta,
+}
+
+/// A complete schedule: tasks, device count and execution discipline.
+///
+/// Built by the generators in [`schedule`](crate::schedule) and executed
+/// by [`simulate`](crate::simulate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    pub(crate) name: String,
+    pub(crate) devices: usize,
+    pub(crate) discipline: Discipline,
+    pub(crate) tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph for `devices` devices.
+    #[must_use]
+    pub fn new(name: impl Into<String>, devices: usize, discipline: Discipline) -> Self {
+        assert!(devices > 0, "need at least one device");
+        TaskGraph {
+            name: name.into(),
+            devices,
+            discipline,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Schedule name (e.g. `"1f1b"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task and returns its id. Dependencies must refer to
+    /// already-added tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or a dependency id is invalid
+    /// (forward references would make the graph cyclic).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push(
+        &mut self,
+        device: usize,
+        dur: f64,
+        deps: Vec<(usize, f64)>,
+        mem_acquire: u64,
+        mem_release: u64,
+        priority: u64,
+        meta: TaskMeta,
+    ) -> usize {
+        assert!(device < self.devices, "device {device} out of range");
+        let id = self.tasks.len();
+        for &(dep, _) in &deps {
+            assert!(dep < id, "dependency {dep} must precede task {id}");
+        }
+        self.tasks.push(Task {
+            device,
+            dur,
+            deps,
+            mem_acquire,
+            mem_release,
+            priority,
+            meta,
+        });
+        id
+    }
+
+    /// Adds a dependency edge after the fact. Unlike [`TaskGraph::push`],
+    /// `dep` may be any task id (forward references allowed); the caller
+    /// must keep the graph acyclic — the engine panics on deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub(crate) fn add_dep(&mut self, task: usize, dep: usize, delay: f64) {
+        assert!(
+            task < self.tasks.len() && dep < self.tasks.len(),
+            "task id out of range"
+        );
+        self.tasks[task].deps.push((dep, delay));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TaskMeta {
+        TaskMeta {
+            kind: OpKind::Forward,
+            micro_batch: 0,
+            stage: 0,
+            replica: 0,
+        }
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut g = TaskGraph::new("t", 2, Discipline::FixedOrder);
+        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta());
+        let b = g.push(1, 1.0, vec![(a, 0.0)], 0, 0, 1, meta());
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_reference_panics() {
+        let mut g = TaskGraph::new("t", 1, Discipline::FixedOrder);
+        let _ = g.push(0, 1.0, vec![(5, 0.0)], 0, 0, 0, meta());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_panics() {
+        let mut g = TaskGraph::new("t", 1, Discipline::FixedOrder);
+        let _ = g.push(3, 1.0, vec![], 0, 0, 0, meta());
+    }
+}

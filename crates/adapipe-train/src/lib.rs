@@ -1,0 +1,48 @@
+//! Miniature training engine: a from-scratch tensor/autograd core, a tiny
+//! GPT, and a **real multi-threaded pipeline-parallel trainer** that
+//! honors per-unit recomputation strategies.
+//!
+//! The paper validates (§7.5, Figure 10) that AdaPipe's plans change *no
+//! math* — recomputation only changes *when* activations are
+//! rematerialized, and repartitioning only changes *where* layers run —
+//! so the loss curve is unchanged. This crate reproduces that validation
+//! end to end, standing in for the paper's Megatron/MindSpore execution
+//! engines:
+//!
+//! * [`tensor`] / [`tape`] — dense f32 tensors and reverse-mode autograd
+//!   (matmul, layer norm, GeLU, fused causal attention, embedding,
+//!   cross-entropy), gradient-checked against finite differences.
+//! * [`units`] — the same computation-unit decomposition as
+//!   [`adapipe_model`] (Figure 4), each unit an executable module.
+//! * [`stage`] — a pipeline stage that *drops* the intermediates of
+//!   recomputed units after the forward pass and rematerializes them
+//!   segment-by-segment in the backward pass, exactly as the execution
+//!   engine of §6 does.
+//! * [`pipeline`] — stage threads connected by channels running the 1F1B
+//!   script, with synchronous gradient accumulation and SGD/Adam.
+//!
+//! Because recomputation repeats bit-identical f32 kernels, losses are
+//! **exactly** equal across strategies — asserted in tests, plotted in
+//! the Figure 10 regenerator.
+//!
+//! # Example
+//!
+//! ```
+//! use adapipe_train::{train, TrainerConfig};
+//!
+//! let cfg = TrainerConfig::tiny_for_tests();
+//! let full = train(&cfg.with_full_recompute());
+//! let none = train(&cfg.with_no_recompute());
+//! assert_eq!(full.losses, none.losses); // bit-identical
+//! ```
+
+pub mod data;
+pub mod pipeline;
+pub mod stage;
+pub mod tape;
+pub mod tensor;
+pub mod units;
+
+mod trainer;
+
+pub use trainer::{train, LrSchedule, RecomputeMode, TrainReport, TrainerConfig};

@@ -1,0 +1,393 @@
+//! Dense row-major f32 tensors and the raw kernels the autograd tape
+//! records. Everything is 2-D `[rows, cols]`; batch and sequence are
+//! folded into rows.
+
+use std::fmt;
+
+/// A dense row-major matrix of f32.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Raw data slice.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` for `[m,k] x [k,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            for l in 0..k {
+                let a = self.data[i * k + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[l * n..(l + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` for `[k,m]ᵀ x [k,n]` (used by weight gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for l in 0..k {
+            let arow = &self.data[l * m..(l + 1) * m];
+            let brow = &other.data[l * n..(l + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` for `[m,k] x [n,k]ᵀ` (used by data gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t column mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Adds `other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Broadcast-adds a `[cols]` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1, cols]`.
+    #[must_use]
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Sums rows into a `[1, cols]` vector (bias gradient).
+    #[must_use]
+    pub fn col_sum(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        // aᵀ @ b via t_matmul.
+        let c = a.t_matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+        // Check one element: c[1][2] = sum_l a[l][1] * b[l][2].
+        let expect: f32 = (0..3).map(|l| a.at(l, 1) * b.at(l, 2)).sum();
+        assert!((c.at(1, 2) - expect).abs() < 1e-6);
+
+        // a @ bᵀ via matmul_t where shapes align: [3,2] x [5,2]ᵀ.
+        let d = Tensor::from_vec(5, 2, (0..10).map(|x| x as f32).collect());
+        let e = a.matmul_t(&d);
+        assert_eq!((e.rows(), e.cols()), (3, 5));
+        let expect: f32 = (0..2).map(|k| a.at(2, k) * d.at(4, k)).sum();
+        assert!((e.at(2, 4) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_and_col_sum_are_adjoint() {
+        let x = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(1, 3, vec![10., 20., 30.]);
+        let y = x.add_bias(&b);
+        assert_eq!(y.at(1, 2), 36.0);
+        let g = y.col_sum();
+        assert_eq!(g.data(), &[25., 47., 69.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// `t_matmul` and `matmul_t` agree with explicit transposition
+        /// through `matmul` on random shapes and data.
+        #[test]
+        fn transposed_matmuls_are_consistent(
+            m in 1usize..5, k in 1usize..5, n in 1usize..5,
+            seed in 0u32..1000,
+        ) {
+            let fill = |rows: usize, cols: usize, salt: u32| {
+                let data = (0..rows * cols)
+                    .map(|i| {
+                        let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed + salt);
+                        (x % 17) as f32 / 8.0 - 1.0
+                    })
+                    .collect();
+                Tensor::from_vec(rows, cols, data)
+            };
+            let transpose = |t: &Tensor| {
+                let mut out = Tensor::zeros(t.cols(), t.rows());
+                for r in 0..t.rows() {
+                    for c in 0..t.cols() {
+                        *out.at_mut(c, r) = t.at(r, c);
+                    }
+                }
+                out
+            };
+            let a = fill(k, m, 1); // for t_matmul: aᵀ @ b
+            let b = fill(k, n, 2);
+            let via_t = a.t_matmul(&b);
+            let explicit = transpose(&a).matmul(&b);
+            proptest::prop_assert_eq!(via_t.data(), explicit.data());
+
+            let c = fill(m, k, 3); // for matmul_t: c @ dᵀ
+            let d = fill(n, k, 4);
+            let via_mt = c.matmul_t(&d);
+            let explicit = c.matmul(&transpose(&d));
+            for (x, y) in via_mt.data().iter().zip(explicit.data()) {
+                proptest::prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Matmul distributes over addition.
+        #[test]
+        fn matmul_distributes_over_add(
+            m in 1usize..4, k in 1usize..4, n in 1usize..4,
+            seed in 0u32..1000,
+        ) {
+            let fill = |rows: usize, cols: usize, salt: u32| {
+                let data = (0..rows * cols)
+                    .map(|i| {
+                        let x = (i as u32).wrapping_mul(374761393).wrapping_add(seed + salt);
+                        (x % 13) as f32 / 6.0 - 1.0
+                    })
+                    .collect();
+                Tensor::from_vec(rows, cols, data)
+            };
+            let a = fill(m, k, 1);
+            let b1 = fill(k, n, 2);
+            let b2 = fill(k, n, 3);
+            let lhs = a.matmul(&b1.add(&b2));
+            let rhs = a.matmul(&b1).add(&a.matmul(&b2));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                proptest::prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![4., 5., 6.]);
+        a.add_assign(&b);
+        a.scale_assign(2.0);
+        assert_eq!(a.data(), &[10., 14., 18.]);
+        assert_eq!(a.add(&b).data(), &[14., 19., 24.]);
+    }
+}

@@ -1,0 +1,81 @@
+use adapipe_model::ConfigError;
+use adapipe_recompute::StrategyError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Planner::plan`](crate::Planner::plan).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The configuration itself is invalid (batch does not divide, fewer
+    /// micro-batches than stages, ...).
+    Config(ConfigError),
+    /// No feasible recomputation/partitioning exists under the memory
+    /// capacity: some stage cannot fit even with full recomputation.
+    OutOfMemory {
+        /// Which search step hit the wall.
+        context: &'static str,
+    },
+    /// The method cannot run under this configuration (e.g. Chimera with
+    /// an odd number of stages or `n` not a multiple of `p`).
+    Unsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PlanError::OutOfMemory { context } => {
+                write!(f, "no memory-feasible plan exists ({context})")
+            }
+            PlanError::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PlanError {
+    fn from(e: ConfigError) -> Self {
+        PlanError::Config(e)
+    }
+}
+
+impl From<StrategyError> for PlanError {
+    fn from(_: StrategyError) -> Self {
+        PlanError::OutOfMemory {
+            context: "recomputation knapsack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chains_config_errors() {
+        let e = PlanError::from(ConfigError::ZeroField { field: "x" });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn strategy_error_maps_to_oom() {
+        let e = PlanError::from(StrategyError::OutOfMemory {
+            required: 2,
+            budget: 1,
+        });
+        assert!(matches!(e, PlanError::OutOfMemory { .. }));
+    }
+}

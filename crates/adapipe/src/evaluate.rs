@@ -1,0 +1,119 @@
+use adapipe_sim::SimReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Training throughput derived from an [`Evaluation`]: the end-user
+/// metrics a training report quotes alongside iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Tokens processed per second across the whole job.
+    pub tokens_per_second: f64,
+    /// Model FLOPs utilization: useful model math (6·params·tokens, the
+    /// standard fwd+bwd estimate, *excluding* recomputation — recompute
+    /// is overhead, not useful work) divided by the cluster's peak.
+    pub mfu: f64,
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} tokens/s, {:.1}% MFU",
+            self.tokens_per_second,
+            100.0 * self.mfu
+        )
+    }
+}
+
+/// Result of running a [`Plan`](crate::Plan) on the schedule simulator:
+/// the quantities the paper measures on hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Wall-clock time of one training iteration in seconds.
+    pub iteration_time: f64,
+    /// Per-device peak memory (static + dynamic) in bytes.
+    pub peak_bytes_per_device: Vec<u64>,
+    /// Device memory capacity in bytes.
+    pub capacity: u64,
+    /// Whether every device stayed within capacity. `false` is the
+    /// paper's "OOM" verdict for a configuration.
+    pub fits: bool,
+    /// The raw simulator report (timeline, bubbles, dynamic peaks).
+    pub report: SimReport,
+}
+
+impl Evaluation {
+    /// Peak memory of the most loaded device, in GB.
+    #[must_use]
+    pub fn max_peak_gb(&self) -> f64 {
+        self.peak_bytes_per_device
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64
+            / 1e9
+    }
+
+    /// Speedup of this evaluation over `baseline` (how the paper
+    /// annotates its bars).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &Evaluation) -> f64 {
+        baseline.iteration_time / self.iteration_time
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fits {
+            write!(
+                f,
+                "{:.3}s/iter, peak {:.1} GB (cap {:.1} GB)",
+                self.iteration_time,
+                self.max_peak_gb(),
+                self.capacity as f64 / 1e9
+            )
+        } else {
+            write!(
+                f,
+                "OOM: peak {:.1} GB exceeds {:.1} GB",
+                self.max_peak_gb(),
+                self.capacity as f64 / 1e9
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_sim::SimReport;
+
+    fn eval(time: f64, fits: bool) -> Evaluation {
+        Evaluation {
+            iteration_time: time,
+            peak_bytes_per_device: vec![10_000_000_000],
+            capacity: 80_000_000_000,
+            fits,
+            report: SimReport {
+                schedule: "test".into(),
+                makespan: time,
+                devices: vec![],
+                timeline: vec![],
+                memory_timeline: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = eval(1.0, true);
+        let slow = eval(2.0, true);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_reports_oom() {
+        assert!(eval(1.0, false).to_string().contains("OOM"));
+        assert!(eval(1.0, true).to_string().contains("s/iter"));
+    }
+}

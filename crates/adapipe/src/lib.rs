@@ -1,0 +1,66 @@
+//! # AdaPipe: adaptive recomputation + partitioning for pipeline parallelism
+//!
+//! A from-scratch Rust reproduction of *AdaPipe: Optimizing Pipeline
+//! Parallelism with Adaptive Recomputation and Partitioning* (Sun et al.,
+//! ASPLOS 2024).
+//!
+//! AdaPipe observes that 1F1B pipeline training leaves memory imbalanced
+//! across stages — stage `s` must hold activations of `p − s` in-flight
+//! micro-batches — and exploits it twice:
+//!
+//! 1. **Adaptive recomputation** (§4): each stage picks, via a knapsack
+//!    DP over fine-grained *computation units*, exactly which
+//!    intermediates to save within its own memory budget, instead of the
+//!    all-or-nothing full/no recomputation of existing systems.
+//! 2. **Adaptive partitioning** (§5): the resulting compute imbalance
+//!    (early stages recompute more) is rebalanced by assigning early
+//!    stages fewer layers, searched with a second-level DP (Algorithm 1)
+//!    over the 1F1B cost model.
+//!
+//! This crate is the user-facing entry point. It composes the substrate
+//! crates (model description, hardware model, analytical profiler, memory
+//! model, the two DPs, and a discrete-event schedule simulator standing in
+//! for the paper's GPU/NPU clusters) behind a single [`Planner`] API:
+//!
+//! ```
+//! use adapipe::{Method, Planner};
+//! use adapipe_hw::presets as hw;
+//! use adapipe_model::{presets, ParallelConfig, TrainConfig};
+//!
+//! let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+//! let parallel = ParallelConfig::new(2, 4, 1)?;
+//! let train = TrainConfig::new(1, 1024, 32)?;
+//!
+//! let plan = planner.plan(Method::AdaPipe, parallel, train).expect("feasible");
+//! let eval = planner.evaluate(&plan);
+//! assert!(eval.fits);
+//!
+//! let baseline = planner.plan(Method::DappleFull, parallel, train).expect("feasible");
+//! let base_eval = planner.evaluate(&baseline);
+//! assert!(eval.iteration_time <= base_eval.iteration_time);
+//! # Ok::<(), adapipe_model::ConfigError>(())
+//! ```
+//!
+//! The `adapipe-bench` crate regenerates every table and figure of the
+//! paper's evaluation on top of this API; see `EXPERIMENTS.md` at the
+//! workspace root.
+
+mod error;
+mod evaluate;
+mod method;
+mod plan;
+pub mod plan_io;
+mod planner;
+mod search;
+
+pub use error::PlanError;
+pub use evaluate::{Evaluation, Throughput};
+pub use method::Method;
+pub use plan::{Plan, StagePlan};
+pub use plan_io::PlanParseError;
+pub use planner::Planner;
+pub use search::{best_outcome, sweep_parallel_strategies, StrategyOutcome};
+
+pub use adapipe_partition::F1bBreakdown;
+pub use adapipe_recompute::RecomputeStrategy;
+pub use adapipe_sim::SimReport;

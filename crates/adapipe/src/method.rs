@@ -1,0 +1,191 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A planning method: AdaPipe, its ablation, or one of the paper's
+/// baselines (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Method {
+    /// Full AdaPipe: adaptive recomputation + adaptive partitioning.
+    AdaPipe,
+    /// Adaptive recomputation with even (baseline) partitioning — the
+    /// paper's *Even Partitioning* ablation.
+    EvenPartitioning,
+    /// DAPPLE (1F1B) with full recomputation.
+    DappleFull,
+    /// DAPPLE (1F1B) with no recomputation.
+    DappleNone,
+    /// Chimera bidirectional pipelines, full recomputation.
+    ChimeraFull,
+    /// Chimera bidirectional pipelines, no recomputation.
+    ChimeraNone,
+    /// Chimera with forward doubling, full recomputation.
+    ChimeraDFull,
+    /// Chimera with forward doubling, no recomputation.
+    ChimeraDNone,
+    /// GPipe (all-forward-then-all-backward), full recomputation.
+    GpipeFull,
+    /// GPipe, no recomputation.
+    GpipeNone,
+    /// DAPPLE (1F1B) with Megatron-style *selective* recomputation:
+    /// only the attention core is recomputed (§2.2 notes FlashAttention
+    /// supersedes it; included as an extension baseline).
+    DappleSelective,
+    /// Megatron-style interleaved 1F1B with two model chunks per device,
+    /// full recomputation (extension; §2.1 discusses the mechanism).
+    InterleavedFull,
+    /// Interleaved 1F1B (two chunks per device), no recomputation.
+    InterleavedNone,
+}
+
+impl Method {
+    /// Every method, in the order the paper's figures list them (the
+    /// interleaved extension last).
+    #[must_use]
+    pub fn all() -> [Method; 13] {
+        [
+            Method::DappleFull,
+            Method::DappleNone,
+            Method::DappleSelective,
+            Method::ChimeraFull,
+            Method::ChimeraNone,
+            Method::ChimeraDFull,
+            Method::ChimeraDNone,
+            Method::GpipeFull,
+            Method::GpipeNone,
+            Method::InterleavedFull,
+            Method::InterleavedNone,
+            Method::EvenPartitioning,
+            Method::AdaPipe,
+        ]
+    }
+
+    /// Number of model chunks each device hosts (Megatron's `v`); 1 for
+    /// everything except the interleaved methods.
+    #[must_use]
+    pub fn virtual_chunks(self) -> usize {
+        match self {
+            Method::InterleavedFull | Method::InterleavedNone => 2,
+            _ => 1,
+        }
+    }
+
+    /// The methods shown in Figures 5 and 6 (cluster A).
+    #[must_use]
+    pub fn figure5() -> [Method; 8] {
+        [
+            Method::DappleFull,
+            Method::DappleNone,
+            Method::ChimeraFull,
+            Method::ChimeraNone,
+            Method::ChimeraDFull,
+            Method::ChimeraDNone,
+            Method::EvenPartitioning,
+            Method::AdaPipe,
+        ]
+    }
+
+    /// Whether the method schedules two bidirectional pipelines
+    /// (parameters replicated per device).
+    #[must_use]
+    pub fn is_chimera(self) -> bool {
+        matches!(
+            self,
+            Method::ChimeraFull | Method::ChimeraNone | Method::ChimeraDFull | Method::ChimeraDNone
+        )
+    }
+
+    /// Whether the method searches recomputation adaptively (AdaPipe and
+    /// Even Partitioning) rather than using full/no recomputation.
+    #[must_use]
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, Method::AdaPipe | Method::EvenPartitioning)
+    }
+
+    /// Whether the method saves every intermediate (the `-Non` variants).
+    #[must_use]
+    pub fn saves_everything(self) -> bool {
+        matches!(
+            self,
+            Method::DappleNone
+                | Method::ChimeraNone
+                | Method::ChimeraDNone
+                | Method::GpipeNone
+                | Method::InterleavedNone
+        )
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write_str`) so callers' width/alignment apply.
+        f.pad(match self {
+            Method::AdaPipe => "AdaPipe",
+            Method::EvenPartitioning => "Even Partitioning",
+            Method::DappleFull => "DAPPLE-Full",
+            Method::DappleNone => "DAPPLE-Non",
+            Method::ChimeraFull => "Chimera-Full",
+            Method::ChimeraNone => "Chimera-Non",
+            Method::ChimeraDFull => "ChimeraD-Full",
+            Method::ChimeraDNone => "ChimeraD-Non",
+            Method::GpipeFull => "GPipe-Full",
+            Method::GpipeNone => "GPipe-Non",
+            Method::DappleSelective => "DAPPLE-Selective",
+            Method::InterleavedFull => "Interleaved-Full",
+            Method::InterleavedNone => "Interleaved-Non",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifications_are_consistent() {
+        for m in Method::all() {
+            if m.is_adaptive() {
+                assert!(!m.saves_everything());
+                assert!(!m.is_chimera());
+            }
+        }
+        assert!(Method::ChimeraDNone.is_chimera());
+        assert!(Method::ChimeraDNone.saves_everything());
+    }
+
+    #[test]
+    fn virtual_chunks_only_for_interleaved() {
+        for m in Method::all() {
+            let v = m.virtual_chunks();
+            if matches!(m, Method::InterleavedFull | Method::InterleavedNone) {
+                assert_eq!(v, 2, "{m}");
+            } else {
+                assert_eq!(v, 1, "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn selective_is_a_plain_1f1b_baseline() {
+        let m = Method::DappleSelective;
+        assert!(!m.is_chimera());
+        assert!(!m.is_adaptive());
+        assert!(!m.saves_everything());
+        assert_eq!(m.to_string(), "DAPPLE-Selective");
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Method::DappleFull.to_string(), "DAPPLE-Full");
+        assert_eq!(Method::ChimeraDNone.to_string(), "ChimeraD-Non");
+        assert_eq!(Method::EvenPartitioning.to_string(), "Even Partitioning");
+    }
+
+    #[test]
+    fn figure5_subset_of_all() {
+        let all = Method::all();
+        for m in Method::figure5() {
+            assert!(all.contains(&m));
+        }
+    }
+}

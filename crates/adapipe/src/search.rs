@@ -1,0 +1,113 @@
+//! The §7.3 parallel-strategy sweep: iterate all legal `(t, p, d)`
+//! triples for a device count and report each method's iteration time or
+//! OOM verdict — the driver behind Table 3.
+
+use crate::error::PlanError;
+use crate::evaluate::Evaluation;
+use crate::method::Method;
+use crate::planner::Planner;
+use adapipe_model::{ParallelConfig, TrainConfig};
+use std::fmt;
+
+/// Outcome of one `(method, parallel strategy)` cell of Table 3.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The parallel strategy evaluated.
+    pub parallel: ParallelConfig,
+    /// Iteration time in seconds, or the reason the cell is empty.
+    pub result: Result<Evaluation, PlanError>,
+}
+
+impl StrategyOutcome {
+    /// Iteration time if the strategy both planned and fit in memory.
+    #[must_use]
+    pub fn time(&self) -> Option<f64> {
+        match &self.result {
+            Ok(e) if e.fits => Some(e.iteration_time),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StrategyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.time() {
+            Some(t) => write!(f, "{} {t:.3}s", self.parallel),
+            None => write!(f, "{} OOM", self.parallel),
+        }
+    }
+}
+
+/// Evaluates `method` under every `(t, p, d)` combination using exactly
+/// `devices` devices (tensor parallelism capped at `max_tensor`, pipeline
+/// size at least `min_pipeline`), returning one outcome per strategy.
+///
+/// The workload's *global* batch is fixed; the per-replica micro-batch
+/// count follows from each strategy's data-parallel size, exactly as in
+/// the paper's sweep.
+#[must_use]
+pub fn sweep_parallel_strategies(
+    planner: &Planner,
+    method: Method,
+    devices: usize,
+    train: TrainConfig,
+    max_tensor: usize,
+    min_pipeline: usize,
+) -> Vec<StrategyOutcome> {
+    ParallelConfig::enumerate(devices, max_tensor, min_pipeline)
+        .into_iter()
+        .map(|parallel| {
+            let result = planner
+                .plan(method, parallel, train)
+                .map(|plan| planner.evaluate(&plan));
+            StrategyOutcome { parallel, result }
+        })
+        .collect()
+}
+
+/// The best (fastest, memory-feasible) outcome of a sweep, if any.
+#[must_use]
+pub fn best_outcome(outcomes: &[StrategyOutcome]) -> Option<&StrategyOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.time().is_some())
+        .min_by(|a, b| {
+            a.time()
+                .unwrap_or(f64::INFINITY)
+                .total_cmp(&b.time().unwrap_or(f64::INFINITY))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_hw::presets as hw;
+    use adapipe_model::presets;
+
+    #[test]
+    fn sweep_covers_every_strategy() {
+        let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+        let train = TrainConfig::new(1, 512, 32).unwrap();
+        let outcomes = sweep_parallel_strategies(&planner, Method::AdaPipe, 8, train, 4, 2);
+        assert_eq!(outcomes.len(), ParallelConfig::enumerate(8, 4, 2).len());
+        assert!(best_outcome(&outcomes).is_some());
+    }
+
+    #[test]
+    fn best_outcome_is_minimum_feasible() {
+        let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+        let train = TrainConfig::new(1, 512, 32).unwrap();
+        let outcomes = sweep_parallel_strategies(&planner, Method::DappleFull, 8, train, 4, 2);
+        let best = best_outcome(&outcomes).unwrap();
+        for o in &outcomes {
+            if let Some(t) = o.time() {
+                assert!(best.time().unwrap() <= t);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sweep_has_no_best() {
+        assert!(best_outcome(&[]).is_none());
+    }
+}

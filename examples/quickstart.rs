@@ -1,0 +1,45 @@
+//! Quickstart: plan a pipeline-parallel training job with AdaPipe and
+//! compare it against the DAPPLE baselines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use adapipe::{Method, Planner};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A GPT-2-scale model on one 8-GPU cluster-A node: tensor-parallel 2,
+    // pipeline 4, sequence length 1024, 32 sequences per batch.
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a_with_nodes(1));
+    let parallel = ParallelConfig::new(2, 4, 1)?;
+    let train = TrainConfig::new(1, 1024, 32)?;
+
+    println!("planning {} on {}\n", planner.model(), planner.cluster());
+
+    let mut results = Vec::new();
+    for method in [
+        Method::DappleFull,
+        Method::DappleNone,
+        Method::EvenPartitioning,
+        Method::AdaPipe,
+    ] {
+        let plan = planner.plan(method, parallel, train)?;
+        let eval = planner.evaluate(&plan);
+        println!("{method:<20} {eval}");
+        results.push((method, plan, eval));
+    }
+
+    // The AdaPipe plan in full: per-stage layer ranges, saved-unit
+    // counts, predicted times and memory.
+    let (_, ada_plan, ada_eval) = results.last().expect("adapipe ran");
+    println!("\n{ada_plan}");
+
+    let (_, _, baseline) = &results[0];
+    println!(
+        "AdaPipe speedup over DAPPLE-Full: {:.2}x",
+        ada_eval.speedup_over(baseline)
+    );
+    Ok(())
+}

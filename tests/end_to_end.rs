@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full plan → evaluate pipeline on
+//! down-scaled and paper-scale configurations.
+
+use adapipe::{Method, PlanError, Planner};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
+
+fn small_planner() -> (Planner, ParallelConfig, TrainConfig) {
+    (
+        Planner::new(presets::gpt2_small(), hw::cluster_a_with_nodes(1)),
+        ParallelConfig::new(2, 4, 1).expect("valid"),
+        TrainConfig::new(1, 1024, 32).expect("valid"),
+    )
+}
+
+#[test]
+fn every_method_plans_or_reports_a_reason() {
+    let (planner, parallel, train) = small_planner();
+    for method in Method::all() {
+        match planner.plan(method, parallel, train) {
+            Ok(plan) => {
+                assert_eq!(plan.stages.len(), 4 * method.virtual_chunks(), "{method}");
+                let eval = planner.evaluate(&plan);
+                assert!(eval.iteration_time > 0.0, "{method}");
+                assert_eq!(eval.peak_bytes_per_device.len(), 4, "{method}");
+            }
+            Err(e) => panic!("{method} failed on a loose configuration: {e}"),
+        }
+    }
+}
+
+#[test]
+fn performance_ordering_holds_on_memory_tight_config() {
+    // GPT-3 at 16k context, the paper's most memory-pressured cluster-A
+    // point: AdaPipe <= Even Partitioning <= DAPPLE-Full, and DAPPLE-Non
+    // must OOM.
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
+    let train = TrainConfig::new(1, 16384, 32).expect("valid");
+
+    let time = |m| {
+        let plan = planner.plan(m, parallel, train).expect("plans");
+        planner.evaluate(&plan)
+    };
+    let ada = time(Method::AdaPipe);
+    let even = time(Method::EvenPartitioning);
+    let full = time(Method::DappleFull);
+    assert!(ada.fits && even.fits && full.fits);
+    assert!(ada.iteration_time <= even.iteration_time * 1.0001);
+    assert!(even.iteration_time < full.iteration_time);
+    // The paper reports up to 1.31-1.32x for GPT-3; our simulator should
+    // land in the same direction with a >5 % win.
+    assert!(
+        full.iteration_time / ada.iteration_time > 1.05,
+        "speedup too small: {} vs {}",
+        full.iteration_time,
+        ada.iteration_time
+    );
+
+    let non = time(Method::DappleNone);
+    assert!(!non.fits, "DAPPLE-Non must exceed 80 GB at seq 16384");
+}
+
+#[test]
+fn adaptive_methods_never_plan_out_of_memory_plans() {
+    // Whatever the adaptive planner emits must actually fit when executed.
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    for (t, p, d, seq, gbs) in [
+        (8usize, 8usize, 1usize, 4096usize, 128usize),
+        (8, 8, 1, 16384, 32),
+        (4, 8, 2, 8192, 64),
+        (2, 16, 2, 4096, 128),
+    ] {
+        let parallel = ParallelConfig::new(t, p, d).expect("valid");
+        let train = TrainConfig::new(1, seq, gbs).expect("valid");
+        for method in [Method::AdaPipe, Method::EvenPartitioning] {
+            let Ok(plan) = planner.plan(method, parallel, train) else {
+                continue;
+            };
+            let eval = planner.evaluate(&plan);
+            assert!(
+                eval.fits,
+                "{method} at ({t},{p},{d}) seq {seq}: peak {:.1} GB",
+                eval.max_peak_gb()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_time_matches_analytic_model_within_p2p_slack() {
+    let (planner, parallel, train) = small_planner();
+    for method in [
+        Method::DappleFull,
+        Method::DappleNone,
+        Method::EvenPartitioning,
+        Method::AdaPipe,
+    ] {
+        let plan = planner.plan(method, parallel, train).expect("plans");
+        let eval = planner.evaluate(&plan);
+        let analytic = plan
+            .predicted_time()
+            .expect("1f1b methods have predictions");
+        let rel = (eval.iteration_time - analytic).abs() / analytic;
+        assert!(
+            rel < 0.05,
+            "{method}: sim {} vs analytic {analytic}",
+            eval.iteration_time
+        );
+        // The simulator includes P2P transfers, so it is never faster.
+        assert!(eval.iteration_time >= analytic - 1e-9, "{method}");
+    }
+}
+
+#[test]
+fn adapipe_partitions_are_valid_and_shift_layers_rearward() {
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
+    let train = TrainConfig::new(1, 16384, 32).expect("valid");
+    let plan = planner
+        .plan(Method::AdaPipe, parallel, train)
+        .expect("plans");
+    let seq = LayerSeq::for_model(planner.model());
+    assert!(seq.is_valid_partition(&plan.ranges()));
+    // Front half holds no more layers than the back half (Table 4).
+    let layers = plan.layers_per_stage();
+    let front: usize = layers[..4].iter().sum();
+    let back: usize = layers[4..].iter().sum();
+    assert!(front <= back, "layers {layers:?}");
+}
+
+#[test]
+fn oom_error_surfaces_for_impossible_configs() {
+    // A 32 GB device cannot hold GPT-3 at (1, 8, 1) even fully recomputed.
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_b_small());
+    let parallel = ParallelConfig::new(1, 8, 1).expect("valid");
+    let train = TrainConfig::new(1, 4096, 64).expect("valid");
+    let err = planner.plan(Method::AdaPipe, parallel, train).unwrap_err();
+    assert!(matches!(err, PlanError::OutOfMemory { .. }));
+}
+
+#[test]
+fn every_simulated_timeline_satisfies_schedule_invariants() {
+    let (planner, parallel, train) = small_planner();
+    for method in Method::all() {
+        let Ok(plan) = planner.plan(method, parallel, train) else {
+            continue;
+        };
+        let eval = planner.evaluate(&plan);
+        let cover = if matches!(method, Method::ChimeraDFull | Method::ChimeraDNone) {
+            2
+        } else {
+            1
+        };
+        adapipe_sim::validate::check(&eval.report, cover)
+            .unwrap_or_else(|v| panic!("{method}: {v}"));
+    }
+}
+
+#[test]
+fn plans_are_fully_inspectable() {
+    let (planner, parallel, train) = small_planner();
+    let plan = planner
+        .plan(Method::AdaPipe, parallel, train)
+        .expect("plans");
+    let rendered = plan.to_string();
+    assert!(rendered.contains("stage 0"));
+    assert!(rendered.contains("predicted"));
+    let debug = format!("{plan:?}");
+    assert!(debug.contains("AdaPipe"));
+}

@@ -1,0 +1,112 @@
+//! Robustness and determinism: the search must be stable under
+//! profiling jitter (real measurements are noisy) and byte-for-byte
+//! reproducible across runs.
+
+use adapipe::{plan_io, Method, Planner};
+use adapipe_hw::presets as hw;
+use adapipe_memory::{MemoryModel, OptimizerSpec};
+use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
+use adapipe_profiler::{NoiseConfig, Profiler};
+use adapipe_recompute::optimize;
+
+#[test]
+fn knapsack_is_stable_under_measurement_noise() {
+    // Profile the same stage with ±5 % jitter under several seeds: the
+    // chosen strategy's backward time must stay within a few percent of
+    // the noiseless optimum, and the budget must always be respected.
+    let model = presets::gpt3_175b();
+    let parallel = ParallelConfig::new(8, 8, 1).unwrap();
+    let train = TrainConfig::new(1, 4096, 128).unwrap();
+    let seq = LayerSeq::for_model(&model);
+    let range = seq.even_partition(8)[2];
+
+    let clean_table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
+    let clean_units = clean_table.units_in(range);
+    let budget = clean_units.iter().map(|u| u.mem_saved).sum::<u64>() * 60 / 100;
+    let clean = optimize(&clean_units, budget).unwrap();
+
+    for seed in 0..8 {
+        let noisy_table = Profiler::new(hw::cluster_a())
+            .with_noise(NoiseConfig {
+                amplitude: 0.05,
+                seed,
+            })
+            .profile(&model, &parallel, &train);
+        let noisy_units = noisy_table.units_in(range);
+        let noisy = optimize(&noisy_units, budget).unwrap();
+        assert!(noisy.cost.saved_bytes_per_mb <= budget, "seed {seed}");
+        // Evaluate the noisy choice under the *clean* costs.
+        let realized = adapipe_recompute::strategy::cost_of(&clean_units, &noisy.strategy);
+        let rel = (realized.time_b - clean.cost.time_b).abs() / clean.cost.time_b;
+        assert!(
+            rel < 0.05,
+            "seed {seed}: noisy strategy costs {rel:.3} more"
+        );
+    }
+}
+
+#[test]
+fn planning_is_deterministic_across_planner_instances() {
+    let parallel = ParallelConfig::new(8, 8, 1).unwrap();
+    let train = TrainConfig::new(1, 4096, 128).unwrap();
+    let run = || {
+        let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+        let plan = planner.plan(Method::AdaPipe, parallel, train).unwrap();
+        let eval = planner.evaluate(&plan);
+        (
+            plan_io::to_text(&plan),
+            eval.iteration_time,
+            eval.peak_bytes_per_device,
+        )
+    };
+    let (text_a, time_a, peaks_a) = run();
+    let (text_b, time_b, peaks_b) = run();
+    assert_eq!(text_a, text_b, "plan text differs across runs");
+    assert_eq!(time_a, time_b, "simulated time differs across runs");
+    assert_eq!(peaks_a, peaks_b, "peaks differ across runs");
+}
+
+#[test]
+fn memory_budget_monotonicity_in_capacity() {
+    // More usable memory never slows the adaptive plan down.
+    let parallel = ParallelConfig::new(8, 8, 1).unwrap();
+    let train = TrainConfig::new(1, 16384, 32).unwrap();
+    let mut last = f64::INFINITY;
+    for headroom in [0.6f64, 0.7, 0.8, 0.9, 1.0] {
+        let planner =
+            Planner::new(presets::gpt3_175b(), hw::cluster_a()).with_search_headroom(headroom);
+        let Ok(plan) = planner.plan(Method::AdaPipe, parallel, train) else {
+            continue;
+        };
+        let t = planner.evaluate(&plan).iteration_time;
+        assert!(t <= last * 1.001, "headroom {headroom}: {t} > {last}");
+        last = t;
+    }
+    assert!(last.is_finite(), "no headroom produced a feasible plan");
+}
+
+#[test]
+fn noisy_profiles_still_produce_feasible_plans() {
+    // End to end: a planner fed jittered measurements must still emit
+    // plans that fit when executed under the jitter-free simulator.
+    let model = presets::gpt3_175b();
+    let parallel = ParallelConfig::new(8, 8, 1).unwrap();
+    let train = TrainConfig::new(1, 8192, 64).unwrap();
+    let seq = LayerSeq::for_model(&model);
+    let mem = MemoryModel::new(model.clone(), parallel, OptimizerSpec::adam_fp32());
+
+    for seed in [1u64, 2, 3] {
+        let table = Profiler::new(hw::cluster_a())
+            .with_noise(NoiseConfig {
+                amplitude: 0.05,
+                seed,
+            })
+            .profile(&model, &parallel, &train);
+        let capacity = (hw::a100_80gb().usable_bytes() as f64 * 0.875) as u64;
+        let provider = adapipe_partition::KnapsackCostProvider::new(&seq, &table, &mem, capacity);
+        let plan = adapipe_partition::algorithm1::solve(&provider, seq.len(), 8, 64)
+            .expect("noisy profile still feasible");
+        assert_eq!(plan.ranges.len(), 8);
+        assert!(plan.iteration_time().is_finite());
+    }
+}

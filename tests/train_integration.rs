@@ -1,0 +1,123 @@
+//! Integration between the planner and the miniature execution engine:
+//! plans produced by the real search must run on the real trainer with
+//! unchanged numerics (the §7.5 validation, end to end).
+
+use adapipe::{Method, Planner};
+use adapipe_hw::{ClusterSpec, DeviceSpec, LinkSpec};
+use adapipe_model::{ParallelConfig, TrainConfig};
+use adapipe_train::{train, TrainerConfig};
+
+fn toy_cluster(capacity: u64) -> ClusterSpec {
+    let device = DeviceSpec::builder("toy")
+        .mem_bytes(capacity)
+        .peak_flops(1e12)
+        .hbm_bandwidth(1e11)
+        .build();
+    ClusterSpec::new(
+        "toy",
+        device,
+        2,
+        1,
+        LinkSpec::new(1e10, 1e-6),
+        LinkSpec::new(1e9, 1e-5),
+    )
+}
+
+/// Maps a planner plan onto the trainer configuration.
+fn apply_plan(cfg: &TrainerConfig, plan: &adapipe::Plan) -> TrainerConfig {
+    let partition = plan
+        .stages
+        .iter()
+        .map(|s| (s.range.first, s.range.last))
+        .collect();
+    let flags = plan
+        .stages
+        .iter()
+        .map(|s| s.strategy.iter().collect())
+        .collect();
+    cfg.with_partition(partition).with_adaptive(flags)
+}
+
+#[test]
+fn planned_strategies_execute_with_exact_numerics() {
+    let cfg = TrainerConfig::tiny_for_tests();
+    let spec = cfg.model_spec();
+    let parallel = ParallelConfig::new(1, cfg.stages, 1).expect("valid");
+    let train_cfg = TrainConfig::new(1, cfg.seq_len, cfg.micro_batches).expect("valid");
+
+    let reference = train(&cfg.with_no_recompute());
+
+    // Plan under progressively tighter toy devices; every feasible plan
+    // must reproduce the reference losses bit-for-bit. The 1 KB steps
+    // walk through the band where the knapsack makes nontrivial
+    // decisions.
+    let mut tested = 0;
+    let mut nontrivial = 0;
+    for capacity in (40..=256u64).rev().step_by(1).map(|k| k * 1024) {
+        let planner = Planner::new(spec.clone(), toy_cluster(capacity));
+        let Ok(plan) = planner.plan(Method::AdaPipe, parallel, train_cfg) else {
+            continue;
+        };
+        if plan
+            .stages
+            .iter()
+            .any(|st| st.strategy.recomputed_count() > 0)
+        {
+            nontrivial += 1;
+        } else if nontrivial > 0 || capacity > 128 * 1024 {
+            continue; // only exercise a handful of all-saved plans
+        }
+        let run = train(&apply_plan(&cfg, &plan));
+        assert_eq!(run.losses, reference.losses, "capacity {capacity}");
+        tested += 1;
+        if nontrivial >= 4 {
+            break;
+        }
+    }
+    assert!(tested >= 2, "expected at least two feasible toy capacities");
+    assert!(nontrivial >= 1, "no capacity forced a mixed strategy");
+}
+
+#[test]
+fn tighter_devices_save_fewer_units() {
+    let cfg = TrainerConfig::tiny_for_tests();
+    let spec = cfg.model_spec();
+    let parallel = ParallelConfig::new(1, cfg.stages, 1).expect("valid");
+    let train_cfg = TrainConfig::new(1, cfg.seq_len, cfg.micro_batches).expect("valid");
+
+    let saved_total = |capacity: u64| -> Option<usize> {
+        let planner = Planner::new(spec.clone(), toy_cluster(capacity));
+        planner
+            .plan(Method::AdaPipe, parallel, train_cfg)
+            .ok()
+            .map(|p| p.saved_units_per_stage().iter().sum())
+    };
+    let loose = saved_total(1 << 24).expect("loose device is feasible");
+    let mut shrank = false;
+    let mut last = loose;
+    for capacity in (32..=96u64).rev().map(|k| k * 1024) {
+        let Some(t) = saved_total(capacity) else {
+            continue;
+        };
+        assert!(t <= loose, "tight device saved more units than a loose one");
+        if t < last {
+            shrank = true;
+        }
+        last = t;
+    }
+    assert!(shrank, "no capacity actually forced recomputation");
+}
+
+#[test]
+fn even_partitioning_plan_also_executes() {
+    let cfg = TrainerConfig::tiny_for_tests();
+    let spec = cfg.model_spec();
+    let parallel = ParallelConfig::new(1, cfg.stages, 1).expect("valid");
+    let train_cfg = TrainConfig::new(1, cfg.seq_len, cfg.micro_batches).expect("valid");
+    let planner = Planner::new(spec, toy_cluster(1 << 18));
+    let Ok(plan) = planner.plan(Method::EvenPartitioning, parallel, train_cfg) else {
+        return; // acceptably infeasible at this capacity
+    };
+    let run = train(&apply_plan(&cfg, &plan));
+    assert_eq!(run.losses, train(&cfg.with_no_recompute()).losses);
+}
