@@ -1,0 +1,45 @@
+//! Overhead of the observability layer: a disabled recorder must cost a
+//! single branch per operation, so instrumented hot paths (the knapsack
+//! inner loop, the simulator event loop) stay free when no sink is
+//! attached. The enabled recorder is benchmarked alongside for scale.
+
+use adapipe_obs::Recorder;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const OPS: usize = 10_000;
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    let disabled = Recorder::disabled();
+    group.bench_function("disabled_10k_ops", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                disabled.add(black_box("recompute.knapsack.cells"), i as u64);
+            }
+        });
+    });
+
+    let enabled = Recorder::new();
+    group.bench_function("enabled_10k_ops", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                enabled.add(black_box("recompute.knapsack.cells"), i as u64);
+            }
+        });
+    });
+
+    group.bench_function("disabled_span_10k", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                let _g = disabled.span(black_box("plan.partition"));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! 6-micro-batch pipeline — rendered as ASCII timelines, with the
 //! bubble and peak-memory comparison the figure illustrates.
 
-use adapipe_sim::{render, schedule, simulate, SimReport, StageExec};
+use adapipe_bench::emit_bench_json;
+use adapipe_obs::Recorder;
+use adapipe_sim::{render, schedule, simulate_traced, SimReport, StageExec};
 
 fn render_report(report: &SimReport) {
     print!(
@@ -22,6 +24,8 @@ fn render_report(report: &SimReport) {
 }
 
 fn main() {
+    let rec = Recorder::new();
+    let t0 = std::time::Instant::now();
     // Unit-cost stages: F = 1, B = 2, one activation "byte" per
     // micro-batch so peaks read as micro-batch counts.
     let stages = vec![
@@ -36,11 +40,11 @@ fn main() {
     let n = 6;
 
     println!("== Figure 2 (a): GPipe — all forwards, then all backwards ==");
-    let gp = simulate(&schedule::gpipe(&stages, n, 0.0));
+    let gp = simulate_traced(&schedule::gpipe(&stages, n, 0.0), &rec);
     render_report(&gp);
 
     println!("== Figure 2 (b): 1F1B — warmup / steady / ending ==");
-    let f1b = simulate(&schedule::one_f_one_b(&stages, n, 0.0));
+    let f1b = simulate_traced(&schedule::one_f_one_b(&stages, n, 0.0), &rec);
     render_report(&f1b);
 
     println!(
@@ -49,4 +53,7 @@ fn main() {
     );
     assert!((gp.makespan - f1b.makespan).abs() < 1e-9);
     assert!(f1b.max_peak_dynamic_bytes() < gp.max_peak_dynamic_bytes());
+
+    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    emit_bench_json("fig02_schedules", &rec, &[("figure", "2")]);
 }

@@ -3,12 +3,15 @@
 //! per stage. GPT-3, sequence 16384, (t, p, d) = (8, 8, 1).
 
 use adapipe::{Method, Planner};
-use adapipe_bench::print_table;
+use adapipe_bench::{emit_bench_json, print_table};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_obs::Recorder;
 
 fn main() {
-    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
+    let rec = Recorder::new();
+    let t0 = std::time::Instant::now();
+    let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a()).with_recorder(rec.clone());
     let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
     let train = TrainConfig::new(1, 16384, 32).expect("valid");
 
@@ -40,4 +43,7 @@ fn main() {
          layers everywhere while AdaPipe shifts layers from early to late stages \
          (paper: 23, 23, 23, 24, 25, 25, 25, 26)."
     );
+
+    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    emit_bench_json("tab04_strategy_dump", &rec, &[("table", "4")]);
 }

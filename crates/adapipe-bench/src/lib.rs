@@ -7,6 +7,58 @@ pub mod cluster_a;
 
 use adapipe::{Evaluation, Method, PlanError, Planner};
 use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig};
+use adapipe_obs::Recorder;
+use std::path::PathBuf;
+
+/// Locates the `results/` directory: `$ADAPIPE_RESULTS_DIR` if set
+/// (created on demand — an explicit override should not require
+/// pre-creating the directory), else the first `results/` found walking
+/// up from the working directory (same discovery rule as the Criterion
+/// harnesses' summary path).
+#[must_use]
+pub fn results_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("ADAPIPE_RESULTS_DIR") {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("note: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        return Some(dir);
+    }
+    let mut cur = std::env::current_dir().ok()?;
+    loop {
+        let candidate = cur.join("results");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !cur.pop() {
+            return None;
+        }
+    }
+}
+
+/// Writes `results/BENCH_<name>.json`: the binary's wall-clock time plus
+/// everything `rec` observed (knapsack/DP counters, simulator effort,
+/// span timings), so figure regenerators leave the same machine-readable
+/// trail as the Criterion benches. Returns the written path, or `None`
+/// (with a note on stderr) when no `results/` directory is discoverable.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_bench_json(name: &str, rec: &Recorder, meta: &[(&str, &str)]) -> Option<PathBuf> {
+    let Some(dir) = results_dir() else {
+        eprintln!("note: no results/ directory found; skipping BENCH_{name}.json");
+        return None;
+    };
+    let mut all_meta = vec![("bench", name)];
+    all_meta.extend_from_slice(meta);
+    let json = adapipe_obs::report::metrics_json(&rec.snapshot(), &all_meta);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("bench metrics written to {}", path.display());
+    Some(path)
+}
 
 /// Pretty-prints a fixed-width table.
 ///

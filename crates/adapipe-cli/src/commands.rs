@@ -4,6 +4,82 @@ use crate::args::Args;
 use crate::config::{self, ConfigError};
 use adapipe::{best_outcome, sweep_parallel_strategies, Method, Planner};
 use adapipe_memory::OptimizerSpec;
+use adapipe_obs::Recorder;
+
+/// The observability flags shared by `plan`, `sweep` and `compare`:
+/// `--metrics-out FILE` (JSON metrics report) and `--chrome-trace FILE`
+/// (Chrome Trace Event Format spans).
+struct ObsSink {
+    rec: Recorder,
+    metrics_out: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+impl ObsSink {
+    /// Takes the obs flags. `always_on` forces an enabled recorder even
+    /// without output files (sweep/compare print iso-cache stats from
+    /// it); `plan` keeps the free disabled recorder unless asked.
+    fn from_args(args: &mut Args, always_on: bool) -> Self {
+        let metrics_out = args.take("metrics-out");
+        let chrome_trace = args.take("chrome-trace");
+        let rec = if always_on || metrics_out.is_some() || chrome_trace.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        ObsSink {
+            rec,
+            metrics_out,
+            chrome_trace,
+        }
+    }
+
+    /// `(hits, misses, hit_rate)` of the §5.3 isomorphism cache, if any
+    /// lookups were recorded.
+    fn iso_cache_stats(&self) -> Option<(u64, u64, f64)> {
+        let snap = self.rec.snapshot();
+        let hits = snap.counters.get("partition.iso_cache.hits").copied()?;
+        let misses = snap
+            .counters
+            .get("partition.iso_cache.misses")
+            .copied()
+            .unwrap_or(0);
+        let total = hits + misses;
+        if total == 0 {
+            return None;
+        }
+        Some((hits, misses, hits as f64 / total as f64))
+    }
+
+    /// Writes the requested artifacts and returns status lines for the
+    /// human-readable output.
+    fn flush(&self, meta: &[(&str, &str)]) -> Result<String, ConfigError> {
+        let mut out = String::new();
+        if self.metrics_out.is_none() && self.chrome_trace.is_none() {
+            return Ok(out);
+        }
+        if let Some((_, _, rate)) = self.iso_cache_stats() {
+            self.rec.gauge("partition.iso_cache.hit_rate", rate);
+        }
+        let snap = self.rec.snapshot();
+        if let Some(path) = &self.metrics_out {
+            let json = adapipe_obs::report::metrics_json(&snap, meta);
+            std::fs::write(path, json)
+                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            out.push_str(&format!("metrics written to {path}\n"));
+        }
+        if let Some(path) = &self.chrome_trace {
+            let json = adapipe_obs::trace::chrome_trace_json(&snap);
+            std::fs::write(path, json)
+                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            out.push_str(&format!(
+                "chrome trace written to {path} ({} spans)\n",
+                snap.spans.len()
+            ));
+        }
+        Ok(out)
+    }
+}
 
 /// Applies the shared planner flags (`--headroom`, `--fp32-grads`).
 fn build_planner(args: &mut Args) -> Result<Planner, ConfigError> {
@@ -38,7 +114,8 @@ fn build_planner(args: &mut Args) -> Result<Planner, ConfigError> {
 /// (optionally saved to `--out FILE` in the plan text format).
 pub fn plan(mut args: Args) -> Result<String, ConfigError> {
     let method = config::method(&mut args)?;
-    let planner = build_planner(&mut args)?;
+    let sink = ObsSink::from_args(&mut args, false);
+    let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
     let out_file = args.take("out");
     let parallel = config::parallel(&mut args)?;
     let train = config::workload(&mut args)?;
@@ -53,6 +130,11 @@ pub fn plan(mut args: Args) -> Result<String, ConfigError> {
                     .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
                 out.push_str(&format!("plan written to {path}\n"));
             }
+            out.push_str(&sink.flush(&[
+                ("command", "plan"),
+                ("model", planner.model().name()),
+                ("method", &method.to_string()),
+            ])?);
             Ok(out)
         }
         Err(e) => Ok(format!("{method} cannot run at {parallel}: {e}\n")),
@@ -102,7 +184,8 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
 /// `adapipe sweep`: one method across every (t, p, d) strategy.
 pub fn sweep(mut args: Args) -> Result<String, ConfigError> {
     let method = config::method(&mut args)?;
-    let planner = build_planner(&mut args)?;
+    let sink = ObsSink::from_args(&mut args, true);
+    let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
     let devices = args
         .take_parsed("devices", "a positive integer")?
         .unwrap_or_else(|| planner.cluster().total_devices());
@@ -125,12 +208,24 @@ pub fn sweep(mut args: Args) -> Result<String, ConfigError> {
         Some(best) => out.push_str(&format!("best: {best}\n")),
         None => out.push_str("no memory-feasible strategy\n"),
     }
+    if let Some((hits, misses, rate)) = sink.iso_cache_stats() {
+        out.push_str(&format!(
+            "iso-cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
+            rate * 100.0
+        ));
+    }
+    out.push_str(&sink.flush(&[
+        ("command", "sweep"),
+        ("model", planner.model().name()),
+        ("method", &method.to_string()),
+    ])?);
     Ok(out)
 }
 
 /// `adapipe compare`: every method at one strategy.
 pub fn compare(mut args: Args) -> Result<String, ConfigError> {
-    let planner = build_planner(&mut args)?;
+    let sink = ObsSink::from_args(&mut args, true);
+    let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
     let parallel = config::parallel(&mut args)?;
     let train = config::workload(&mut args)?;
     args.finish()?;
@@ -162,6 +257,13 @@ pub fn compare(mut args: Args) -> Result<String, ConfigError> {
     if let Some((method, t)) = best {
         out.push_str(&format!("fastest: {method} at {t:.3}s\n"));
     }
+    if let Some((hits, misses, rate)) = sink.iso_cache_stats() {
+        out.push_str(&format!(
+            "iso-cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
+            rate * 100.0
+        ));
+    }
+    out.push_str(&sink.flush(&[("command", "compare"), ("model", planner.model().name())])?);
     Ok(out)
 }
 
@@ -192,12 +294,22 @@ USAGE:
   adapipe plan    --tensor T --pipeline P [--data D] --seq S --global-batch G
                   [--model M] [--cluster a|b] [--nodes N] [--method NAME]
                   [--headroom F] [--fp32-grads true|false] [--micro-batch B]
+                  [--metrics-out FILE] [--chrome-trace FILE]
   adapipe sweep   --seq S --global-batch G [--devices N] [--max-tensor T]
-                  [--model M] [--cluster a|b] [--method NAME] ...
-  adapipe compare --tensor T --pipeline P [--data D] --seq S --global-batch G ...
+                  [--model M] [--cluster a|b] [--method NAME]
+                  [--metrics-out FILE] [--chrome-trace FILE] ...
+  adapipe compare --tensor T --pipeline P [--data D] --seq S --global-batch G
+                  [--metrics-out FILE] [--chrome-trace FILE] ...
   adapipe show    --plan FILE [--model M] [--cluster a|b] [--nodes N]
   adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
   adapipe models
+
+OBSERVABILITY:
+  --metrics-out FILE   write the search engine's metrics (knapsack DP
+                       effort, Algorithm 1 states, iso-cache hit rate,
+                       simulator events) as a JSON report
+  --chrome-trace FILE  write the planner's spans in Chrome Trace Event
+                       Format (load in chrome://tracing or Perfetto)
 
 MODELS:  gpt3 (default), llama2, gpt2, bert, tiny
 METHODS: adapipe (default), even, dapple-full, dapple-non, dapple-selective,
@@ -361,6 +473,111 @@ mod tests {
         assert!(json.starts_with('['));
         let _ = std::fs::remove_file(plan_path);
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn plan_writes_metrics_and_chrome_trace() {
+        let dir = std::env::temp_dir();
+        let metrics_path = dir.join("adapipe-cli-test-metrics.json");
+        let trace_path = dir.join("adapipe-cli-test-obs-trace.json");
+        let metrics_path = metrics_path.to_str().unwrap();
+        let trace_path = trace_path.to_str().unwrap();
+
+        let out = plan(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "16",
+            "--metrics-out",
+            metrics_path,
+            "--chrome-trace",
+            trace_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        assert!(out.contains("chrome trace written"), "{out}");
+
+        let metrics = std::fs::read_to_string(metrics_path).unwrap();
+        let v = adapipe_obs::json::parse(&metrics).expect("valid metrics JSON");
+        let counters = v.get("counters").expect("counters object");
+        // The acceptance set: knapsack DP effort, Algorithm 1 leaf
+        // evaluations, iso-cache traffic, simulator events.
+        for key in [
+            "recompute.knapsack.calls",
+            "partition.leaf_evals",
+            "partition.alg1.states",
+            "partition.iso_cache.misses",
+            "sim.events",
+        ] {
+            assert!(
+                counters.get(key).and_then(|c| c.as_f64()).unwrap_or(0.0) > 0.0,
+                "missing counter {key}: {metrics}"
+            );
+        }
+        assert!(
+            v.get("histograms")
+                .and_then(|h| h.get("recompute.knapsack.us"))
+                .is_some(),
+            "knapsack timing histogram missing: {metrics}"
+        );
+        assert!(
+            v.get("gauges")
+                .and_then(|g| g.get("partition.iso_cache.hit_rate"))
+                .is_some(),
+            "iso-cache hit rate missing: {metrics}"
+        );
+
+        let trace = std::fs::read_to_string(trace_path).unwrap();
+        let events = adapipe_obs::json::parse(&trace).expect("valid trace JSON");
+        let events = events.as_array().expect("trace is an array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        for span in ["plan", "plan.profile", "plan.partition", "sim.run"] {
+            assert!(names.contains(&span), "span {span} missing: {names:?}");
+        }
+        let _ = std::fs::remove_file(metrics_path);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn compare_reports_iso_cache_hit_rate() {
+        let out = compare(args(&[
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "32",
+        ]))
+        .unwrap();
+        assert!(out.contains("iso-cache:"), "{out}");
+        let hits: u64 = out
+            .split("iso-cache: ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "expected nonzero iso-cache hits: {out}");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # adapipe-obs: observability for the AdaPipe search engine
+//!
+//! The AdaPipe planner is a stack of nested dynamic programs — the §4
+//! recomputation knapsack, the §5 Algorithm 1 partition DP, the §5.3
+//! isomorphism cache — feeding a discrete-event simulator. This crate
+//! makes that machinery observable without perturbing it:
+//!
+//! - a thread-safe **metrics registry** ([`Recorder`]) with monotonic
+//!   counters, gauges and timing histograms (p50/p95/max);
+//! - a structured **span API** ([`Recorder::span`], [`span!`]) recording
+//!   nested begin/end events with wall-clock durations;
+//! - **exporters**: [`report::metrics_json`] renders a run's metrics as
+//!   a JSON report, [`trace::chrome_trace_json`] renders its spans in
+//!   Chrome Trace Event Format (loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev));
+//! - a dependency-free **JSON parser** ([`json`]) used to validate the
+//!   exported artifacts in tests.
+//!
+//! The cardinal design rule is that a **disabled recorder is free**:
+//! [`Recorder::disabled`] holds no allocation and every operation on it
+//! is a single branch on an `Option`, so instrumented hot paths (the
+//! knapsack inner loop, the simulator event loop) cost nothing when no
+//! sink is attached. Instrumented APIs therefore take a `&Recorder`
+//! unconditionally and the default constructors pass a disabled one.
+//!
+//! ```
+//! use adapipe_obs::{Recorder, report, trace};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _outer = rec.span("plan").with_arg("method", &"adapipe");
+//!     rec.add("recompute.knapsack.cells", 1024);
+//!     rec.observe("recompute.knapsack.us", 17.5);
+//!     let _inner = rec.span("plan.partition");
+//! } // spans record on drop
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counters["recompute.knapsack.cells"], 1024);
+//! let metrics = report::metrics_json(&snap, &[("model", "gpt2")]);
+//! let trace = trace::chrome_trace_json(&snap);
+//! assert!(adapipe_obs::json::parse(&metrics).is_ok());
+//! assert!(adapipe_obs::json::parse(&trace).is_ok());
+//! ```
+//!
+//! See `docs/observability.md` for the metric taxonomy and the span
+//! naming convention used across the workspace.
+
+mod recorder;
+
+pub mod json;
+pub mod report;
+pub mod trace;
+
+pub use recorder::{HistogramSummary, Recorder, Snapshot, SpanEvent, SpanGuard};

@@ -1,0 +1,421 @@
+//! The metrics registry and span machinery.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span: a named, timed section of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Dotted span name, e.g. `plan.partition`.
+    pub name: String,
+    /// Coarse category (by convention the emitting crate), e.g.
+    /// `planner`.
+    pub cat: String,
+    /// Start offset from the recorder's creation, in microseconds.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Logical thread index (0 for the recorder's first thread).
+    pub tid: usize,
+    /// Key/value annotations attached via [`SpanGuard::with_arg`].
+    pub args: Vec<(String, String)>,
+}
+
+/// Summary statistics of one timing/value histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// An immutable view of everything a [`Recorder`] has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write (or max-write) gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms, summarized.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanEvent>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+    spans: Vec<SpanEvent>,
+    threads: Vec<std::thread::ThreadId>,
+}
+
+impl State {
+    fn tid(&mut self) -> usize {
+        let id = std::thread::current().id();
+        match self.threads.iter().position(|t| *t == id) {
+            Some(i) => i,
+            None => {
+                self.threads.push(id);
+                self.threads.len() - 1
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// A cheap, clonable handle onto a metrics registry.
+///
+/// A `Recorder` is either *enabled* (backed by a shared registry) or
+/// *disabled* (a `None`; every operation is a single branch and no
+/// clock is read). Instrumented code takes `&Recorder` unconditionally;
+/// callers that don't care pass [`Recorder::disabled`].
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder with an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// The no-op recorder: records nothing, costs one branch per call.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut State) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|inner| f(&mut inner.state.lock().expect("obs registry poisoned")))
+    }
+
+    /// Adds `delta` to the counter `key`.
+    pub fn add(&self, key: &str, delta: u64) {
+        self.with_state(|s| *s.counters.entry(key.to_string()).or_insert(0) += delta);
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn incr(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Sets the gauge `key` to `value` (last write wins).
+    pub fn gauge(&self, key: &str, value: f64) {
+        self.with_state(|s| {
+            s.gauges.insert(key.to_string(), value);
+        });
+    }
+
+    /// Raises the gauge `key` to `value` if larger (high-water marks).
+    pub fn gauge_max(&self, key: &str, value: f64) {
+        self.with_state(|s| {
+            let g = s.gauges.entry(key.to_string()).or_insert(f64::NEG_INFINITY);
+            if value > *g {
+                *g = value;
+            }
+        });
+    }
+
+    /// Records one observation into the histogram `key`.
+    pub fn observe(&self, key: &str, value: f64) {
+        self.with_state(|s| s.histograms.entry(key.to_string()).or_default().push(value));
+    }
+
+    /// Opens a span named `name` with category `adapipe`; it records
+    /// itself when dropped. Attach annotations with
+    /// [`SpanGuard::with_arg`] or use the [`crate::span!`] macro.
+    #[must_use = "the span is recorded when the guard drops; binding it to `_` ends it immediately"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_cat(name, "adapipe")
+    }
+
+    /// Opens a span with an explicit category (by convention the
+    /// emitting crate: `planner`, `partition`, `recompute`, `sim`).
+    #[must_use = "the span is recorded when the guard drops; binding it to `_` ends it immediately"]
+    pub fn span_cat(&self, name: &str, cat: &str) -> SpanGuard {
+        SpanGuard {
+            live: self.inner.as_ref().map(|inner| LiveSpan {
+                inner: Arc::clone(inner),
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Times `f` under a span named `name`, returning its result.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = self.span(name);
+        f()
+    }
+
+    /// Current value of the counter `key` (0 if never written or the
+    /// recorder is disabled).
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.with_state(|s| s.counters.get(key).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Current value of the gauge `key`, if any.
+    #[must_use]
+    pub fn gauge_value(&self, key: &str) -> Option<f64> {
+        self.with_state(|s| s.gauges.get(key).copied()).flatten()
+    }
+
+    /// Snapshots everything recorded so far. Histograms are summarized
+    /// (count/sum/p50/p95/max); spans come out in completion order.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.with_state(|s| Snapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), summarize(v)))
+                .collect(),
+            spans: s.spans.clone(),
+        })
+        .unwrap_or_default()
+    }
+}
+
+fn summarize(values: &[f64]) -> HistogramSummary {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    };
+    HistogramSummary {
+        count: sorted.len() as u64,
+        sum: sorted.iter().sum(),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        max: sorted.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    inner: Arc<Inner>,
+    name: String,
+    cat: String,
+    start: Instant,
+    args: Vec<(String, String)>,
+}
+
+/// RAII guard for an open span; records a [`SpanEvent`] on drop. For a
+/// disabled recorder the guard is empty and dropping it is free.
+#[derive(Debug)]
+#[must_use = "a span records when this guard drops; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation (rendered with `Display`).
+    pub fn with_arg(mut self, key: &str, value: &dyn std::fmt::Display) -> Self {
+        if let Some(live) = self.live.as_mut() {
+            live.args.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let end = Instant::now();
+        let start_us = live
+            .start
+            .saturating_duration_since(live.inner.epoch)
+            .as_secs_f64()
+            * 1e6;
+        let dur_us = end.saturating_duration_since(live.start).as_secs_f64() * 1e6;
+        let mut state = live.inner.state.lock().expect("obs registry poisoned");
+        let tid = state.tid();
+        state.spans.push(SpanEvent {
+            name: live.name,
+            cat: live.cat,
+            start_us,
+            dur_us,
+            tid,
+            args: live.args,
+        });
+    }
+}
+
+/// Opens a span on a [`Recorder`] with optional `key = value`
+/// annotations:
+///
+/// ```
+/// use adapipe_obs::{span, Recorder};
+/// let rec = Recorder::new();
+/// let stage = 3;
+/// let _g = span!(rec, "knapsack", stage = stage, layers = 24);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr) => {
+        $rec.span($name)
+    };
+    ($rec:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $rec.span($name)$(.with_arg(stringify!($key), &$value))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let rec = Recorder::new();
+        rec.add("c", 2);
+        rec.incr("c");
+        rec.gauge("g", 1.5);
+        rec.gauge("g", 2.5);
+        rec.gauge_max("peak", 3.0);
+        rec.gauge_max("peak", 1.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            rec.observe("h", v);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["c"], 3);
+        assert_eq!(rec.counter("c"), 3);
+        assert_eq!(snap.gauges["g"], 2.5);
+        assert_eq!(snap.gauges["peak"], 3.0);
+        let h = snap.histograms["h"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 4.0);
+        assert!((h.sum - 10.0).abs() < 1e-12);
+        assert!(h.p50 >= 1.0 && h.p50 <= 3.0);
+        assert!(h.p95 >= h.p50);
+    }
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let rec = Recorder::new();
+        {
+            let _outer = span!(rec, "outer", kind = "test");
+            let _inner = rec.span_cat("inner", "unit");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(snap.spans[0].name, "inner");
+        assert_eq!(snap.spans[0].cat, "unit");
+        assert_eq!(snap.spans[1].name, "outer");
+        assert_eq!(snap.spans[1].args, vec![("kind".into(), "test".into())]);
+        let (o, i) = (&snap.spans[1], &snap.spans[0]);
+        assert!(o.start_us <= i.start_us);
+        assert!(o.start_us + o.dur_us >= i.start_us + i.dur_us);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.add("c", 10);
+        rec.gauge("g", 1.0);
+        rec.observe("h", 1.0);
+        let _g = span!(rec, "s", a = 1);
+        drop(_g);
+        assert_eq!(rec.counter("c"), 0);
+        assert_eq!(rec.gauge_value("g"), None);
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_is_effectively_free() {
+        // Guard against the no-op path acquiring locks or allocating:
+        // ten million disabled ops must finish far faster than any
+        // realistic lock-per-op implementation would (functional bound,
+        // deliberately loose to stay robust on loaded CI machines).
+        let rec = Recorder::disabled();
+        let start = Instant::now();
+        for i in 0..10_000_000u64 {
+            rec.add("k", i);
+        }
+        assert!(
+            start.elapsed().as_secs_f64() < 2.0,
+            "no-op recorder too slow: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let rec = Recorder::new();
+        let other = rec.clone();
+        other.incr("shared");
+        assert_eq!(rec.counter("shared"), 1);
+    }
+
+    #[test]
+    fn time_wraps_and_returns() {
+        let rec = Recorder::new();
+        let out = rec.time("work", || 41 + 1);
+        assert_eq!(out, 42);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "work");
+        assert!(snap.spans[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let rec = Recorder::new();
+        rec.time("main-thread", || {});
+        let r2 = rec.clone();
+        std::thread::spawn(move || r2.time("worker", || {}))
+            .join()
+            .unwrap();
+        let snap = rec.snapshot();
+        let main_tid = snap.spans.iter().find(|s| s.name == "main-thread").unwrap();
+        let worker = snap.spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_ne!(main_tid.tid, worker.tid);
+    }
+}

@@ -16,6 +16,7 @@
 use crate::cost::{F1bBreakdown, StageTimes};
 use crate::provider::StageCostProvider;
 use adapipe_model::LayerRange;
+use adapipe_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// The output of Algorithm 1: per-stage layer ranges, their optimized
@@ -71,6 +72,28 @@ pub fn solve(
     p: usize,
     n: usize,
 ) -> Option<PartitionPlan> {
+    solve_traced(provider, num_layers, p, n, &Recorder::disabled())
+}
+
+/// [`solve`], reporting DP effort to `rec`: states filled
+/// (`partition.alg1.states`), split candidates scored
+/// (`partition.alg1.candidates`) and total solve time inside a
+/// `partition.alg1` span.
+///
+/// # Panics
+///
+/// Panics if `p == 0`, `p > num_layers`, or `n < p`.
+#[must_use]
+pub fn solve_traced(
+    provider: &impl StageCostProvider,
+    num_layers: usize,
+    p: usize,
+    n: usize,
+    rec: &Recorder,
+) -> Option<PartitionPlan> {
+    let _span = rec.span_cat("partition.alg1", "partition");
+    let mut states: u64 = 0;
+    let mut candidates: u64 = 0;
     assert!(p > 0, "pipeline size must be positive");
     assert!(
         p <= num_layers,
@@ -84,6 +107,8 @@ pub fn solve(
 
     // Base case: the last stage takes everything from i to the end.
     for i in (p - 1)..l {
+        states += 1;
+        candidates += 1;
         let range = LayerRange::new(i, l - 1);
         if let Some(times) = provider.stage_times(p - 1, range) {
             let m = times.f + times.b;
@@ -103,9 +128,11 @@ pub fn solve(
     for s in (0..p - 1).rev() {
         let remaining = p - s; // stages still to place, including s
         for i in s..=(l - remaining) {
+            states += 1;
             let mut best: Option<State> = None;
             // Stage s takes layers i..=j; the tail needs p-1-s layers.
             for j in i..=(l - remaining) {
+                candidates += 1;
                 let Some(next) = table[s + 1][j + 1] else {
                     continue;
                 };
@@ -133,6 +160,9 @@ pub fn solve(
             table[s][i] = best;
         }
     }
+
+    rec.add("partition.alg1.states", states);
+    rec.add("partition.alg1.candidates", candidates);
 
     // Reconstruct the winning partition from P[0, 0].
     let mut ranges = Vec::with_capacity(p);
@@ -299,6 +329,29 @@ mod tests {
         let plan = solve(&provider, 6, 3, 12).unwrap();
         let eval = evaluate_partition(&provider, &plan.ranges, 12).unwrap();
         assert!((eval.iteration_time() - plan.iteration_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_solve_reports_dp_effort() {
+        let provider = Synthetic {
+            weights: vec![1.0; 8],
+        };
+        let rec = Recorder::new();
+        let traced = solve_traced(&provider, 8, 4, 16, &rec).unwrap();
+        let plain = solve(&provider, 8, 4, 16).unwrap();
+        assert_eq!(traced, plain, "tracing must not change the plan");
+        let snap = rec.snapshot();
+        assert!(snap.counters["partition.alg1.states"] > 0);
+        assert!(
+            snap.counters["partition.alg1.candidates"] >= snap.counters["partition.alg1.states"]
+        );
+        assert_eq!(
+            snap.spans
+                .iter()
+                .filter(|s| s.name == "partition.alg1")
+                .count(),
+            1
+        );
     }
 
     #[test]

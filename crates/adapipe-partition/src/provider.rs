@@ -4,8 +4,9 @@
 use crate::cost::StageTimes;
 use adapipe_memory::MemoryModel;
 use adapipe_model::{LayerKind, LayerRange, LayerSeq};
+use adapipe_obs::Recorder;
 use adapipe_profiler::ProfileTable;
-use adapipe_recompute::{optimize_with, KnapsackConfig, OptimizedStage, StrategyError};
+use adapipe_recompute::{optimize_traced, KnapsackConfig, OptimizedStage, StrategyError};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
@@ -42,6 +43,7 @@ pub struct KnapsackCostProvider<'a> {
     capacity: u64,
     iso_cache: bool,
     knapsack: KnapsackConfig,
+    rec: Recorder,
     cache: RefCell<HashMap<IsoKey, Option<StageTimes>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
@@ -65,6 +67,7 @@ impl<'a> KnapsackCostProvider<'a> {
             capacity,
             iso_cache: true,
             knapsack: KnapsackConfig::default(),
+            rec: Recorder::disabled(),
             cache: RefCell::new(HashMap::new()),
             hits: Cell::new(0),
             misses: Cell::new(0),
@@ -83,6 +86,16 @@ impl<'a> KnapsackCostProvider<'a> {
     #[must_use]
     pub fn with_knapsack_config(mut self, knapsack: KnapsackConfig) -> Self {
         self.knapsack = knapsack;
+        self
+    }
+
+    /// Attaches an observability recorder. The provider reports
+    /// `partition.iso_cache.{hits,misses}`, `partition.leaf_evals` and
+    /// per-leaf timing (`partition.leaf.us`), and forwards the recorder
+    /// into the recomputation knapsack it runs per leaf.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
         self
     }
 
@@ -119,11 +132,18 @@ impl<'a> KnapsackCostProvider<'a> {
                 budget: 0,
             })?;
         let units = self.table.units_in(range);
-        optimize_with(&units, budget, self.knapsack)
+        optimize_traced(&units, budget, self.knapsack, &self.rec)
     }
 
     fn compute(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
-        let opt = self.optimize_stage(stage, range).ok()?;
+        self.rec.incr("partition.leaf_evals");
+        let started = self.rec.is_enabled().then(std::time::Instant::now);
+        let opt = self.optimize_stage(stage, range).ok();
+        if let Some(t0) = started {
+            self.rec
+                .observe("partition.leaf.us", t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let opt = opt?;
         Some(StageTimes {
             f: opt.cost.time_f,
             b: opt.cost.time_b,
@@ -135,6 +155,7 @@ impl StageCostProvider for KnapsackCostProvider<'_> {
     fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
         if !self.iso_cache {
             self.misses.set(self.misses.get() + 1);
+            self.rec.incr("partition.iso_cache.misses");
             return self.compute(stage, range);
         }
         let key = IsoKey {
@@ -145,9 +166,11 @@ impl StageCostProvider for KnapsackCostProvider<'_> {
         };
         if let Some(cached) = self.cache.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            self.rec.incr("partition.iso_cache.hits");
             return *cached;
         }
         self.misses.set(self.misses.get() + 1);
+        self.rec.incr("partition.iso_cache.misses");
         let result = self.compute(stage, range);
         self.cache.borrow_mut().insert(key, result);
         result

@@ -3,8 +3,10 @@
 
 use crate::error::StrategyError;
 use crate::strategy::{cost_of, RecomputeStrategy, StageCost};
+use adapipe_obs::Recorder;
 use adapipe_profiler::UnitProfile;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Tuning knobs for the knapsack DP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +78,27 @@ pub fn optimize_with(
     budget_per_mb: u64,
     config: KnapsackConfig,
 ) -> Result<OptimizedStage, StrategyError> {
+    optimize_traced(units, budget_per_mb, config, &Recorder::disabled())
+}
+
+/// [`optimize_with`], reporting DP effort to `rec`: per-call wall time
+/// (`recompute.knapsack.us`), cells evaluated
+/// (`recompute.knapsack.cells`), re-bucketing rounds beyond the GCD
+/// scale (`recompute.knapsack.rebuckets`) and the final scale factor
+/// (`recompute.knapsack.gcd_scale` gauge).
+///
+/// # Errors
+///
+/// Returns [`StrategyError::OutOfMemory`] when the pinned units alone
+/// exceed the budget.
+pub fn optimize_traced(
+    units: &[UnitProfile],
+    budget_per_mb: u64,
+    config: KnapsackConfig,
+    rec: &Recorder,
+) -> Result<OptimizedStage, StrategyError> {
+    let started = rec.is_enabled().then(Instant::now);
+    rec.incr("recompute.knapsack.calls");
     let pinned_bytes: u64 = units
         .iter()
         .filter(|u| u.is_pinned())
@@ -104,7 +127,7 @@ pub fn optimize_with(
     }
 
     if !free.is_empty() {
-        let chosen = solve(&free, free_budget, config);
+        let chosen = solve(&free, free_budget, config, rec);
         for idx in chosen {
             saved[idx] = true;
         }
@@ -112,6 +135,9 @@ pub fn optimize_with(
 
     let strategy = RecomputeStrategy::from_flags(units, saved);
     let cost = cost_of(units, &strategy);
+    if let Some(t0) = started {
+        rec.observe("recompute.knapsack.us", t0.elapsed().as_secs_f64() * 1e6);
+    }
     Ok(OptimizedStage {
         slack_bytes: budget_per_mb - cost.saved_bytes_per_mb,
         strategy,
@@ -121,7 +147,12 @@ pub fn optimize_with(
 
 /// 0/1 knapsack over the free units; returns the original indices of the
 /// units to save.
-fn solve(free: &[(usize, &UnitProfile)], budget: u64, config: KnapsackConfig) -> Vec<usize> {
+fn solve(
+    free: &[(usize, &UnitProfile)],
+    budget: u64,
+    config: KnapsackConfig,
+    rec: &Recorder,
+) -> Vec<usize> {
     // Everything fits: skip the DP entirely.
     let total: u64 = free.iter().map(|(_, u)| u.mem_saved).sum();
     if total <= budget {
@@ -141,8 +172,14 @@ fn solve(free: &[(usize, &UnitProfile)], budget: u64, config: KnapsackConfig) ->
     while capacity > config.max_capacity_cells {
         scale *= 2;
         capacity = (budget / scale) as usize;
+        rec.incr("recompute.knapsack.rebuckets");
     }
     let exact = scale == g;
+    rec.gauge_max("recompute.knapsack.gcd_scale", scale as f64);
+    rec.add(
+        "recompute.knapsack.cells",
+        ((capacity + 1) * free.len()) as u64,
+    );
 
     // weights rounded up when re-bucketed (conservative: never exceeds
     // the real budget).
@@ -377,6 +414,21 @@ mod tests {
         )
         .unwrap();
         assert!((fast.cost.time_b - slow.cost.time_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_optimize_records_dp_effort() {
+        let rec = Recorder::new();
+        let us = units(LayerRange::new(1, 8));
+        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let opt = optimize_traced(&us, all * 60 / 100, KnapsackConfig::default(), &rec).unwrap();
+        let baseline = optimize(&us, all * 60 / 100).unwrap();
+        assert_eq!(opt, baseline, "tracing must not change the result");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["recompute.knapsack.calls"], 1);
+        assert!(snap.counters["recompute.knapsack.cells"] > 0);
+        assert!(snap.gauges["recompute.knapsack.gcd_scale"] >= 1.0);
+        assert_eq!(snap.histograms["recompute.knapsack.us"].count, 1);
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod offload;
 pub mod strategy;
 
 pub use error::StrategyError;
-pub use knapsack::{optimize, optimize_with, KnapsackConfig, OptimizedStage};
+pub use knapsack::{optimize, optimize_traced, optimize_with, KnapsackConfig, OptimizedStage};
 pub use offload::{optimize_hybrid, HybridStage, OffloadLink, UnitDecision};
 pub use strategy::{RecomputeStrategy, StageCost};

@@ -6,6 +6,7 @@
 
 use crate::report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 use crate::task::{Discipline, TaskGraph};
+use adapipe_obs::Recorder;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -56,6 +57,25 @@ impl Ord for Event {
 /// that can never run — e.g. a cross-device cycle through queue order).
 #[must_use]
 pub fn simulate(graph: &TaskGraph) -> SimReport {
+    simulate_traced(graph, &Recorder::disabled())
+}
+
+/// [`simulate`], reporting engine effort to `rec`: tasks and events
+/// processed (`sim.tasks`, `sim.events`), the dispatchable-set
+/// high-water mark (`sim.ready_queue.peak` gauge) and per-device
+/// busy/bubble seconds, all inside a `sim.run` span.
+///
+/// # Panics
+///
+/// Panics if the graph deadlocks (see [`simulate`]).
+#[must_use]
+pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
+    let _span = rec
+        .span_cat("sim.run", "sim")
+        .with_arg("schedule", &graph.name);
+    let mut events: u64 = 0;
+    let mut ready_peak: usize = 0;
+
     let n = graph.tasks.len();
     let d = graph.devices;
 
@@ -191,6 +211,7 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
             }
         }
         for ev in batch {
+            events += 1;
             match ev.kind {
                 EventKind::Ready(id) => {
                     if started[id] {
@@ -199,6 +220,7 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
                     is_ready[id] = true;
                     let t = &graph.tasks[id];
                     dispatchable[t.device].insert((t.priority, id));
+                    ready_peak = ready_peak.max(dispatchable[t.device].len());
                     touched.push(t.device);
                 }
                 EventKind::Complete(id) => {
@@ -276,6 +298,18 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
         })
         .collect();
     memory_timeline.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.device.cmp(&b.device)));
+    if rec.is_enabled() {
+        rec.add("sim.tasks", n as u64);
+        rec.add("sim.events", events);
+        rec.gauge_max("sim.ready_queue.peak", ready_peak as f64);
+        for dev in 0..d {
+            rec.gauge(&format!("sim.device{dev}.busy_s"), busy_time[dev]);
+            rec.gauge(
+                &format!("sim.device{dev}.bubble_s"),
+                makespan - busy_time[dev],
+            );
+        }
+    }
     SimReport {
         schedule: graph.name.clone(),
         makespan,
@@ -359,6 +393,24 @@ mod tests {
         }
         // Priorities inverted: micro-batch 4 (priority 6) runs first.
         assert_eq!(r1.timeline[0].meta.micro_batch, 4);
+    }
+
+    #[test]
+    fn traced_simulation_reports_engine_effort() {
+        let mut g = TaskGraph::new("traced", 2, Discipline::GreedyPriority);
+        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0));
+        let _b = g.push(1, 2.0, vec![(a, 0.5)], 0, 0, 0, meta(1));
+        let rec = Recorder::new();
+        let traced = simulate_traced(&g, &rec);
+        let plain = simulate(&g);
+        assert!((traced.makespan - plain.makespan).abs() < 1e-15);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["sim.tasks"], 2);
+        assert!(snap.counters["sim.events"] >= 4); // 2 ready + 2 complete
+        assert!(snap.gauges["sim.ready_queue.peak"] >= 1.0);
+        assert!(snap.gauges.contains_key("sim.device0.busy_s"));
+        assert!(snap.gauges.contains_key("sim.device1.bubble_s"));
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "sim.run").count(), 1);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod schedule;
 mod task;
 pub mod validate;
 
-pub use engine::simulate;
+pub use engine::{simulate, simulate_traced};
 pub use report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 pub use task::{Discipline, OpKind, StageExec, TaskGraph, TaskMeta};

@@ -202,11 +202,7 @@ mod tests {
                 .unwrap_or(0);
             assert_eq!(max, d.peak_dynamic_bytes, "device {dev}");
             // Fully drained: the last sample returns to zero.
-            let last = r
-                .memory_timeline
-                .iter()
-                .rfind(|s| s.device == dev)
-                .unwrap();
+            let last = r.memory_timeline.iter().rfind(|s| s.device == dev).unwrap();
             assert_eq!(last.bytes, 0, "device {dev}");
         }
     }

@@ -61,6 +61,7 @@ pub use plan_io::PlanParseError;
 pub use planner::Planner;
 pub use search::{best_outcome, sweep_parallel_strategies, StrategyOutcome};
 
+pub use adapipe_obs::Recorder;
 pub use adapipe_partition::F1bBreakdown;
 pub use adapipe_recompute::RecomputeStrategy;
 pub use adapipe_sim::SimReport;

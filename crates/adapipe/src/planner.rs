@@ -5,10 +5,11 @@ use crate::plan::{Plan, StagePlan};
 use adapipe_hw::ClusterSpec;
 use adapipe_memory::{f1b_live_microbatches, MemoryModel, OptimizerSpec, StageMemory};
 use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig, TrainConfig};
+use adapipe_obs::Recorder;
 use adapipe_partition::{algorithm1, f1b_iteration_time, KnapsackCostProvider, StageTimes};
 use adapipe_profiler::{ProfileTable, Profiler};
 use adapipe_recompute::{strategy, KnapsackConfig, RecomputeStrategy};
-use adapipe_sim::{schedule, simulate, StageExec};
+use adapipe_sim::{schedule, simulate_traced, StageExec};
 
 /// The AdaPipe search engine plus baseline planners and the evaluation
 /// harness (§6: "AdaPipe consists of a search engine and an execution
@@ -23,6 +24,7 @@ pub struct Planner {
     /// devices (§7.4); 0.875 reproduces that.
     search_headroom: f64,
     knapsack: KnapsackConfig,
+    rec: Recorder,
 }
 
 pub(crate) struct Context {
@@ -43,7 +45,26 @@ impl Planner {
             optimizer: OptimizerSpec::adam_fp32(),
             search_headroom: 0.875,
             knapsack: KnapsackConfig::default(),
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Every phase of the search —
+    /// profiling, the partition DP (and the recomputation knapsacks and
+    /// isomorphism cache under it), plan materialization and the
+    /// simulator — reports spans and counters to it; pass the same
+    /// recorder to several planners to aggregate a sweep.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// The recorder this planner reports to (disabled unless
+    /// [`Planner::with_recorder`] was called).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Overrides the recomputation-knapsack tuning (coarser memory cells
@@ -101,6 +122,7 @@ impl Planner {
     }
 
     pub(crate) fn context(&self, parallel: ParallelConfig, train: TrainConfig) -> Context {
+        let _span = self.rec.span_cat("plan.profile", "planner");
         let table = Profiler::new(self.cluster.clone()).profile(&self.model, &parallel, &train);
         Context {
             seq: LayerSeq::for_model(&self.model),
@@ -132,6 +154,10 @@ impl Planner {
         parallel: ParallelConfig,
         train: TrainConfig,
     ) -> Result<Plan, PlanError> {
+        let _span = self
+            .rec
+            .span_cat("plan", "planner")
+            .with_arg("method", &method);
         train.validate_for(&parallel)?;
         if parallel.tensor() > self.cluster.devices_per_node() {
             return Err(PlanError::Unsupported {
@@ -198,12 +224,21 @@ impl Planner {
     ) -> Result<Vec<StagePlan>, PlanError> {
         let provider =
             KnapsackCostProvider::new(&ctx.seq, &ctx.table, &ctx.mem, self.search_capacity())
-                .with_knapsack_config(self.knapsack);
-        let plan = algorithm1::solve(&provider, ctx.seq.len(), parallel.pipeline(), ctx.n).ok_or(
-            PlanError::OutOfMemory {
-                context: "adaptive partitioning DP",
-            },
-        )?;
+                .with_knapsack_config(self.knapsack)
+                .with_recorder(self.rec.clone());
+        let plan = {
+            let _span = self.rec.span_cat("plan.partition", "planner");
+            algorithm1::solve_traced(
+                &provider,
+                ctx.seq.len(),
+                parallel.pipeline(),
+                ctx.n,
+                &self.rec,
+            )
+        }
+        .ok_or(PlanError::OutOfMemory {
+            context: "adaptive partitioning DP",
+        })?;
         self.materialize_adaptive(ctx, parallel, &provider, &plan.ranges)
     }
 
@@ -216,7 +251,8 @@ impl Planner {
     ) -> Result<Vec<StagePlan>, PlanError> {
         let provider =
             KnapsackCostProvider::new(&ctx.seq, &ctx.table, &ctx.mem, self.search_capacity())
-                .with_knapsack_config(self.knapsack);
+                .with_knapsack_config(self.knapsack)
+                .with_recorder(self.rec.clone());
         let ranges = ctx.seq.even_partition(parallel.pipeline());
         self.materialize_adaptive(ctx, parallel, &provider, &ranges)
     }
@@ -228,6 +264,7 @@ impl Planner {
         provider: &KnapsackCostProvider<'_>,
         ranges: &[LayerRange],
     ) -> Result<Vec<StagePlan>, PlanError> {
+        let _span = self.rec.span_cat("plan.materialize", "planner");
         let mut stages = Vec::with_capacity(ranges.len());
         for (s, &range) in ranges.iter().enumerate() {
             let opt = provider.optimize_stage(s, range)?;
@@ -339,6 +376,10 @@ impl Planner {
     /// configuration (corrupted plan).
     #[must_use]
     pub fn evaluate(&self, plan: &Plan) -> Evaluation {
+        let _span = self
+            .rec
+            .span_cat("evaluate", "planner")
+            .with_arg("method", &plan.method);
         let ctx = self.context(plan.parallel, plan.train);
         let p = plan.parallel.pipeline();
         let vp = p * plan.method.virtual_chunks();
@@ -369,7 +410,10 @@ impl Planner {
             }
             _ => schedule::one_f_one_b(&execs, ctx.n, p2p),
         };
-        let mut report = simulate(&graph);
+        let mut report = {
+            let _span = self.rec.span_cat("evaluate.simulate", "planner");
+            simulate_traced(&graph, &self.rec)
+        };
 
         // End-of-iteration gradient all-reduce across the data-parallel
         // group (the heaviest stage's gradients bound the synchronization).

@@ -1,0 +1,338 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset of the Criterion API this workspace's benches
+//! use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`) with a simple mean/min/max timer
+//! instead of Criterion's statistical machinery. Each bench binary's
+//! summary is printed and, when a `results/` directory can be located
+//! (walking up from the working directory, or via the
+//! `ADAPIPE_RESULTS_DIR` environment variable), also written to
+//! `results/BENCH_<bench-name>.json` so benchmark trajectories are
+//! machine-readable. See `shims/README.md`.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Number of timed iterations.
+    pub samples: u64,
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+/// The bench context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: Option<usize>,
+}
+
+/// Times closures for one benchmark (shim of `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once for warmup, then `samples` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count per benchmark (Criterion's minimum is
+    /// 10; this shim accepts any positive value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{id}", self.name);
+        assert!(
+            !bencher.durations.is_empty(),
+            "benchmark {full_id} never called Bencher::iter"
+        );
+        let total: Duration = bencher.durations.iter().sum();
+        let result = BenchResult {
+            id: full_id,
+            samples: bencher.durations.len() as u64,
+            mean: total / bencher.durations.len() as u32,
+            min: *bencher.durations.iter().min().expect("nonempty"),
+            max: *bencher.durations.iter().max().expect("nonempty"),
+        };
+        println!(
+            "bench {:<48} {:>12.3?} /iter (min {:.3?}, max {:.3?}, {} samples)",
+            result.id, result.mean, result.min, result.max, result.samples
+        );
+        self.criterion.results.push(result);
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Benches `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, B: IntoBenchmarkId, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: B,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.unwrap_or(10);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".into(),
+            sample_size: 10,
+        };
+        group.run(id.into_id(), f);
+        self
+    }
+
+    /// Renders all collected results as a JSON document.
+    #[must_use]
+    pub fn summary_json(&self, bench_name: &str) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"bench\": \"{}\",\n  \"unit\": \"ns\",\n",
+            escape(bench_name)
+        );
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}",
+                escape(&r.id),
+                r.samples,
+                r.mean.as_nanos(),
+                r.min.as_nanos(),
+                r.max.as_nanos(),
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the run summary and writes `results/BENCH_<name>.json`
+    /// when a results directory is discoverable.
+    pub fn final_summary(&self) {
+        let name = bench_binary_name();
+        println!("\n{} benchmark(s) complete", self.results.len());
+        let Some(dir) = results_dir() else {
+            eprintln!("note: no results/ directory found; skipping BENCH_{name}.json");
+            return;
+        };
+        let path = dir.join(format!("BENCH_{name}.json"));
+        match std::fs::write(&path, self.summary_json(&name)) {
+            Ok(()) => println!("summary written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The bench target's name, recovered from `argv[0]`
+/// (`.../deps/knapsack-<hash>` → `knapsack`).
+fn bench_binary_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = PathBuf::from(argv0)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".into());
+    // Cargo appends `-<16 hex digits>` to the target name.
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Locates the `results/` directory: `$ADAPIPE_RESULTS_DIR` if set, else
+/// the first `results/` found walking up from the working directory.
+fn results_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("ADAPIPE_RESULTS_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    let mut cur = std::env::current_dir().ok()?;
+    loop {
+        let candidate = cur.join("results");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !cur.pop() {
+            return None;
+        }
+    }
+}
+
+/// Shim of `criterion_group!`: a function running each bench against a
+/// shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Shim of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_summarize() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function(BenchmarkId::new("square", 4), |b| {
+                b.iter(|| black_box(4u64) * black_box(4u64))
+            });
+            g.bench_with_input(BenchmarkId::new("sum", "vec"), &vec![1u64, 2, 3], |b, v| {
+                b.iter(|| v.iter().sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].samples, 3);
+        assert!(c.results[0].min <= c.results[0].mean);
+        let json = c.summary_json("demo");
+        assert!(json.contains("\"id\": \"demo/square/4\""));
+        assert!(json.contains("\"mean_ns\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "never called")]
+    fn forgetting_iter_is_an_error() {
+        let mut c = Criterion::default();
+        c.benchmark_group("bad").bench_function("noop", |_b| {});
+    }
+}

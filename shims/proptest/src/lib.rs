@@ -1,0 +1,415 @@
+//! Offline shim for `proptest`.
+//!
+//! A miniature property-testing harness covering exactly the surface
+//! this workspace uses: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), integer/float range strategies, tuple
+//! strategies, `collection::vec`, `bool::ANY`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case reports its seed, case index and
+//!   generated inputs, which is enough to reproduce (generation is
+//!   deterministic per test name);
+//! - `proptest-regressions` files are ignored;
+//! - rejection via `prop_assume!` skips the case without a retry quota.
+//!
+//! See `shims/README.md` for why the workspace vendors this.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::Rng as _;
+
+/// The RNG handed to strategies (a deterministic xoshiro256++).
+pub type TestRng = StdRng;
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Generates values of `Self::Value` from a [`TestRng`] (shim of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod bool {
+    //! Boolean strategies (shim of `proptest::bool`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+}
+
+/// A length specification for [`collection::vec`]: either exact or a
+/// half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (shim of `proptest::collection`).
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose elements come from
+    /// `element` and whose length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rand::Rng::gen_range(
+                rng,
+                self.size.min..self.size.max_exclusive.max(self.size.min + 1),
+            );
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives the generated cases of one property (used by the expansion of
+/// [`proptest!`]; not part of the public proptest API).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+    rejected: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name`. Generation is
+    /// seeded from the name (FNV-1a), so each property is deterministic
+    /// across runs but distinct from its siblings.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            seed,
+            name,
+            rejected: 0,
+        }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case`.
+    #[must_use]
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::seed_from_u64(self.seed ^ (u64::from(case) << 32 | 0x5DEE_CE66))
+    }
+
+    /// Records one case outcome; panics (failing the `#[test]`) on
+    /// assertion failure, echoing the generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the outcome is [`TestCaseError::Fail`].
+    pub fn record(&mut self, case: u32, outcome: Result<(), TestCaseError>, inputs: &str) {
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => self.rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{}` failed at case {case}/{}:\n  {msg}\n  inputs: {inputs}",
+                self.name, self.config.cases
+            ),
+        }
+    }
+
+    /// Finishes the run; warns (does not fail) when every case was
+    /// rejected, since the property then verified nothing.
+    pub fn finish(&self) {
+        if self.rejected == self.config.cases && self.config.cases > 0 {
+            eprintln!(
+                "warning: property `{}` rejected all {} cases via prop_assume!",
+                self.name, self.config.cases
+            );
+        }
+    }
+}
+
+/// Shim of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Shim of the `proptest!` macro: runs each contained `#[test]` function
+/// over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                runner.record(case, outcome, &inputs);
+            }
+            runner.finish();
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Shim of `prop_assert!`: fails the current case (not the process) so
+/// the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Shim of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Shim of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Shim of `prop_assume!`: skips the case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in 1usize..10,
+            f in 0.5f64..2.0,
+            v in proptest::collection::vec(0u32..100, 2..6),
+            pair in (0.1f64..1.0, 5u64..9),
+            flag in proptest::bool::ANY,
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!((0.1..1.0).contains(&pair.0));
+            prop_assert!((5..9).contains(&pair.1));
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn exact_vec_size_is_exact() {
+        let strat = proptest::collection::vec(0u32..5, 7usize);
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        use rand::SeedableRng as _;
+        for _ in 0..20 {
+            assert_eq!(crate::Strategy::generate(&strat, &mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails`")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

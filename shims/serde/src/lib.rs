@@ -1,0 +1,30 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only uses `use serde::{Deserialize, Serialize}` for
+//! derives; no serializer backend is ever instantiated. This shim
+//! provides the two marker traits plus the (no-op) derive macros so the
+//! whole workspace builds without crates.io access. See
+//! `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no serializer exists in this
+/// workspace, so the trait is never required as a bound).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace stand-in for `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

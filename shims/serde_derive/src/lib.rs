@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types
+//! but never instantiates a serializer (there is no `serde_json` in the
+//! dependency tree), so the derives only need to exist, not to generate
+//! code. Emitting an empty token stream keeps every `#[derive(...)]`
+//! site compiling in an offline build environment with no crates.io
+//! access. See `shims/README.md` for the swap-back story.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

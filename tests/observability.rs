@@ -1,0 +1,156 @@
+//! Workspace-level observability regressions: the instrumented search
+//! engine must (a) keep results identical with a recorder attached,
+//! (b) hit the §5.3 isomorphism cache on a GPT-like model, and (c)
+//! export a structurally valid Chrome trace of the whole search.
+
+use adapipe::{Method, Planner, Recorder};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_obs::json::{parse, Value};
+use adapipe_obs::{report, trace};
+
+fn planned_recorder() -> (Recorder, f64) {
+    let rec = Recorder::new();
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a()).with_recorder(rec.clone());
+    let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+    let train = TrainConfig::new(1, 1024, 32).unwrap();
+    let plan = planner.plan(Method::AdaPipe, parallel, train).unwrap();
+    let eval = planner.evaluate(&plan);
+    (rec, eval.iteration_time)
+}
+
+#[test]
+fn recorder_does_not_change_the_plan() {
+    let (_, traced_time) = planned_recorder();
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+    let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+    let train = TrainConfig::new(1, 1024, 32).unwrap();
+    let plan = planner.plan(Method::AdaPipe, parallel, train).unwrap();
+    let plain_time = planner.evaluate(&plan).iteration_time;
+    assert!(
+        (traced_time - plain_time).abs() < 1e-12,
+        "traced {traced_time} vs plain {plain_time}"
+    );
+}
+
+#[test]
+fn iso_cache_hit_rate_is_nonzero_on_gpt_preset() {
+    // The §5.3 isomorphism cache is what makes Algorithm 1 tractable: a
+    // homogeneous GPT stack has far fewer window equivalence classes
+    // than windows, so most lookups must hit.
+    let (rec, _) = planned_recorder();
+    let snap = rec.snapshot();
+    let hits = snap.counters["partition.iso_cache.hits"];
+    let misses = snap.counters["partition.iso_cache.misses"];
+    assert!(hits > 0, "no cache hits recorded");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate > 0.5,
+        "hit rate {rate} suspiciously low ({hits}/{misses})"
+    );
+}
+
+#[test]
+fn full_search_records_the_acceptance_metric_set() {
+    let (rec, _) = planned_recorder();
+    let snap = rec.snapshot();
+    for counter in [
+        "recompute.knapsack.calls",
+        "partition.leaf_evals",
+        "partition.alg1.states",
+        "partition.alg1.candidates",
+        "sim.events",
+        "sim.tasks",
+    ] {
+        assert!(
+            snap.counters.get(counter).copied().unwrap_or(0) > 0,
+            "counter {counter} missing or zero: {:?}",
+            snap.counters
+        );
+    }
+    let knap = &snap.histograms["recompute.knapsack.us"];
+    assert_eq!(knap.count, snap.counters["recompute.knapsack.calls"]);
+    assert!(knap.p50 <= knap.p95 && knap.p95 <= knap.max);
+}
+
+#[test]
+fn memory_pressure_surfaces_knapsack_dp_cells() {
+    // At full capacity every gpt2 window saves everything and the
+    // knapsack takes its everything-fits shortcut (zero DP cells). A
+    // 1 % headroom forces the real DP, whose memory-axis work the
+    // cells counter must expose.
+    let rec = Recorder::new();
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a())
+        .with_recorder(rec.clone())
+        .with_search_headroom(0.01);
+    let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+    let train = TrainConfig::new(1, 4096, 32).unwrap();
+    planner
+        .plan(Method::AdaPipe, parallel, train)
+        .expect("feasible under 1% headroom");
+    let snap = rec.snapshot();
+    assert!(snap.counters["recompute.knapsack.cells"] > 0);
+    assert!(snap.gauges["recompute.knapsack.gcd_scale"] >= 1.0);
+}
+
+#[test]
+fn chrome_trace_of_a_real_search_is_golden() {
+    let (rec, _) = planned_recorder();
+    let snap = rec.snapshot();
+    let text = trace::chrome_trace_json(&snap);
+    let Value::Array(events) = parse(&text).expect("trace must parse") else {
+        panic!("trace must be a JSON array");
+    };
+    // Every span from the snapshot appears exactly once as a complete
+    // ("X") event, plus the single process-metadata event.
+    assert_eq!(events.len(), snap.spans.len() + 1);
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in &events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph");
+        if ph == "M" {
+            continue;
+        }
+        assert_eq!(ph, "X", "only complete events: {ev:?}");
+        let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+        assert!(ts >= last_ts, "timestamps sorted");
+        assert!(ts >= 0.0 && dur >= 0.0, "non-negative times");
+        last_ts = ts;
+    }
+    // The phase spans of the acceptance criteria are present, and each
+    // child phase nests inside the root "plan" span.
+    let span = |name: &str| -> (f64, f64) {
+        events
+            .iter()
+            .find_map(|e| {
+                (e.get("name").and_then(Value::as_str) == Some(name)).then(|| {
+                    (
+                        e.get("ts").and_then(Value::as_f64).unwrap(),
+                        e.get("dur").and_then(Value::as_f64).unwrap(),
+                    )
+                })
+            })
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    let (pts, pdur) = span("plan");
+    for child in ["plan.profile", "plan.partition", "plan.materialize"] {
+        let (cts, cdur) = span(child);
+        assert!(
+            cts >= pts && cts + cdur <= pts + pdur + 1.0,
+            "{child} inside plan"
+        );
+    }
+    span("sim.run");
+}
+
+#[test]
+fn metrics_report_of_a_real_search_parses() {
+    let (rec, _) = planned_recorder();
+    let text = report::metrics_json(&rec.snapshot(), &[("model", "gpt2-small")]);
+    let v = parse(&text).expect("metrics must parse");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("adapipe-obs/v1")
+    );
+    assert!(v.get("counters").is_some() && v.get("spans").is_some());
+}
