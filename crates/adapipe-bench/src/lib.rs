@@ -3,6 +3,8 @@
 //! the paper's evaluation; see `EXPERIMENTS.md` at the workspace root
 //! for the index and expected shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster_a;
 
 use adapipe::{Evaluation, Method, PlanError, Planner};

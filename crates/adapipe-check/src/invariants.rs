@@ -1,0 +1,359 @@
+//! The plan-level invariant catalog: partitioning (§5), per-stage
+//! recomputation cost and memory (Eq. (1)-(2), §4.2-4.3) and the
+//! analytic 1F1B iteration breakdown (Eq. (3), §5.1).
+
+use crate::diag::{CheckCode, Diagnostic, Severity};
+use adapipe_memory::StageMemory;
+use adapipe_model::LayerRange;
+use adapipe_partition::{f1b_iteration_time, F1bBreakdown, StageTimes};
+use adapipe_profiler::UnitProfile;
+use adapipe_recompute::{strategy, RecomputeStrategy, StageCost};
+
+/// Relative comparison tolerance for `f64` quantities that round-trip
+/// through text serialization: `17` significant digits survive the trip,
+/// so anything beyond float noise is a real inconsistency.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Whether `a` and `b` agree within relative tolerance `tol`
+/// (absolute near zero).
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Checks that `ranges` is a contiguous, monotone partition of layers
+/// `0..num_layers` (§5: "partitioning the model into contiguous stages").
+#[must_use]
+pub fn check_partition(ranges: &[LayerRange], num_layers: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(first) = ranges.first() else {
+        out.push(Diagnostic::error(
+            CheckCode::StageCount,
+            None,
+            "plan has no stages",
+        ));
+        return out;
+    };
+    if first.first != 0 {
+        out.push(Diagnostic::error(
+            CheckCode::PartitionCoverage,
+            Some(0),
+            format!("partition starts at layer {}, expected 0", first.first),
+        ));
+    }
+    for (s, r) in ranges.iter().enumerate() {
+        if r.last < r.first {
+            out.push(Diagnostic::error(
+                CheckCode::PartitionGap,
+                Some(s),
+                format!("range {r} is inverted"),
+            ));
+        }
+        if r.last >= num_layers {
+            out.push(Diagnostic::error(
+                CheckCode::PartitionCoverage,
+                Some(s),
+                format!("range {r} exceeds the model's {num_layers} layers"),
+            ));
+        }
+    }
+    for (s, pair) in ranges.windows(2).enumerate() {
+        let &[prev, next] = pair else { continue };
+        if next.first != prev.last + 1 {
+            let kind = if next.first > prev.last + 1 {
+                "gap"
+            } else {
+                "overlap"
+            };
+            out.push(Diagnostic::error(
+                CheckCode::PartitionGap,
+                Some(s + 1),
+                format!(
+                    "{kind} between stage {s} ({prev}) and stage {} ({next})",
+                    s + 1
+                ),
+            ));
+        }
+    }
+    if let Some(last) = ranges.last() {
+        if last.last + 1 != num_layers {
+            out.push(Diagnostic::error(
+                CheckCode::PartitionCoverage,
+                Some(ranges.len() - 1),
+                format!(
+                    "partition ends at layer {}, expected {} (model has {num_layers} layers)",
+                    last.last,
+                    num_layers - 1
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks a stage's strategy against its unit profiles: one flag per
+/// unit, pinned units (layer outputs) saved (§4.2).
+#[must_use]
+pub fn check_strategy(
+    stage: usize,
+    units: &[UnitProfile],
+    strat: &RecomputeStrategy,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if strat.len() != units.len() {
+        out.push(Diagnostic::error(
+            CheckCode::StrategyArity,
+            Some(stage),
+            format!(
+                "strategy covers {} units but the stage has {}",
+                strat.len(),
+                units.len()
+            ),
+        ));
+        return out;
+    }
+    for (i, u) in units.iter().enumerate() {
+        if u.is_pinned() && !strat.is_saved(i) {
+            out.push(Diagnostic::error(
+                CheckCode::PinnedUnitRecomputed,
+                Some(stage),
+                format!("pinned unit {} is marked recomputed", u.unit),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks a stage's stored [`StageCost`] against the cost recomputed from
+/// the unit profiles under the same strategy (the Eq. (1)-(2) leaf cost).
+/// A mismatch means the plan carries stale numbers — e.g. an isomorphism
+/// cache entry that no longer matches its window.
+///
+/// The strategy length must match `units` (run [`check_strategy`] first).
+#[must_use]
+pub fn check_stage_cost(
+    stage: usize,
+    units: &[UnitProfile],
+    strat: &RecomputeStrategy,
+    stored: &StageCost,
+    tol: f64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fresh = strategy::cost_of(units, strat);
+    if !approx_eq(fresh.time_f, stored.time_f, tol) {
+        out.push(Diagnostic::error(
+            CheckCode::CostDrift,
+            Some(stage),
+            format!(
+                "forward time {} disagrees with recomputed {} (stale cost)",
+                stored.time_f, fresh.time_f
+            ),
+        ));
+    }
+    if !approx_eq(fresh.time_b, stored.time_b, tol) {
+        out.push(Diagnostic::error(
+            CheckCode::CostDrift,
+            Some(stage),
+            format!(
+                "backward time {} disagrees with recomputed {} (stale cost)",
+                stored.time_b, fresh.time_b
+            ),
+        ));
+    }
+    if fresh.saved_bytes_per_mb != stored.saved_bytes_per_mb {
+        out.push(Diagnostic::error(
+            CheckCode::CostDrift,
+            Some(stage),
+            format!(
+                "saved bytes {} disagree with the strategy's {}",
+                stored.saved_bytes_per_mb, fresh.saved_bytes_per_mb
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks a stage's stored memory breakdown against the expected one
+/// (static from the §4.2 model, buffer from the strategy, intermediates
+/// from the schedule's live-micro-batch law).
+#[must_use]
+pub fn check_memory_accounting(
+    stage: usize,
+    expected: &StageMemory,
+    stored: &StageMemory,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fields = [
+        ("static", expected.static_bytes, stored.static_bytes),
+        ("buffer", expected.buffer_bytes, stored.buffer_bytes),
+        (
+            "intermediate",
+            expected.intermediate_bytes,
+            stored.intermediate_bytes,
+        ),
+    ];
+    for (name, want, got) in fields {
+        if want != got {
+            out.push(Diagnostic::error(
+                CheckCode::MemoryAccounting,
+                Some(stage),
+                format!("{name} bytes {got} disagree with the memory model's {want}"),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks a stage's total memory against device capacity (Eq. (2): every
+/// stage must fit). `severity` lets callers keep baselines reportable —
+/// the paper shows OOM baselines as bars — while adaptive plans, which
+/// searched under the constraint, must treat overflow as an error.
+#[must_use]
+pub fn check_capacity(
+    stage: usize,
+    memory: &StageMemory,
+    capacity: u64,
+    severity: Severity,
+) -> Vec<Diagnostic> {
+    if memory.fits(capacity) {
+        return Vec::new();
+    }
+    let diag = format!(
+        "stage needs {:.2} GB but the device caps at {:.2} GB ({memory})",
+        memory.total() as f64 / 1e9,
+        capacity as f64 / 1e9
+    );
+    vec![match severity {
+        Severity::Error => Diagnostic::error(CheckCode::BudgetOverflow, Some(stage), diag),
+        Severity::Warning => Diagnostic::warning(CheckCode::BudgetOverflow, Some(stage), diag),
+    }]
+}
+
+/// Checks a stored Eq. (3) breakdown against the recurrences re-evaluated
+/// from the per-stage times: `T = W₀ + E₀ + (n − p)·M₀`.
+#[must_use]
+pub fn check_breakdown(
+    times: &[StageTimes],
+    n: usize,
+    stored: &F1bBreakdown,
+    tol: f64,
+) -> Vec<Diagnostic> {
+    let p = times.len();
+    if p == 0 || n < p {
+        return vec![Diagnostic::error(
+            CheckCode::MicrobatchCount,
+            None,
+            format!("1F1B needs at least p micro-batches (n={n}, p={p})"),
+        )];
+    }
+    let fresh = f1b_iteration_time(times, n);
+    let mut out = Vec::new();
+    let phases = [
+        ("warmup W0", fresh.warmup, stored.warmup),
+        ("steady (n-p)*M0", fresh.steady, stored.steady),
+        ("ending E0", fresh.ending, stored.ending),
+        ("bottleneck M0", fresh.bottleneck, stored.bottleneck),
+        ("total T", fresh.total(), stored.total()),
+    ];
+    for (name, want, got) in phases {
+        if !approx_eq(want, got, tol) {
+            out.push(Diagnostic::error(
+                CheckCode::BreakdownDrift,
+                None,
+                format!("{name} = {got} disagrees with the Eq. (3) recurrence value {want}"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(first: usize, last: usize) -> LayerRange {
+        LayerRange { first, last }
+    }
+
+    #[test]
+    fn valid_partition_passes() {
+        let ranges = [r(0, 3), r(4, 9), r(10, 11)];
+        assert!(check_partition(&ranges, 12).is_empty());
+    }
+
+    #[test]
+    fn gap_overlap_and_coverage_are_flagged() {
+        let gap = [r(0, 3), r(5, 11)];
+        let diags = check_partition(&gap, 12);
+        assert!(diags.iter().any(|d| d.code == CheckCode::PartitionGap));
+        assert!(diags[0].message.contains("gap"), "{}", diags[0].message);
+
+        let overlap = [r(0, 5), r(4, 11)];
+        let diags = check_partition(&overlap, 12);
+        assert!(diags.iter().any(|d| d.code == CheckCode::PartitionGap));
+        assert!(diags[0].message.contains("overlap"), "{}", diags[0].message);
+
+        let short = [r(0, 3), r(4, 9)];
+        let diags = check_partition(&short, 12);
+        assert!(diags.iter().any(|d| d.code == CheckCode::PartitionCoverage));
+
+        let empty: [LayerRange; 0] = [];
+        assert!(check_partition(&empty, 12)[0].code == CheckCode::StageCount);
+    }
+
+    #[test]
+    fn breakdown_drift_is_detected() {
+        let times = vec![StageTimes { f: 1.0, b: 2.0 }; 4];
+        let good = f1b_iteration_time(&times, 16);
+        assert!(check_breakdown(&times, 16, &good, 1e-9).is_empty());
+
+        let mut bad = good;
+        bad.steady *= 1.5;
+        let diags = check_breakdown(&times, 16, &bad, 1e-9);
+        assert!(diags.iter().any(|d| d.code == CheckCode::BreakdownDrift));
+
+        let underfilled = check_breakdown(&times, 2, &good, 1e-9);
+        assert!(underfilled[0].code == CheckCode::MicrobatchCount);
+    }
+
+    #[test]
+    fn capacity_overflow_respects_severity() {
+        let mem = StageMemory {
+            static_bytes: 10,
+            buffer_bytes: 0,
+            intermediate_bytes: 0,
+        };
+        assert!(check_capacity(0, &mem, 10, Severity::Error).is_empty());
+        let err = check_capacity(0, &mem, 9, Severity::Error);
+        assert_eq!(err[0].severity, Severity::Error);
+        let warn = check_capacity(0, &mem, 9, Severity::Warning);
+        assert_eq!(warn[0].severity, Severity::Warning);
+        assert_eq!(warn[0].code, CheckCode::BudgetOverflow);
+    }
+
+    #[test]
+    fn memory_accounting_flags_each_field() {
+        let want = StageMemory {
+            static_bytes: 1,
+            buffer_bytes: 2,
+            intermediate_bytes: 3,
+        };
+        assert!(check_memory_accounting(0, &want, &want).is_empty());
+        let got = StageMemory {
+            static_bytes: 9,
+            buffer_bytes: 2,
+            intermediate_bytes: 7,
+        };
+        let diags = check_memory_accounting(0, &want, &got);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == CheckCode::MemoryAccounting));
+    }
+
+    #[test]
+    fn approx_eq_is_relative() {
+        assert!(approx_eq(1e6, 1e6 + 1e-4, 1e-9));
+        assert!(!approx_eq(1e6, 1e6 + 1.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+    }
+}

@@ -181,6 +181,47 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
     }
 }
 
+/// `adapipe verify`: statically check a saved plan against the paper's
+/// feasibility invariants (Eq. (1)-(3), partition cover, schedule DAG)
+/// without executing it. `--quick true` skips the iso-cache spot-check.
+pub fn verify(mut args: Args) -> Result<String, ConfigError> {
+    let plan = read_plan(&mut args)?;
+    let quick = match args.take("quick").as_deref() {
+        None | Some("false") => false,
+        Some("true") => true,
+        Some(other) => {
+            return Err(ConfigError::BadChoice {
+                flag: "quick",
+                value: other.to_string(),
+                choices: "true, false",
+            })
+        }
+    };
+    let planner = build_planner(&mut args)?;
+    args.finish()?;
+    let opts = if quick {
+        adapipe::VerifyOptions::quick()
+    } else {
+        adapipe::VerifyOptions::default()
+    };
+    let report = planner.verify_with(&plan, opts);
+    let header = format!(
+        "verifying {} plan ({} stages, n={}) against {} on {}\n",
+        plan.method,
+        plan.stages.len(),
+        plan.n_microbatches,
+        planner.model().name(),
+        planner.cluster().name()
+    );
+    if report.has_errors() {
+        Err(ConfigError::Domain(format!(
+            "plan failed verification\n{report}"
+        )))
+    } else {
+        Ok(format!("{header}{report}"))
+    }
+}
+
 /// `adapipe sweep`: one method across every (t, p, d) strategy.
 pub fn sweep(mut args: Args) -> Result<String, ConfigError> {
     let method = config::method(&mut args)?;
@@ -301,8 +342,16 @@ USAGE:
   adapipe compare --tensor T --pipeline P [--data D] --seq S --global-batch G
                   [--metrics-out FILE] [--chrome-trace FILE] ...
   adapipe show    --plan FILE [--model M] [--cluster a|b] [--nodes N]
+  adapipe verify  --plan FILE [--quick true] [--model M] [--cluster a|b] [--nodes N]
   adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
   adapipe models
+
+VERIFY:
+  statically checks a saved plan against the paper's invariants — memory
+  budgets under the chosen save/recompute sets (Eq. (1)-(2)), contiguous
+  full-cover partitioning, an acyclic deadlock-free task DAG, Eq. (3)
+  breakdown consistency and iso-cache soundness — without executing it;
+  exits nonzero if any error-severity finding is reported
 
 OBSERVABILITY:
   --metrics-out FILE   write the search engine's metrics (knapsack DP
@@ -473,6 +522,74 @@ mod tests {
         assert!(json.starts_with('['));
         let _ = std::fs::remove_file(plan_path);
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn verify_accepts_saved_plans_and_rejects_corrupted_ones() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join("adapipe-cli-test-verify-plan.txt");
+        let bad_path = dir.join("adapipe-cli-test-verify-bad.txt");
+        let plan_path = plan_path.to_str().unwrap();
+        let bad_path = bad_path.to_str().unwrap();
+
+        let common = [
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+            "--tensor",
+            "2",
+            "--pipeline",
+            "4",
+            "--seq",
+            "512",
+            "--global-batch",
+            "16",
+        ];
+        let mut plan_args: Vec<&str> = common.to_vec();
+        plan_args.extend(["--method", "adapipe", "--out", plan_path]);
+        let _ = plan(args(&plan_args)).unwrap();
+
+        let ok = verify(args(&[
+            "--plan",
+            plan_path,
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+        ]))
+        .unwrap();
+        assert!(ok.contains("ok: all invariants hold"), "{ok}");
+
+        // Corrupt one stage's backward time: the stored cost no longer
+        // matches the strategy (stale-cost class) and Eq. (3) drifts.
+        let text = std::fs::read_to_string(plan_path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("time_b ="))
+            .unwrap();
+        let corrupted = text.replacen(line, "  time_b = 999.0", 1);
+        std::fs::write(bad_path, corrupted).unwrap();
+        let err = verify(args(&[
+            "--plan",
+            bad_path,
+            "--model",
+            "gpt2",
+            "--cluster",
+            "a",
+            "--nodes",
+            "1",
+        ]))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("failed verification"), "{msg}");
+        assert!(msg.contains("cost-drift"), "{msg}");
+        let _ = std::fs::remove_file(plan_path);
+        let _ = std::fs::remove_file(bad_path);
     }
 
     #[test]

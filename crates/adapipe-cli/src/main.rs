@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep(parsed),
         "compare" => commands::compare(parsed),
         "show" => commands::show(parsed),
+        "verify" => commands::verify(parsed),
         "trace" => commands::trace(parsed),
         "models" => commands::models(parsed),
         other => {

@@ -24,6 +24,8 @@
 //! assert!(t > 0.0 && t < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cluster;
 mod device;
 mod link;

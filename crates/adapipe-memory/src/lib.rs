@@ -34,6 +34,8 @@
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod model;
 mod optimizer;
 

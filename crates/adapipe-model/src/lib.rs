@@ -27,6 +27,8 @@
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod layer;
 mod parallel;

@@ -182,11 +182,12 @@ impl LayerSeq {
     /// contiguous, non-overlapping, exhaustive stage assignments.
     #[must_use]
     pub fn is_valid_partition(&self, ranges: &[LayerRange]) -> bool {
-        if ranges.is_empty() || ranges[0].first != 0 {
+        if ranges.first().is_none_or(|r| r.first != 0) {
             return false;
         }
         for w in ranges.windows(2) {
-            if w[1].first != w[0].last + 1 {
+            let &[prev, next] = w else { continue };
+            if next.first != prev.last + 1 {
                 return false;
             }
         }

@@ -44,6 +44,8 @@
 //! See `docs/observability.md` for the metric taxonomy and the span
 //! naming convention used across the workspace.
 
+#![forbid(unsafe_code)]
+
 mod recorder;
 
 pub mod json;

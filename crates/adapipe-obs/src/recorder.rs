@@ -114,9 +114,12 @@ impl Recorder {
     }
 
     fn with_state<R>(&self, f: impl FnOnce(&mut State) -> R) -> Option<R> {
-        self.inner
-            .as_ref()
-            .map(|inner| f(&mut inner.state.lock().expect("obs registry poisoned")))
+        self.inner.as_ref().map(|inner| {
+            // Recover from a panic in another holder: metrics must not
+            // cascade failures into the instrumented code.
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut state)
+        })
     }
 
     /// Adds `delta` to the counter `key`.
@@ -270,7 +273,7 @@ impl Drop for SpanGuard {
             .as_secs_f64()
             * 1e6;
         let dur_us = end.saturating_duration_since(live.start).as_secs_f64() * 1e6;
-        let mut state = live.inner.state.lock().expect("obs registry poisoned");
+        let mut state = live.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let tid = state.tid();
         state.spans.push(SpanEvent {
             name: live.name,

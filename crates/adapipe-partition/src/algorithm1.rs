@@ -178,7 +178,7 @@ pub fn solve_traced(
         });
         first = state.split + 1;
     }
-    let root = table[0][0]?;
+    let root = (*table.first()?.first()?)?;
     Some(PartitionPlan {
         ranges,
         stage_times,

@@ -41,6 +41,8 @@
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm1;
 mod cost;
 pub mod exhaustive;

@@ -37,6 +37,8 @@
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod flops;
 mod profile;
 mod profiler;

@@ -239,12 +239,14 @@ mod tests {
     use adapipe_profiler::Profiler;
     use proptest::prelude::*;
 
-    fn units(layers: LayerRange) -> Vec<UnitProfile> {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn units(layers: LayerRange) -> Result<Vec<UnitProfile>, Box<dyn std::error::Error>> {
         let model = presets::gpt2_small();
-        let parallel = ParallelConfig::new(2, 4, 1).unwrap();
-        let train = TrainConfig::new(1, 1024, 16).unwrap();
+        let parallel = ParallelConfig::new(2, 4, 1)?;
+        let train = TrainConfig::new(1, 1024, 16)?;
         let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
-        table.units_in(layers)
+        Ok(table.units_in(layers))
     }
 
     #[test]
@@ -256,56 +258,63 @@ mod tests {
     }
 
     #[test]
-    fn unbounded_budget_saves_everything() {
-        let us = units(LayerRange::new(1, 6));
-        let opt = optimize(&us, u64::MAX).unwrap();
+    fn unbounded_budget_saves_everything() -> TestResult {
+        let us = units(LayerRange::new(1, 6))?;
+        let opt = optimize(&us, u64::MAX)?;
         assert_eq!(opt.strategy.saved_count(), us.len());
+        Ok(())
     }
 
     #[test]
-    fn pinned_overflow_is_oom() {
-        let us = units(LayerRange::new(1, 6));
-        let err = optimize(&us, 0).unwrap_err();
-        assert!(matches!(err, StrategyError::OutOfMemory { .. }));
+    fn pinned_overflow_is_oom() -> TestResult {
+        let us = units(LayerRange::new(1, 6))?;
+        assert!(matches!(
+            optimize(&us, 0),
+            Err(StrategyError::OutOfMemory { .. })
+        ));
+        Ok(())
     }
 
     #[test]
-    fn tight_budget_degenerates_to_full_recompute() {
-        let us = units(LayerRange::new(1, 6));
+    fn tight_budget_degenerates_to_full_recompute() -> TestResult {
+        let us = units(LayerRange::new(1, 6))?;
         let pinned: u64 = us
             .iter()
             .filter(|u| u.is_pinned())
             .map(|u| u.mem_saved)
             .sum();
-        let opt = optimize(&us, pinned).unwrap();
+        let opt = optimize(&us, pinned)?;
         assert_eq!(
             opt.strategy.saved_count(),
             us.iter().filter(|u| u.is_pinned()).count()
         );
         assert_eq!(opt.slack_bytes, 0);
+        Ok(())
     }
 
     #[test]
-    fn budget_monotonicity() {
+    fn budget_monotonicity() -> TestResult {
         // More budget never yields worse (larger) backward time.
-        let us = units(LayerRange::new(1, 8));
+        let us = units(LayerRange::new(1, 8))?;
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
         let mut last_b = f64::INFINITY;
         for frac in [25u64, 50, 75, 100] {
-            let opt = optimize(&us, all * frac / 100).unwrap();
+            let opt = optimize(&us, all * frac / 100)?;
             assert!(opt.cost.time_b <= last_b + 1e-12, "frac {frac}");
             last_b = opt.cost.time_b;
         }
+        Ok(())
     }
 
     #[test]
-    fn respects_budget_exactly() {
-        let us = units(LayerRange::new(1, 8));
+    fn respects_budget_exactly() -> TestResult {
+        let us = units(LayerRange::new(1, 8))?;
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 60 / 100;
-        let opt = optimize(&us, budget).unwrap();
+        let opt = optimize(&us, budget)?;
         assert!(opt.cost.saved_bytes_per_mb <= budget);
         assert_eq!(opt.slack_bytes, budget - opt.cost.saved_bytes_per_mb);
+        Ok(())
     }
 
     /// Brute force over all subsets of free units (for small n).
@@ -341,8 +350,8 @@ mod tests {
     }
 
     #[test]
-    fn matches_brute_force_on_one_block() {
-        let us = units(LayerRange::new(1, 2)); // 10 units, 8 free
+    fn matches_brute_force_on_one_block() -> TestResult {
+        let us = units(LayerRange::new(1, 2))?; // 10 units, 8 free
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
         for frac in [10u64, 30, 55, 80, 95] {
             let budget = all * frac / 100;
@@ -361,6 +370,7 @@ mod tests {
                 "frac {frac}: dp {saved_f} vs brute {best}"
             );
         }
+        Ok(())
     }
 
     proptest! {
@@ -384,7 +394,10 @@ mod tests {
                 .collect();
             let all: u64 = us.iter().map(|u| u.mem_saved).sum();
             let budget = all * budget_scale / 100;
-            let opt = optimize(&us, budget).unwrap();
+            let opt = match optimize(&us, budget) {
+                Ok(opt) => opt,
+                Err(e) => return Err(TestCaseError::Fail(format!("optimize failed: {e}"))),
+            };
             let saved_f: f64 = us
                 .iter()
                 .enumerate()
@@ -397,13 +410,13 @@ mod tests {
     }
 
     #[test]
-    fn gcd_rescaling_is_exact() {
+    fn gcd_rescaling_is_exact() -> TestResult {
         // Disabling the GCD rescaling (ablation) must not change the
         // chosen value when the cell cap is not binding.
-        let us = units(LayerRange::new(1, 4));
+        let us = units(LayerRange::new(1, 4))?;
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 60 / 100;
-        let fast = optimize(&us, budget).unwrap();
+        let fast = optimize(&us, budget)?;
         let slow = optimize_with(
             &us,
             budget,
@@ -411,31 +424,32 @@ mod tests {
                 max_capacity_cells: 1 << 26,
                 disable_gcd: true,
             },
-        )
-        .unwrap();
+        )?;
         assert!((fast.cost.time_b - slow.cost.time_b).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn traced_optimize_records_dp_effort() {
+    fn traced_optimize_records_dp_effort() -> TestResult {
         let rec = Recorder::new();
-        let us = units(LayerRange::new(1, 8));
+        let us = units(LayerRange::new(1, 8))?;
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
-        let opt = optimize_traced(&us, all * 60 / 100, KnapsackConfig::default(), &rec).unwrap();
-        let baseline = optimize(&us, all * 60 / 100).unwrap();
+        let opt = optimize_traced(&us, all * 60 / 100, KnapsackConfig::default(), &rec)?;
+        let baseline = optimize(&us, all * 60 / 100)?;
         assert_eq!(opt, baseline, "tracing must not change the result");
         let snap = rec.snapshot();
         assert_eq!(snap.counters["recompute.knapsack.calls"], 1);
         assert!(snap.counters["recompute.knapsack.cells"] > 0);
         assert!(snap.gauges["recompute.knapsack.gcd_scale"] >= 1.0);
         assert_eq!(snap.histograms["recompute.knapsack.us"].count, 1);
+        Ok(())
     }
 
     #[test]
-    fn rebucketing_stays_feasible() {
+    fn rebucketing_stays_feasible() -> TestResult {
         // Force re-bucketing with a tiny cell cap; result must respect the
         // budget even if slightly suboptimal.
-        let us = units(LayerRange::new(1, 20));
+        let us = units(LayerRange::new(1, 20))?;
         let all: u64 = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 70 / 100;
         let opt = optimize_with(
@@ -445,10 +459,10 @@ mod tests {
                 max_capacity_cells: 16,
                 ..Default::default()
             },
-        )
-        .unwrap();
+        )?;
         assert!(opt.cost.saved_bytes_per_mb <= budget);
         // And still save strictly more than the pinned floor.
         assert!(opt.strategy.saved_count() > us.iter().filter(|u| u.is_pinned()).count());
+        Ok(())
     }
 }

@@ -44,6 +44,8 @@
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod knapsack;
 pub mod offload;

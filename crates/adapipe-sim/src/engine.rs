@@ -203,11 +203,12 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
         let now = first.time;
         touched.clear();
         let mut batch = vec![first];
-        while let Some(next) = heap.peek() {
-            if next.time == now {
-                batch.push(heap.pop().expect("peeked"));
-            } else {
-                break;
+        // lint: allow(float-eq): batching events that share the *exact*
+        // timestamp is intentional — co-timed events come from identical
+        // arithmetic, so bit equality is the correct grouping predicate.
+        while heap.peek().is_some_and(|next| next.time == now) {
+            if let Some(next) = heap.pop() {
+                batch.push(next);
             }
         }
         for ev in batch {
@@ -282,6 +283,9 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
                 ));
             }
         }
+        // lint: allow(panic): a deadlocked schedule is a caller-side logic
+        // bug (cyclic or underspecified task graph); the verifier's
+        // check_task_graph rejects such graphs before simulation.
         panic!(
             "schedule deadlocked: {completed}/{n} tasks ran ({}):\n  {}",
             graph.name,

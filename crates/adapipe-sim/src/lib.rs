@@ -30,6 +30,8 @@
 //! assert!((report.makespan - 33.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod engine;
 pub mod render;
 mod report;

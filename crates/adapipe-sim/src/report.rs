@@ -66,6 +66,8 @@ impl SimReport {
     #[must_use]
     pub fn bubble_ratio(&self) -> f64 {
         let span = self.makespan * self.devices.len() as f64;
+        // lint: allow(float-eq): exact-zero guard before division, not a
+        // tolerance comparison — any nonzero span is a valid denominator.
         if span == 0.0 {
             0.0
         } else {

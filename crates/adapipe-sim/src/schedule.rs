@@ -248,7 +248,8 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
 
     let mut fwd_id = vec![vec![usize::MAX; p]; groups.len()];
     for (gi, ms) in groups.iter().enumerate() {
-        let dir = direction(ms[0]);
+        let Some(&m0) = ms.first() else { continue };
+        let dir = direction(m0);
         let scale = ms.len() as f64;
         for s in 0..p {
             let dev = device_of(dir, s);
@@ -263,10 +264,10 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
                 deps,
                 stages[s].saved_bytes * ms.len() as u64,
                 0,
-                fwd_prio(ms[0], s),
+                fwd_prio(m0, s),
                 TaskMeta {
                     kind: OpKind::Forward,
-                    micro_batch: ms[0],
+                    micro_batch: m0,
                     stage: s,
                     replica: dir,
                 },
@@ -312,9 +313,10 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
         let mut f_by = vec![vec![Vec::new(); units]; p];
         let mut b_by = vec![vec![Vec::new(); units]; p];
         for (gi, ms) in groups.iter().enumerate() {
-            let dir = direction(ms[0]);
+            let Some(&m0) = ms.first() else { continue };
+            let dir = direction(m0);
             for s in 0..p {
-                f_by[device_of(dir, s)][unit(ms[0])].push(fwd_id[gi][s]);
+                f_by[device_of(dir, s)][unit(m0)].push(fwd_id[gi][s]);
             }
         }
         for m in 0..n {

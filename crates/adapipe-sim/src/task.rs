@@ -122,6 +122,63 @@ impl TaskGraph {
         self.tasks.is_empty()
     }
 
+    /// The execution discipline devices follow.
+    #[must_use]
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Device a task runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task_device(&self, task: usize) -> usize {
+        self.tasks[task].device
+    }
+
+    /// Duration of a task in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task_duration(&self, task: usize) -> f64 {
+        self.tasks[task].dur
+    }
+
+    /// `(dependency id, edge delay)` pairs of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task_deps(&self, task: usize) -> &[(usize, f64)] {
+        &self.tasks[task].deps
+    }
+
+    /// Scheduling priority of a task (smaller runs first under
+    /// [`Discipline::GreedyPriority`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task_priority(&self, task: usize) -> u64 {
+        self.tasks[task].priority
+    }
+
+    /// What the task represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task_meta(&self, task: usize) -> TaskMeta {
+        self.tasks[task].meta
+    }
+
     /// Adds a task and returns its id. Dependencies must refer to
     /// already-added tasks.
     ///
@@ -130,7 +187,7 @@ impl TaskGraph {
     /// Panics if `device` is out of range or a dependency id is invalid
     /// (forward references would make the graph cyclic).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn push(
+    pub fn push(
         &mut self,
         device: usize,
         dur: f64,
@@ -164,7 +221,7 @@ impl TaskGraph {
     /// # Panics
     ///
     /// Panics if either id is out of range.
-    pub(crate) fn add_dep(&mut self, task: usize, dep: usize, delay: f64) {
+    pub fn add_dep(&mut self, task: usize, dep: usize, delay: f64) {
         assert!(
             task < self.tasks.len() && dep < self.tasks.len(),
             "task id out of range"

@@ -36,6 +36,8 @@
 //! assert_eq!(full.losses, none.losses); // bit-identical
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod pipeline;
 pub mod stage;

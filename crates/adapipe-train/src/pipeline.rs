@@ -1,3 +1,7 @@
+// lint: allow-file(expect, index): stage/channel wiring is built by
+// Pipeline::new with one sender/receiver per boundary; a missing channel or
+// out-of-range stage is a construction bug the ctor asserts, not a runtime
+// condition a caller can trigger.
 //! The multi-threaded 1F1B pipeline executor.
 //!
 //! Each stage runs on its own thread, connected to its neighbours by

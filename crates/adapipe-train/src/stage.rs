@@ -1,3 +1,6 @@
+// lint: allow-file(expect, index): the saved-set, unit table, and cache
+// vectors are sized by the constructor to exactly `units.len()`; every index
+// here is in-range by construction and the expects name those invariants.
 //! A pipeline stage: a run of layers executed with per-unit
 //! save/recompute semantics.
 //!

@@ -111,6 +111,8 @@ impl Tensor {
         for i in 0..m {
             for l in 0..k {
                 let a = self.data[i * k + l];
+                // lint: allow(float-eq): exact-zero sparsity skip — only a
+                // true zero multiplicand contributes nothing.
                 if a == 0.0 {
                     continue;
                 }
@@ -138,6 +140,7 @@ impl Tensor {
             let arow = &self.data[l * m..(l + 1) * m];
             let brow = &other.data[l * n..(l + 1) * n];
             for (i, &a) in arow.iter().enumerate() {
+                // lint: allow(float-eq): exact-zero sparsity skip, as above.
                 if a == 0.0 {
                     continue;
                 }

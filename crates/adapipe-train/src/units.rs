@@ -1,3 +1,6 @@
+// lint: allow-file(expect, index): unit splits come from LayerUnits::new,
+// which validates coverage; the fixed-shape [q, k, v] projections are indexed
+// by construction.
 //! Executable computation units: the same Figure 4 decomposition as
 //! [`adapipe_model`], each unit owning its parameters and able to run its
 //! forward pass on a fresh autograd tape.

@@ -45,6 +45,8 @@
 //! paper's evaluation on top of this API; see `EXPERIMENTS.md` at the
 //! workspace root.
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod evaluate;
 mod method;
@@ -52,6 +54,7 @@ mod plan;
 pub mod plan_io;
 mod planner;
 mod search;
+pub mod verify;
 
 pub use error::PlanError;
 pub use evaluate::{Evaluation, Throughput};
@@ -60,6 +63,9 @@ pub use plan::{Plan, StagePlan};
 pub use plan_io::PlanParseError;
 pub use planner::Planner;
 pub use search::{best_outcome, sweep_parallel_strategies, StrategyOutcome};
+pub use verify::VerifyOptions;
+
+pub use adapipe_check::{CheckCode, CheckReport, Diagnostic, Severity};
 
 pub use adapipe_obs::Recorder;
 pub use adapipe_partition::F1bBreakdown;

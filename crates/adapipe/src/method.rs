@@ -102,6 +102,33 @@ impl Method {
         matches!(self, Method::AdaPipe | Method::EvenPartitioning)
     }
 
+    /// Live micro-batch count of (virtual) stage `stage` under this
+    /// method's schedule — the multiplier on per-micro-batch saved bytes
+    /// in Eq. (2): `p − s` for 1F1B (§2.1), all `n` for GPipe,
+    /// `vp − s` for the interleaved virtual-stage law, and the analytic
+    /// worst case `p/2 + 1` for Chimera's bidirectional residency.
+    ///
+    /// Used by both the planner (to budget plans) and the verifier (to
+    /// re-derive the budget a plan claims); keeping them on one code
+    /// path is what makes the memory-accounting check exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for
+    /// `pipeline · virtual_chunks()`.
+    #[must_use]
+    pub fn live_microbatches(self, pipeline: usize, stage: usize, n: usize) -> usize {
+        let vp = pipeline * self.virtual_chunks();
+        assert!(stage < vp, "stage {stage} out of range for vp={vp}");
+        match self {
+            Method::GpipeFull | Method::GpipeNone => n,
+            // Virtual-stage residency: a vp-deep 1F1B law.
+            Method::InterleavedFull | Method::InterleavedNone => vp - stage,
+            m if m.is_chimera() => pipeline / 2 + 1,
+            _ => adapipe_memory::f1b_live_microbatches(pipeline, stage),
+        }
+    }
+
     /// Whether the method saves every intermediate (the `-Non` variants).
     #[must_use]
     pub fn saves_everything(self) -> bool {

@@ -209,17 +209,17 @@ pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
             "n_microbatches" => n_microbatches = Some(parse::<usize>(key, value)?),
             "predicted" => {
                 let parts: Vec<&str> = value.split_whitespace().collect();
-                if parts.len() != 4 {
+                let [warmup, steady, ending, bottleneck] = parts[..] else {
                     return Err(PlanParseError::BadValue {
                         key: key.to_string(),
                         value: value.to_string(),
                     });
-                }
+                };
                 predicted = Some(F1bBreakdown {
-                    warmup: parse(key, parts[0])?,
-                    steady: parse(key, parts[1])?,
-                    ending: parse(key, parts[2])?,
-                    bottleneck: parse(key, parts[3])?,
+                    warmup: parse(key, warmup)?,
+                    steady: parse(key, steady)?,
+                    ending: parse(key, ending)?,
+                    bottleneck: parse(key, bottleneck)?,
                 });
             }
             "stage" => {
@@ -239,13 +239,13 @@ pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
                 match key {
                     "layers" => {
                         let parts: Vec<&str> = value.split_whitespace().collect();
-                        if parts.len() != 2 {
+                        let [first, last] = parts[..] else {
                             return Err(PlanParseError::BadValue {
                                 key: key.to_string(),
                                 value: value.to_string(),
                             });
-                        }
-                        stage.layers = Some((parse(key, parts[0])?, parse(key, parts[1])?));
+                        };
+                        stage.layers = Some((parse(key, first)?, parse(key, last)?));
                     }
                     "time_f" => stage.time_f = Some(parse(key, value)?),
                     "time_b" => stage.time_b = Some(parse(key, value)?),

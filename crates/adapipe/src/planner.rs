@@ -117,8 +117,12 @@ impl Planner {
         self.cluster.device().usable_bytes()
     }
 
-    fn search_capacity(&self) -> u64 {
+    pub(crate) fn search_capacity(&self) -> u64 {
         (self.capacity() as f64 * self.search_headroom) as u64
+    }
+
+    pub(crate) fn knapsack_config(&self) -> KnapsackConfig {
+        self.knapsack
     }
 
     pub(crate) fn context(&self, parallel: ParallelConfig, train: TrainConfig) -> Context {
@@ -206,14 +210,27 @@ impl Planner {
             }
         };
 
-        Ok(Plan {
+        let plan = Plan {
             method,
             parallel,
             train,
             n_microbatches: ctx.n,
             stages,
             predicted,
-        })
+        };
+        // Search-engine self-check: in debug builds every emitted plan
+        // must pass the full static invariant catalog (memory overflow
+        // stays a warning for baselines — the paper reports those as OOM
+        // bars rather than refusing to plan them).
+        #[cfg(debug_assertions)]
+        {
+            let report = self.verify_with(&plan, crate::verify::VerifyOptions::quick());
+            debug_assert!(
+                !report.has_errors(),
+                "planner emitted an invalid {method} plan:\n{report}"
+            );
+        }
+        Ok(plan)
     }
 
     /// AdaPipe proper: Algorithm 1 over knapsack-optimized windows.
@@ -265,6 +282,17 @@ impl Planner {
         ranges: &[LayerRange],
     ) -> Result<Vec<StagePlan>, PlanError> {
         let _span = self.rec.span_cat("plan.materialize", "planner");
+        // Materialize-boundary self-check: Algorithm 1 (and the even
+        // ablation) must hand over a contiguous, monotone cover of the
+        // layer sequence before any stage is committed.
+        #[cfg(debug_assertions)]
+        {
+            let diags = adapipe_check::check_partition(ranges, ctx.seq.len());
+            debug_assert!(
+                diags.is_empty(),
+                "partitioning produced an invalid layer cover: {diags:?}"
+            );
+        }
         let mut stages = Vec::with_capacity(ranges.len());
         for (s, &range) in ranges.iter().enumerate() {
             let opt = provider.optimize_stage(s, range)?;
@@ -315,29 +343,11 @@ impl Planner {
                 // GPipe; Chimera holds both directions' activations with
                 // a direction-dependent profile — we charge the analytic
                 // worst case here and let the simulator refine it.
-                let live = match method {
-                    Method::GpipeFull | Method::GpipeNone => ctx.n as u64,
-                    // Virtual-stage residency: a vp-deep 1F1B law.
-                    Method::InterleavedFull | Method::InterleavedNone => (vp - s) as u64,
-                    m if m.is_chimera() => (p / 2 + 1) as u64,
-                    _ => f1b_live_microbatches(p, s) as u64,
-                };
-                let static_bytes = if method.is_chimera() {
-                    // Each device hosts two stages — stage s of the down
-                    // pipeline and stage p − 1 − s of the up pipeline.
-                    // Parameters and gradients are replicated, but the
-                    // two replicas form a data-parallel pair, so ZeRO
-                    // shards the optimizer states across them.
-                    let (pg_a, opt_a) = ctx.mem.static_bytes_split(&ctx.seq, range);
-                    let (pg_b, opt_b) = ctx.mem.static_bytes_split(&ctx.seq, ranges[p - 1 - s]);
-                    pg_a + pg_b + (opt_a + opt_b) / 2
-                } else {
-                    ctx.mem.static_bytes(&ctx.seq, range)
-                };
+                let live = method.live_microbatches(p, s, ctx.n) as u64;
                 StagePlan {
                     range,
                     memory: StageMemory {
-                        static_bytes,
+                        static_bytes: expected_static_bytes(ctx, method, &ranges, s),
                         buffer_bytes: buffer,
                         intermediate_bytes: live * cost.saved_bytes_per_mb,
                     },
@@ -366,6 +376,44 @@ impl Planner {
         }
     }
 
+    /// Builds the task graph `plan` would execute — the same graph
+    /// [`Planner::evaluate`] simulates and the verifier checks
+    /// statically, on one code path so they cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan violates its schedule's preconditions (fewer
+    /// micro-batches than stages for 1F1B, odd pipelines for Chimera);
+    /// [`Planner::verify`](crate::Planner::verify) reports those as
+    /// diagnostics instead.
+    pub(crate) fn build_schedule(&self, plan: &Plan, ctx: &Context) -> adapipe_sim::TaskGraph {
+        let p = plan.parallel.pipeline();
+        let execs: Vec<StageExec> = plan
+            .stages
+            .iter()
+            .map(|s| StageExec {
+                time_f: s.cost.time_f,
+                time_b: s.cost.time_b,
+                saved_bytes: s.cost.saved_bytes_per_mb,
+                buffer_bytes: s.memory.buffer_bytes,
+            })
+            .collect();
+        let p2p = self.cluster.p2p_time(ctx.table.boundary_bytes());
+        match plan.method {
+            Method::GpipeFull | Method::GpipeNone => schedule::gpipe(&execs, ctx.n, p2p),
+            Method::ChimeraFull | Method::ChimeraNone => {
+                schedule::chimera(&execs, ctx.n, p2p, false)
+            }
+            Method::ChimeraDFull | Method::ChimeraDNone => {
+                schedule::chimera(&execs, ctx.n, p2p, true)
+            }
+            Method::InterleavedFull | Method::InterleavedNone => {
+                schedule::interleaved(&execs, p, ctx.n, p2p)
+            }
+            _ => schedule::one_f_one_b(&execs, ctx.n, p2p),
+        }
+    }
+
     /// Executes `plan` on the discrete-event simulator and reports what
     /// the paper measures: iteration time, per-device peak memory and
     /// whether the plan fits the devices.
@@ -385,31 +433,19 @@ impl Planner {
         let vp = p * plan.method.virtual_chunks();
         assert_eq!(plan.stages.len(), vp, "plan stage count mismatch");
 
-        let execs: Vec<StageExec> = plan
-            .stages
-            .iter()
-            .map(|s| StageExec {
-                time_f: s.cost.time_f,
-                time_b: s.cost.time_b,
-                saved_bytes: s.cost.saved_bytes_per_mb,
-                buffer_bytes: s.memory.buffer_bytes,
-            })
-            .collect();
-        let p2p = self.cluster.p2p_time(ctx.table.boundary_bytes());
-
-        let graph = match plan.method {
-            Method::GpipeFull | Method::GpipeNone => schedule::gpipe(&execs, ctx.n, p2p),
-            Method::ChimeraFull | Method::ChimeraNone => {
-                schedule::chimera(&execs, ctx.n, p2p, false)
-            }
-            Method::ChimeraDFull | Method::ChimeraDNone => {
-                schedule::chimera(&execs, ctx.n, p2p, true)
-            }
-            Method::InterleavedFull | Method::InterleavedNone => {
-                schedule::interleaved(&execs, p, ctx.n, p2p)
-            }
-            _ => schedule::one_f_one_b(&execs, ctx.n, p2p),
-        };
+        let graph = self.build_schedule(plan, &ctx);
+        // Evaluate-boundary self-check: the generated task graph must be
+        // statically executable (acyclic, fixed-order-feasible) before
+        // the engine runs it — the engine's own deadlock panic fires too
+        // late to say *why*.
+        #[cfg(debug_assertions)]
+        {
+            let diags = adapipe_check::check_task_graph(&graph);
+            debug_assert!(
+                diags.is_empty(),
+                "schedule generator emitted an invalid task graph: {diags:?}"
+            );
+        }
         let mut report = {
             let _span = self.rec.span_cat("evaluate.simulate", "planner");
             simulate_traced(&graph, &self.rec)
@@ -463,35 +499,61 @@ impl Planner {
     }
 }
 
+/// Static bytes hosted for stage `s` of a `method` plan over `ranges`.
+/// For Chimera each device hosts two stages — stage `s` of the down
+/// pipeline and stage `p − 1 − s` of the up pipeline. Parameters and
+/// gradients are replicated, but the two replicas form a data-parallel
+/// pair, so ZeRO shards the optimizer states across them.
+///
+/// Shared between plan materialization and the verifier so the
+/// memory-accounting check is exact by construction.
+pub(crate) fn expected_static_bytes(
+    ctx: &Context,
+    method: Method,
+    ranges: &[LayerRange],
+    s: usize,
+) -> u64 {
+    let range = ranges[s];
+    if method.is_chimera() {
+        let p = ranges.len();
+        let (pg_a, opt_a) = ctx.mem.static_bytes_split(&ctx.seq, range);
+        let (pg_b, opt_b) = ctx.mem.static_bytes_split(&ctx.seq, ranges[p - 1 - s]);
+        pg_a + pg_b + (opt_a + opt_b) / 2
+    } else {
+        ctx.mem.static_bytes(&ctx.seq, range)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use adapipe_hw::presets as hw;
     use adapipe_model::presets;
 
-    fn small() -> (Planner, ParallelConfig, TrainConfig) {
-        (
+    fn small() -> Result<(Planner, ParallelConfig, TrainConfig), PlanError> {
+        Ok((
             Planner::new(presets::gpt2_small(), hw::cluster_a()),
-            ParallelConfig::new(2, 4, 1).unwrap(),
-            TrainConfig::new(1, 1024, 32).unwrap(),
-        )
+            ParallelConfig::new(2, 4, 1)?,
+            TrainConfig::new(1, 1024, 32)?,
+        ))
     }
 
     #[test]
-    fn adapipe_beats_or_ties_every_feasible_baseline() {
-        let (planner, parallel, train) = small();
-        let ada = planner.plan(Method::AdaPipe, parallel, train).unwrap();
+    fn adapipe_beats_or_ties_every_feasible_baseline() -> Result<(), PlanError> {
+        let (planner, parallel, train) = small()?;
+        let ada = planner.plan(Method::AdaPipe, parallel, train)?;
         let ada_t = planner.evaluate(&ada).iteration_time;
         for m in [Method::DappleFull, Method::EvenPartitioning] {
-            let base = planner.plan(m, parallel, train).unwrap();
+            let base = planner.plan(m, parallel, train)?;
             let t = planner.evaluate(&base).iteration_time;
             assert!(ada_t <= t * 1.0001, "{m}: adapipe {ada_t} vs {t}");
         }
+        Ok(())
     }
 
     #[test]
-    fn plans_have_valid_partitions() {
-        let (planner, parallel, train) = small();
+    fn plans_have_valid_partitions() -> Result<(), PlanError> {
+        let (planner, parallel, train) = small()?;
         for m in Method::all() {
             let Ok(plan) = planner.plan(m, parallel, train) else {
                 continue;
@@ -499,34 +561,32 @@ mod tests {
             let seq = LayerSeq::for_model(planner.model());
             assert!(seq.is_valid_partition(&plan.ranges()), "{m}");
         }
+        Ok(())
     }
 
     #[test]
-    fn dapple_full_and_none_bracket_adaptive_backward_time() {
-        let (planner, parallel, train) = small();
-        let full = planner.plan(Method::DappleFull, parallel, train).unwrap();
-        let none = planner.plan(Method::DappleNone, parallel, train).unwrap();
-        let even = planner
-            .plan(Method::EvenPartitioning, parallel, train)
-            .unwrap();
+    fn dapple_full_and_none_bracket_adaptive_backward_time() -> Result<(), PlanError> {
+        let (planner, parallel, train) = small()?;
+        let full = planner.plan(Method::DappleFull, parallel, train)?;
+        let none = planner.plan(Method::DappleNone, parallel, train)?;
+        let even = planner.plan(Method::EvenPartitioning, parallel, train)?;
         for s in 0..4 {
             let b = even.stages[s].cost.time_b;
             assert!(b <= full.stages[s].cost.time_b + 1e-12);
             assert!(b >= none.stages[s].cost.time_b - 1e-12);
         }
+        Ok(())
     }
 
     #[test]
-    fn saved_units_grow_along_the_pipeline() {
+    fn saved_units_grow_along_the_pipeline() -> Result<(), PlanError> {
         // Table 4's monotone pattern under its own setting: GPT-3,
         // sequence 16384, (t, p, d) = (8, 8, 1). Later stages hold fewer
         // in-flight micro-batches and save more units.
         let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
-        let parallel = ParallelConfig::new(8, 8, 1).unwrap();
-        let train = TrainConfig::new(1, 16384, 32).unwrap();
-        let even = planner
-            .plan(Method::EvenPartitioning, parallel, train)
-            .unwrap();
+        let parallel = ParallelConfig::new(8, 8, 1)?;
+        let train = TrainConfig::new(1, 16384, 32)?;
+        let even = planner.plan(Method::EvenPartitioning, parallel, train)?;
         let saved = even.saved_units_per_stage();
         // Interior stages are structurally identical (the first/last also
         // carry embedding/head), so compare stages 1..=6.
@@ -536,75 +596,81 @@ mod tests {
         // And the first stage saves strictly less than the last interior
         // stage — the imbalance AdaPipe exploits.
         assert!(saved[1] < saved[6], "saved units {saved:?}");
+        Ok(())
     }
 
     #[test]
-    fn cross_node_tensor_parallelism_is_rejected() {
+    fn cross_node_tensor_parallelism_is_rejected() -> Result<(), PlanError> {
         let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
-        let parallel = ParallelConfig::new(16, 2, 1).unwrap();
-        let train = TrainConfig::new(1, 1024, 32).unwrap();
+        let parallel = ParallelConfig::new(16, 2, 1)?;
+        let train = TrainConfig::new(1, 1024, 32)?;
         assert!(matches!(
             planner.plan(Method::DappleFull, parallel, train),
             Err(PlanError::Unsupported { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn data_parallel_sync_adds_iteration_time() {
+    fn data_parallel_sync_adds_iteration_time() -> Result<(), PlanError> {
         // Same per-replica work (n held fixed), but d=2 pays a gradient
         // all-reduce at the end of the iteration.
         let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
         let t1 = {
-            let parallel = ParallelConfig::new(2, 4, 1).unwrap();
-            let train = TrainConfig::new(1, 1024, 32).unwrap();
-            let plan = planner.plan(Method::DappleFull, parallel, train).unwrap();
+            let parallel = ParallelConfig::new(2, 4, 1)?;
+            let train = TrainConfig::new(1, 1024, 32)?;
+            let plan = planner.plan(Method::DappleFull, parallel, train)?;
             planner.evaluate(&plan).iteration_time
         };
         let t2 = {
-            let parallel = ParallelConfig::new(2, 4, 2).unwrap();
-            let train = TrainConfig::new(1, 1024, 64).unwrap(); // same n = 32
-            let plan = planner.plan(Method::DappleFull, parallel, train).unwrap();
+            let parallel = ParallelConfig::new(2, 4, 2)?;
+            let train = TrainConfig::new(1, 1024, 64)?; // same n = 32
+            let plan = planner.plan(Method::DappleFull, parallel, train)?;
             planner.evaluate(&plan).iteration_time
         };
         assert!(t2 > t1, "d=2 {t2} should exceed d=1 {t1}");
+        Ok(())
     }
 
     #[test]
-    fn chimera_requires_even_pipeline() {
+    fn chimera_requires_even_pipeline() -> Result<(), PlanError> {
         let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
-        let parallel = ParallelConfig::new(2, 3, 1).unwrap();
-        let train = TrainConfig::new(1, 1024, 30).unwrap();
-        let err = planner
-            .plan(Method::ChimeraFull, parallel, train)
-            .unwrap_err();
-        assert!(matches!(err, PlanError::Unsupported { .. }));
+        let parallel = ParallelConfig::new(2, 3, 1)?;
+        let train = TrainConfig::new(1, 1024, 30)?;
+        assert!(matches!(
+            planner.plan(Method::ChimeraFull, parallel, train),
+            Err(PlanError::Unsupported { .. })
+        ));
+        Ok(())
     }
 
     #[test]
-    fn chimera_static_memory_is_doubled() {
-        let (planner, parallel, train) = small();
-        let dapple = planner.plan(Method::DappleFull, parallel, train).unwrap();
-        let chimera = planner.plan(Method::ChimeraFull, parallel, train).unwrap();
+    fn chimera_static_memory_is_doubled() -> Result<(), PlanError> {
+        let (planner, parallel, train) = small()?;
+        let dapple = planner.plan(Method::DappleFull, parallel, train)?;
+        let chimera = planner.plan(Method::ChimeraFull, parallel, train)?;
         for s in 0..4 {
             assert!(chimera.stages[s].memory.static_bytes > dapple.stages[s].memory.static_bytes);
         }
+        Ok(())
     }
 
     #[test]
-    fn invalid_train_config_is_rejected() {
-        let (planner, parallel, _) = small();
-        let train = TrainConfig::new(1, 1024, 3).unwrap(); // n < p
+    fn invalid_train_config_is_rejected() -> Result<(), PlanError> {
+        let (planner, parallel, _) = small()?;
+        let train = TrainConfig::new(1, 1024, 3)?; // n < p
         assert!(matches!(
             planner.plan(Method::AdaPipe, parallel, train),
             Err(PlanError::Config(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn throughput_metrics_are_sane_and_favor_less_recomputation() {
-        let (planner, parallel, train) = small();
-        let full = planner.plan(Method::DappleFull, parallel, train).unwrap();
-        let none = planner.plan(Method::DappleNone, parallel, train).unwrap();
+    fn throughput_metrics_are_sane_and_favor_less_recomputation() -> Result<(), PlanError> {
+        let (planner, parallel, train) = small()?;
+        let full = planner.plan(Method::DappleFull, parallel, train)?;
+        let none = planner.plan(Method::DappleNone, parallel, train)?;
         let tf = planner.throughput(&full, &planner.evaluate(&full));
         let tn = planner.throughput(&none, &planner.evaluate(&none));
         for t in [tf, tn] {
@@ -614,22 +680,26 @@ mod tests {
         // Same useful math, shorter iteration: no-recompute wins MFU.
         assert!(tn.mfu > tf.mfu);
         assert!(tn.tokens_per_second > tf.tokens_per_second);
+        Ok(())
     }
 
     #[test]
-    fn evaluation_matches_analytic_model_for_1f1b() {
+    fn evaluation_matches_analytic_model_for_1f1b() -> Result<(), PlanError> {
         // The discrete-event simulator and the Equation (3) cost model
         // must agree (up to P2P delays, which the analytic model folds
         // away at zero).
-        let (planner, parallel, train) = small();
-        let plan = planner.plan(Method::DappleFull, parallel, train).unwrap();
+        let (planner, parallel, train) = small()?;
+        let plan = planner.plan(Method::DappleFull, parallel, train)?;
         let eval = planner.evaluate(&plan);
-        let analytic = plan.predicted_time().unwrap();
+        let analytic = plan.predicted_time().ok_or(PlanError::Unsupported {
+            reason: "plan has no analytic prediction".to_string(),
+        })?;
         let rel = (eval.iteration_time - analytic).abs() / analytic;
         assert!(
             rel < 0.05,
             "sim {} vs analytic {analytic}",
             eval.iteration_time
         );
+        Ok(())
     }
 }

@@ -1,0 +1,601 @@
+//! The lint rules themselves.
+//!
+//! Each rule scans the masked source (see [`crate::source`]) of library
+//! crates and reports violations; `#[cfg(test)]` regions, `src/bin/`,
+//! `tests/`, and `benches/` are exempt from the panic-freedom rules.
+//!
+//! | rule           | what it forbids                                          |
+//! |----------------|----------------------------------------------------------|
+//! | `unwrap`       | `.unwrap()` on Option/Result in library code             |
+//! | `expect`       | `.expect(...)` in library code                           |
+//! | `panic`        | `panic!` / `todo!` / `unimplemented!` in library code    |
+//! | `index`        | integer-literal indexing (`xs[0]`) without a bounds gate |
+//! | `float-eq`     | `==` / `!=` on floating-point cost/time expressions      |
+//! | `traced-pair`  | a public `*_traced` fn with no non-traced twin           |
+//! | `unsafe-header`| a library crate missing `#![forbid(unsafe_code)]`        |
+//!
+//! Any rule can be waived at a site with `// lint: allow(rule): reason`
+//! (covers that line and the next) or for a whole file with
+//! `// lint: allow-file(rule): reason`. A waiver without a reason is
+//! itself a violation.
+
+use crate::source::{crate_sources, discover_crates, CrateKind, SourceFile};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+pub struct Violation {
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (crate_dir, kind) in discover_crates(root) {
+        if kind == CrateKind::Binary {
+            continue;
+        }
+        let lib_rs = crate_dir.join("src").join("lib.rs");
+        if let Ok(text) = std::fs::read_to_string(&lib_rs) {
+            check_unsafe_header(&rel(root, &lib_rs), &text, &mut violations);
+        }
+        for path in crate_sources(&crate_dir) {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let file = SourceFile::parse(rel(root, &path), &text);
+            check_waiver_reasons(&file, &mut violations);
+            check_traced_pairs(&file, &mut violations);
+            if kind == CrateKind::Library {
+                check_panic_freedom(&file, &mut violations);
+                check_float_eq(&file, &mut violations);
+            }
+        }
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    violations
+}
+
+fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+/// The names of every rule, for waiver validation.
+const RULES: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "index",
+    "float-eq",
+    "traced-pair",
+    "unsafe-header",
+];
+
+/// A waiver must name real rules and carry a justification.
+fn check_waiver_reasons(file: &SourceFile, out: &mut Vec<Violation>) {
+    for w in &file.waivers {
+        for rule in &w.rules {
+            if !RULES.contains(&rule.as_str()) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: w.line + 1,
+                    rule: "waiver",
+                    message: format!("waiver names unknown rule `{rule}`"),
+                });
+            }
+        }
+        if !w.has_reason {
+            out.push(Violation {
+                path: file.path.clone(),
+                line: w.line + 1,
+                rule: "waiver",
+                message: "waiver has no justification — add `: why` after the rule list"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `#![forbid(unsafe_code)]` must appear in every library crate root.
+fn check_unsafe_header(path: &Path, lib_rs: &str, out: &mut Vec<Violation>) {
+    let has = lib_rs
+        .lines()
+        .any(|l| l.trim().replace(' ', "") == "#![forbid(unsafe_code)]");
+    if !has {
+        out.push(Violation {
+            path: path.to_path_buf(),
+            line: 1,
+            rule: "unsafe-header",
+            message: "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// `.unwrap()`, `.expect(`, `panic!`/`todo!`/`unimplemented!`, and
+/// integer-literal indexing in non-test library code.
+fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] {
+            continue;
+        }
+        let mut push = |rule: &'static str, message: String| {
+            if !file.is_waived(rule, i) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+        if line.contains(".unwrap()") {
+            push(
+                "unwrap",
+                "`.unwrap()` in library code — return a typed error".to_string(),
+            );
+        }
+        if line.contains(".expect(") {
+            push(
+                "expect",
+                "`.expect(...)` in library code — return a typed error".to_string(),
+            );
+        }
+        for mac in ["panic!", "todo!", "unimplemented!"] {
+            if let Some(pos) = line.find(mac) {
+                // `core::panic!` etc. still match; a preceding ident char
+                // (e.g. `event_panic!`) does not.
+                let prev = line[..pos].chars().next_back();
+                if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    push(
+                        "panic",
+                        format!("`{mac}` in library code — return a typed error"),
+                    );
+                }
+            }
+        }
+        for col in literal_index_sites(line) {
+            push(
+                "index",
+                format!(
+                    "integer-literal indexing at column {} — use `.get(..)`/`.first()` or a \
+                     length-checked pattern",
+                    col + 1
+                ),
+            );
+        }
+    }
+}
+
+/// Columns of `ident[<digits>]` sites: a `[` whose content is all
+/// digits/underscores and whose previous non-space char continues an
+/// expression (identifier, `)`, or `]`). Excludes attributes (`#[...]`)
+/// and type ascriptions (`[f64; 4]`).
+fn literal_index_sites(line: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut sites = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let Some(close) = chars[i + 1..].iter().position(|&c| c == ']') else {
+            continue;
+        };
+        let inner = &chars[i + 1..i + 1 + close];
+        if inner.is_empty() || !inner.iter().all(|c| c.is_ascii_digit() || *c == '_') {
+            continue;
+        }
+        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
+        if prev.is_some_and(|&c| c.is_alphanumeric() || c == '_' || c == ')' || c == ']') {
+            sites.push(i);
+        }
+    }
+    sites
+}
+
+/// `==` / `!=` where one operand is a float literal or a field access
+/// that names a time/cost quantity. Exact float comparison is almost
+/// always a bug in cost code — use `approx_eq` or compare bit patterns
+/// deliberately (and waive with a reason).
+fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
+    const FLOAT_FIELDS: &[&str] = &[
+        ".time",
+        ".time_f",
+        ".time_b",
+        ".dur",
+        ".duration",
+        ".makespan",
+        ".warmup",
+        ".steady",
+        ".ending",
+        ".bottleneck",
+        ".iteration_time",
+        ".cost",
+        ".total",
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("float-eq", i) {
+            continue;
+        }
+        for op in ["==", "!="] {
+            for (pos, _) in line.match_indices(op) {
+                // Skip `<=`, `>=`, `!=` found inside `!==`-like runs and
+                // pattern arms (`=>`).
+                let before = line[..pos].chars().next_back();
+                let after = line[pos + 2..].chars().next();
+                if matches!(before, Some('<' | '>' | '=' | '!')) || after == Some('=') {
+                    continue;
+                }
+                let lhs = last_token(&line[..pos]);
+                let rhs = first_token(&line[pos + 2..]);
+                if is_float_literal(&lhs)
+                    || is_float_literal(&rhs)
+                    || FLOAT_FIELDS
+                        .iter()
+                        .any(|f| lhs.ends_with(f) || rhs.ends_with(f))
+                {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: i + 1,
+                        rule: "float-eq",
+                        message: format!(
+                            "exact float comparison `{} {} {}` — use an approx/tolerance \
+                             comparison",
+                            lhs.trim(),
+                            op,
+                            rhs.trim()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn last_token(s: &str) -> String {
+    s.trim_end()
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+fn first_token(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect()
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim().trim_end_matches("f64").trim_end_matches("f32");
+    !t.is_empty()
+        && t.contains('.')
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// Every `pub fn *_traced(...)` must have a non-traced twin in the same
+/// file whose parameter types equal the traced signature's minus any
+/// `Recorder` parameters — keeping the traced API a strict superset.
+fn check_traced_pairs(file: &SourceFile, out: &mut Vec<Violation>) {
+    let fns = public_fns(file);
+    for (line, name, params) in &fns {
+        let Some(base) = name.strip_suffix("_traced") else {
+            continue;
+        };
+        if file.is_waived("traced-pair", *line) {
+            continue;
+        }
+        let wanted: Vec<&String> = params.iter().filter(|p| !p.contains("Recorder")).collect();
+        let twin = fns.iter().any(|(_, n, p)| {
+            !n.ends_with("_traced")
+                && (n == base || n.starts_with(&format!("{base}_")))
+                && p.iter().collect::<Vec<_>>() == wanted
+        });
+        if !twin {
+            out.push(Violation {
+                path: file.path.clone(),
+                line: line + 1,
+                rule: "traced-pair",
+                message: format!(
+                    "public fn `{name}` has no non-traced twin with matching parameters \
+                     (expected a `{base}*` fn taking the same params minus the Recorder)"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(0-based line, name, param types)` for each public fn in
+/// non-test code. Parameter *types* only — names are stripped so twins
+/// can rename arguments.
+fn public_fns(file: &SourceFile) -> Vec<(usize, String, Vec<String>)> {
+    let mut out = Vec::new();
+    let text = &file.masked;
+    let mut line = 0usize;
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if !text[..].is_char_boundary(0) {
+            break;
+        }
+        // Match "pub fn " / "pub(crate) fn " etc. at word boundary.
+        if bytes[i] == 'p' && text_at(&bytes, i, "pub") && !ident_before(&bytes, i) {
+            let mut j = i + 3;
+            // Optional visibility qualifier `(...)`.
+            while j < bytes.len() && bytes[j].is_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&'(') {
+                while j < bytes.len() && bytes[j] != ')' {
+                    j += 1;
+                }
+                j += 1;
+                while j < bytes.len() && bytes[j].is_whitespace() {
+                    j += 1;
+                }
+            }
+            if text_at(&bytes, j, "fn") {
+                let mut k = j + 2;
+                while k < bytes.len() && bytes[k].is_whitespace() {
+                    k += 1;
+                }
+                let start = k;
+                while k < bytes.len() && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                    k += 1;
+                }
+                let name: String = bytes[start..k].iter().collect();
+                // Skip generics to the parameter list.
+                let mut depth = 0i64;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        '(' if depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let params_start = k + 1;
+                let mut paren = 1i64;
+                k += 1;
+                while k < bytes.len() && paren > 0 {
+                    match bytes[k] {
+                        '(' => paren += 1,
+                        ')' => paren -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let raw: String = bytes[params_start..k.saturating_sub(1)].iter().collect();
+                if !file.test_lines.get(line).copied().unwrap_or(false) && !name.is_empty() {
+                    out.push((line, name, param_types(&raw)));
+                }
+                // Count newlines we skipped over.
+                line += bytes[i..k].iter().filter(|&&c| c == '\n').count();
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn text_at(bytes: &[char], i: usize, needle: &str) -> bool {
+    let n: Vec<char> = needle.chars().collect();
+    i + n.len() <= bytes.len()
+        && bytes[i..i + n.len()] == n[..]
+        && !bytes
+            .get(i + n.len())
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+fn ident_before(bytes: &[char], i: usize) -> bool {
+    i > 0
+        && bytes
+            .get(i - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// Splits a parameter list on top-level commas and keeps only the type
+/// part (after the first top-level `:`), normalising whitespace.
+fn param_types(raw: &str) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut current = String::new();
+    for c in raw.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                params.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        params.push(current);
+    }
+    params
+        .into_iter()
+        .map(|p| {
+            let p = p.trim().to_string();
+            if p.starts_with('&') && p.contains("self") && !p.contains(':') {
+                return "self".to_string();
+            }
+            if p == "self" || p == "mut self" {
+                return "self".to_string();
+            }
+            let mut depth = 0i64;
+            for (i, c) in p.char_indices() {
+                match c {
+                    '<' | '(' | '[' => depth += 1,
+                    '>' | ')' | ']' => depth -= 1,
+                    ':' if depth == 0 => {
+                        return p[i + 1..].split_whitespace().collect::<String>();
+                    }
+                    _ => {}
+                }
+            }
+            p.split_whitespace().collect::<String>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("lib.rs"), text)
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let f = file("fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t {\n fn b() { y.unwrap(); }\n}\n");
+        let mut v = Vec::new();
+        check_panic_freedom(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn waiver_silences_a_site() {
+        let f = file("// lint: allow(unwrap): upheld by ctor\nfn a() { x.unwrap(); }\n");
+        let mut v = Vec::new();
+        check_panic_freedom(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn literal_index_sites_ignore_attributes_and_types() {
+        assert_eq!(literal_index_sites("let x = xs[0];"), vec![10]);
+        assert!(literal_index_sites("#[cfg(feature = \"x\")]").is_empty());
+        assert!(literal_index_sites("let x: [f64; 4] = y;").is_empty());
+        assert!(literal_index_sites("let x = xs[i];").is_empty());
+        assert_eq!(literal_index_sites("m[1_0]").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_catches_literals_and_time_fields() {
+        let f = file("fn a() { if x == 0.5 { } if t.time_f == u.time_f { } if n == 3 { } }\n");
+        let mut v = Vec::new();
+        check_float_eq(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn float_eq_skips_comparison_operators() {
+        let f = file("fn a() { if x <= 0.5 { } if y >= 1.0 { } match z { _ => 0.1 } }\n");
+        let mut v = Vec::new();
+        check_float_eq(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn traced_pair_requires_twin() {
+        let orphan = file("pub fn solve_traced(x: usize, rec: &Recorder) -> f64 { 0.0 }\n");
+        let mut v = Vec::new();
+        check_traced_pairs(&orphan, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "traced-pair");
+
+        let paired = file(
+            "pub fn solve(x: usize) -> f64 { 0.0 }\n\
+             pub fn solve_traced(x: usize, rec: &Recorder) -> f64 { 0.0 }\n",
+        );
+        let mut v = Vec::new();
+        check_traced_pairs(&paired, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn traced_pair_accepts_suffixed_twin() {
+        // optimize_traced's twin is optimize_with (same params minus Recorder).
+        let f = file(
+            "pub fn optimize_with(cfg: &Config, hook: impl FnMut(usize)) -> Plan { todo!() }\n\
+             pub fn optimize_traced(cfg: &Config, hook: impl FnMut(usize), rec: &Recorder) \
+             -> Plan { todo!() }\n",
+        );
+        let mut v = Vec::new();
+        check_traced_pairs(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unsafe_header_rule() {
+        let mut v = Vec::new();
+        check_unsafe_header(
+            Path::new("a/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+        check_unsafe_header(Path::new("a/lib.rs"), "pub fn f() {}\n", &mut v);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_reason_in_waivers_are_flagged() {
+        let f = file("// lint: allow(frobnicate)\nfn a() {}\n");
+        let mut v = Vec::new();
+        check_waiver_reasons(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! `xtask` — workspace maintenance tasks, invoked as
+//! `cargo run -p xtask -- <task>`.
+//!
+//! The only task today is `lint`: a zero-dependency source-level lint
+//! pass enforcing the panic-freedom and API-hygiene rules documented in
+//! `docs/static-analysis.md`. It is deliberately *not* a Rust parser —
+//! it scans masked source text (comments and strings blanked) so it
+//! stays dependency-free and fast, at the cost of only catching the
+//! idioms it was written for.
+
+mod lint;
+mod source;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <task>
+
+tasks:
+  lint    run the workspace source-level lint pass (see docs/static-analysis.md)
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(task) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match task.as_str() {
+        "lint" => lint_task(),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown task `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint_task() -> ExitCode {
+    let root = workspace_root();
+    let violations = lint::run(&root);
+    if violations.is_empty() {
+        println!("lint: ok — no violations");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!("lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// the current directory otherwise.
+fn workspace_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(dir);
+        if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
