@@ -17,7 +17,8 @@ fn bench_algorithm1(c: &mut Criterion) {
     let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
     let seq = LayerSeq::for_model(&model);
     let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
-    let capacity = (hw::a100_80gb().usable_bytes() as f64 * 0.875) as u64;
+    let capacity =
+        adapipe_units::Bytes::new((hw::a100_80gb().usable_bytes().as_f64() * 0.875) as u64);
     let n = train.micro_batches(&parallel);
 
     let mut group = c.benchmark_group("algorithm1");

@@ -6,6 +6,7 @@ use adapipe_hw::presets as hw;
 use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
 use adapipe_profiler::Profiler;
 use adapipe_recompute::{optimize_with, KnapsackConfig};
+use adapipe_units::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -18,7 +19,7 @@ fn bench_knapsack(c: &mut Criterion) {
     let mut group = c.benchmark_group("knapsack");
     for layers in [12usize, 24, 48] {
         let units = table.units_in(LayerRange::new(1, layers));
-        let all: u64 = units.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = units.iter().map(|u| u.mem_saved).sum();
         let budget = all * 60 / 100;
         group.bench_with_input(
             BenchmarkId::new("gcd_rescaled", layers),

@@ -2,16 +2,17 @@
 //! families and pipeline scales.
 
 use adapipe_sim::{schedule, simulate, StageExec};
+use adapipe_units::{Bytes, MicroSecs};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn stages(p: usize) -> Vec<StageExec> {
     (0..p)
         .map(|s| StageExec {
-            time_f: 1.0 + 0.01 * s as f64,
-            time_b: 2.0 + 0.02 * s as f64,
-            saved_bytes: 1 << 30,
-            buffer_bytes: 1 << 28,
+            time_f: MicroSecs::new(1.0 + 0.01 * s as f64),
+            time_b: MicroSecs::new(2.0 + 0.02 * s as f64),
+            saved_bytes: Bytes::new(1 << 30),
+            buffer_bytes: Bytes::new(1 << 28),
         })
         .collect()
 }
@@ -24,21 +25,34 @@ fn bench_simulator(c: &mut Criterion) {
             BenchmarkId::new("1f1b", format!("p{p}_n{n}")),
             &st,
             |b, st| {
-                b.iter(|| simulate(black_box(&schedule::one_f_one_b(st, n, 1e-4))));
+                b.iter(|| {
+                    simulate(black_box(&schedule::one_f_one_b(
+                        st,
+                        n,
+                        MicroSecs::new(1e-4),
+                    )))
+                });
             },
         );
         group.bench_with_input(
             BenchmarkId::new("gpipe", format!("p{p}_n{n}")),
             &st,
             |b, st| {
-                b.iter(|| simulate(black_box(&schedule::gpipe(st, n, 1e-4))));
+                b.iter(|| simulate(black_box(&schedule::gpipe(st, n, MicroSecs::new(1e-4)))));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("chimera", format!("p{p}_n{n}")),
             &st,
             |b, st| {
-                b.iter(|| simulate(black_box(&schedule::chimera(st, n, 1e-4, false))));
+                b.iter(|| {
+                    simulate(black_box(&schedule::chimera(
+                        st,
+                        n,
+                        MicroSecs::new(1e-4),
+                        false,
+                    )))
+                });
             },
         );
     }

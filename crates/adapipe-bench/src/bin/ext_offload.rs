@@ -10,6 +10,7 @@ use adapipe_hw::presets as hw;
 use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
 use adapipe_profiler::Profiler;
 use adapipe_recompute::{optimize, optimize_hybrid, OffloadLink};
+use adapipe_units::{Bytes, BytesPerSec};
 
 fn main() {
     let model = presets::gpt3_175b();
@@ -19,14 +20,14 @@ fn main() {
     let seq = LayerSeq::for_model(&model);
     let range = seq.even_partition(8)[0]; // stage 0: tightest budget
     let units = table.units_in(range);
-    let all: u64 = units.iter().map(|u| u.mem_saved).sum();
+    let all: Bytes = units.iter().map(|u| u.mem_saved).sum();
 
     let links = [
         ("no offload", None),
         (
             "pcie3 (12 GB/s, 30% ovl)",
             Some(OffloadLink {
-                bandwidth: 12e9,
+                bandwidth: BytesPerSec::new(12e9),
                 overlap: 0.3,
             }),
         ),
@@ -34,7 +35,7 @@ fn main() {
         (
             "pcie5 (50 GB/s, 70% ovl)",
             Some(OffloadLink {
-                bandwidth: 50e9,
+                bandwidth: BytesPerSec::new(50e9),
                 overlap: 0.7,
             }),
         ),
@@ -53,7 +54,7 @@ fn main() {
                         plain.strategy.recomputed_count(),
                         0,
                     ),
-                    0u64,
+                    Bytes::ZERO,
                 ),
                 Some(l) => {
                     let h = optimize_hybrid(&units, budget, l).expect("feasible");
@@ -63,13 +64,13 @@ fn main() {
             rows.push(vec![
                 format!("{frac}%"),
                 label.to_string(),
-                format!("{:.0}", time_b * 1e3),
+                format!("{:.0}", time_b.as_millis()),
                 format!(
                     "{:.1}%",
                     100.0 * (plain.cost.time_b - time_b) / plain.cost.time_b
                 ),
                 format!("{}/{}/{}", counts.0, counts.1, counts.2),
-                format!("{:.2}", shipped as f64 / 1e9),
+                format!("{:.2}", shipped.as_f64() / 1e9),
             ]);
         }
     }

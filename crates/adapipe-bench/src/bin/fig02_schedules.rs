@@ -5,20 +5,21 @@
 use adapipe_bench::emit_bench_json;
 use adapipe_obs::Recorder;
 use adapipe_sim::{render, schedule, simulate_traced, SimReport, StageExec};
+use adapipe_units::{Bytes, MicroSecs};
 
 fn render_report(report: &SimReport) {
     print!(
         "{}",
-        render::render_ascii(report, report.makespan.ceil() as usize)
+        render::render_ascii(report, report.makespan.as_micros().ceil() as usize)
     );
     println!(
         "makespan {:.1}, bubble ratio {:.1}%, peak activations per stage: {:?}\n",
-        report.makespan,
+        report.makespan.as_micros(),
         100.0 * report.bubble_ratio(),
         report
             .devices
             .iter()
-            .map(|d| d.peak_dynamic_bytes)
+            .map(|d| d.peak_dynamic_bytes.get())
             .collect::<Vec<_>>()
     );
 }
@@ -30,28 +31,28 @@ fn main() {
     // micro-batch so peaks read as micro-batch counts.
     let stages = vec![
         StageExec {
-            time_f: 1.0,
-            time_b: 2.0,
-            saved_bytes: 1,
-            buffer_bytes: 0
+            time_f: MicroSecs::new(1.0),
+            time_b: MicroSecs::new(2.0),
+            saved_bytes: Bytes::new(1),
+            buffer_bytes: Bytes::ZERO
         };
         3
     ];
     let n = 6;
 
     println!("== Figure 2 (a): GPipe — all forwards, then all backwards ==");
-    let gp = simulate_traced(&schedule::gpipe(&stages, n, 0.0), &rec);
+    let gp = simulate_traced(&schedule::gpipe(&stages, n, MicroSecs::ZERO), &rec);
     render_report(&gp);
 
     println!("== Figure 2 (b): 1F1B — warmup / steady / ending ==");
-    let f1b = simulate_traced(&schedule::one_f_one_b(&stages, n, 0.0), &rec);
+    let f1b = simulate_traced(&schedule::one_f_one_b(&stages, n, MicroSecs::ZERO), &rec);
     render_report(&f1b);
 
     println!(
         "Expected shape: identical makespan and bubbles (2(p-1) slots), but GPipe \
          holds all {n} micro-batches while 1F1B stage s holds only p - s."
     );
-    assert!((gp.makespan - f1b.makespan).abs() < 1e-9);
+    assert!((gp.makespan - f1b.makespan).abs() < MicroSecs::new(1e-9));
     assert!(f1b.max_peak_dynamic_bytes() < gp.max_peak_dynamic_bytes());
 
     rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());

@@ -7,6 +7,7 @@ use adapipe::{Method, Planner};
 use adapipe_bench::{cluster_b_parallel, print_table, time_cell};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, TrainConfig};
+use adapipe_units::MicroSecs;
 
 fn main() {
     // (model, devices, global batch), per Table 2.
@@ -42,7 +43,7 @@ fn main() {
         let dapple_best = times[..2]
             .iter()
             .filter_map(|r| r.as_ref().ok().filter(|e| e.fits).map(|e| e.iteration_time))
-            .fold(f64::INFINITY, f64::min);
+            .fold(MicroSecs::new(f64::INFINITY), MicroSecs::min);
         for (method, result) in methods.iter().zip(&times) {
             let speedup = match result {
                 Ok(e) if e.fits && dapple_best.is_finite() => {

@@ -6,6 +6,7 @@ use adapipe::{Method, Planner};
 use adapipe_bench::print_table;
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_units::MicroSecs;
 
 fn main() {
     let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
@@ -24,15 +25,18 @@ fn main() {
         let Ok(plan) = planner.plan(method, parallel, train) else {
             continue;
         };
-        let steps: Vec<f64> = plan
+        let steps: Vec<MicroSecs> = plan
             .stages
             .iter()
             .map(adapipe::StagePlan::micro_step)
             .collect();
-        let spread = steps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            / steps.iter().copied().fold(f64::INFINITY, f64::min);
+        let spread = steps.iter().copied().fold(MicroSecs::ZERO, MicroSecs::max)
+            / steps
+                .iter()
+                .copied()
+                .fold(MicroSecs::new(f64::INFINITY), MicroSecs::min);
         let mut row = vec![method.to_string()];
-        row.extend(steps.iter().map(|t| format!("{:.2}", t * 1e3)));
+        row.extend(steps.iter().map(|t| format!("{:.2}", t.as_millis())));
         row.push(format!("{spread:.2}x"));
         rows.push(row);
     }

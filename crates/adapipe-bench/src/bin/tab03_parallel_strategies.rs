@@ -7,6 +7,7 @@ use adapipe::{sweep_parallel_strategies, Method, Planner, StrategyOutcome};
 use adapipe_bench::print_table;
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, TrainConfig};
+use adapipe_units::MicroSecs;
 
 fn main() {
     let planner = Planner::new(presets::gpt3_175b(), hw::cluster_a());
@@ -22,7 +23,7 @@ fn main() {
         .iter()
         .map(|&m| sweep_parallel_strategies(&planner, m, 64, train, 8, 2))
         .collect();
-    let best: Vec<Option<f64>> = sweeps
+    let best: Vec<Option<MicroSecs>> = sweeps
         .iter()
         .map(|s| adapipe::best_outcome(s).and_then(StrategyOutcome::time))
         .collect();
@@ -43,12 +44,12 @@ fn main() {
         for (m, sweep) in sweeps.iter().enumerate() {
             row.push(match sweep[i].time() {
                 Some(t) => {
-                    let star = if best[m].is_some_and(|b| (t - b).abs() < 1e-9) {
+                    let star = if best[m].is_some_and(|b| (t - b).abs() < MicroSecs::new(1e-3)) {
                         "*"
                     } else {
                         ""
                     };
-                    format!("{t:.3}{star}")
+                    format!("{:.3}{star}", t.as_secs())
                 }
                 None => "OOM".into(),
             });

@@ -4,6 +4,7 @@ use crate::{cluster_a_workloads, print_table};
 use adapipe::{Method, Planner};
 use adapipe_hw::presets as hw;
 use adapipe_model::ModelSpec;
+use adapipe_units::MicroSecs;
 
 /// Runs the Figure 5/6 protocol: for every method and sequence length,
 /// iterate all 3D parallel strategies on `devices` cluster-A GPUs and
@@ -16,7 +17,7 @@ pub fn run(model: ModelSpec, devices: usize, figure: &str) {
 
     let mut rows = Vec::new();
     for train in cluster_a_workloads() {
-        let mut best: Vec<Option<f64>> = Vec::new();
+        let mut best: Vec<Option<MicroSecs>> = Vec::new();
         for method in methods {
             best.push(crate::best_time_over_strategies(
                 &planner, method, devices, train,
@@ -25,13 +26,13 @@ pub fn run(model: ModelSpec, devices: usize, figure: &str) {
         let dapple_best = [best[0], best[1]]
             .iter()
             .flatten()
-            .fold(f64::INFINITY, |a, &b| a.min(b));
+            .fold(MicroSecs::new(f64::INFINITY), |a, &b| a.min(b));
         for (method, time) in methods.iter().zip(&best) {
             let (cell, speedup) = match time {
                 Some(t) => (
-                    format!("{t:.3}"),
+                    format!("{:.3}", t.as_secs()),
                     if dapple_best.is_finite() {
-                        format!("{:.2}x", dapple_best / t)
+                        format!("{:.2}x", dapple_best / *t)
                     } else {
                         "-".into()
                     },

@@ -10,6 +10,7 @@ pub mod cluster_a;
 use adapipe::{Evaluation, Method, PlanError, Planner};
 use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig};
 use adapipe_obs::Recorder;
+use adapipe_units::{Bytes, MicroSecs};
 use std::path::PathBuf;
 
 /// Locates the `results/` directory: `$ADAPIPE_RESULTS_DIR` if set
@@ -109,15 +110,15 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 
 /// Bytes → GB (decimal, as the paper's figures use).
 #[must_use]
-pub fn gb(bytes: u64) -> f64 {
-    bytes as f64 / 1e9
+pub fn gb(bytes: Bytes) -> f64 {
+    bytes.as_f64() / 1e9
 }
 
 /// Formats an evaluation cell: seconds or `OOM`.
 #[must_use]
 pub fn time_cell(result: &Result<Evaluation, PlanError>) -> String {
     match result {
-        Ok(e) if e.fits => format!("{:.3}", e.iteration_time),
+        Ok(e) if e.fits => format!("{:.3}", e.iteration_time.as_secs()),
         Ok(_) => "OOM".to_string(),
         Err(PlanError::OutOfMemory { .. }) => "OOM".to_string(),
         Err(PlanError::Unsupported { .. }) => "n/a".to_string(),
@@ -134,7 +135,7 @@ pub fn best_time_over_strategies(
     method: Method,
     devices: usize,
     train: TrainConfig,
-) -> Option<f64> {
+) -> Option<MicroSecs> {
     let outcomes = adapipe::sweep_parallel_strategies(planner, method, devices, train, 8, 2);
     adapipe::best_outcome(&outcomes).and_then(adapipe::StrategyOutcome::time)
 }

@@ -61,6 +61,10 @@ pub enum CheckCode {
     /// Cached isomorphism-class cost differs from the recomputed leaf
     /// cost (§5.3 soundness spot-check).
     IsoCacheDivergence,
+    /// Plan units metadata contradicts this build's conventions
+    /// (time in microseconds, memory in bytes); accepting such a plan
+    /// would silently rescale every Eq. (1)–(3) quantity.
+    UnitMismatch,
 }
 
 impl CheckCode {
@@ -82,6 +86,7 @@ impl CheckCode {
             CheckCode::DeviceOrderDeadlock => "device-order-deadlock",
             CheckCode::TaskDuration => "task-duration",
             CheckCode::IsoCacheDivergence => "iso-cache-divergence",
+            CheckCode::UnitMismatch => "unit-mismatch",
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::diag::{CheckCode, Diagnostic};
 use adapipe_sim::{Discipline, TaskGraph};
+use adapipe_units::MicroSecs;
 
 /// Kahn's algorithm over `edges` (from → to). Returns the ids of tasks
 /// that can never become ready (empty when the graph is acyclic).
@@ -67,7 +68,7 @@ pub fn check_task_graph(g: &TaskGraph) -> Vec<Diagnostic> {
     let n = g.len();
     let mut dep_edges = Vec::new();
     for t in 0..n {
-        if g.task_duration(t) < 0.0 {
+        if g.task_duration(t) < MicroSecs::ZERO {
             out.push(Diagnostic::error(
                 CheckCode::TaskDuration,
                 Some(g.task_meta(t).stage),
@@ -120,6 +121,7 @@ pub fn check_task_graph(g: &TaskGraph) -> Vec<Diagnostic> {
 mod tests {
     use super::*;
     use adapipe_sim::{OpKind, TaskMeta};
+    use adapipe_units::Bytes;
 
     fn meta(stage: usize, mb: usize) -> TaskMeta {
         TaskMeta {
@@ -133,18 +135,58 @@ mod tests {
     #[test]
     fn linear_chain_is_clean() {
         let mut g = TaskGraph::new("chain", 2, Discipline::FixedOrder);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0, 0));
-        let b = g.push(1, 1.0, vec![(a, 0.0)], 0, 0, 1, meta(1, 0));
-        let _ = g.push(0, 1.0, vec![(b, 0.0)], 0, 0, 2, meta(0, 1));
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0, 0),
+        );
+        let b = g.push(
+            1,
+            MicroSecs::new(1.0),
+            vec![(a, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(1, 0),
+        );
+        let _ = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(b, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            2,
+            meta(0, 1),
+        );
         assert!(check_task_graph(&g).is_empty());
     }
 
     #[test]
     fn cycle_is_detected() {
         let mut g = TaskGraph::new("cyclic", 1, Discipline::GreedyPriority);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0, 0));
-        let b = g.push(0, 1.0, vec![(a, 0.0)], 0, 0, 1, meta(0, 1));
-        g.add_dep(a, b, 0.0);
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0, 0),
+        );
+        let b = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(a, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(0, 1),
+        );
+        g.add_dep(a, b, MicroSecs::ZERO);
         let diags = check_task_graph(&g);
         assert!(diags.iter().any(|d| d.code == CheckCode::CycleDetected));
         assert!(diags[0].message.contains("can never start"));
@@ -154,10 +196,34 @@ mod tests {
     fn fixed_order_deadlock_is_detected() {
         // Queue on device 0: x then y, but y must run before x.
         let mut g = TaskGraph::new("deadlock", 2, Discipline::FixedOrder);
-        let x = g.push(0, 1.0, vec![], 0, 0, 0, meta(0, 0));
-        let up = g.push(1, 1.0, vec![(x, 0.0)], 0, 0, 1, meta(1, 0));
-        let y = g.push(0, 1.0, vec![], 0, 0, 2, meta(0, 1));
-        g.add_dep(x, y, 0.0);
+        let x = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0, 0),
+        );
+        let up = g.push(
+            1,
+            MicroSecs::new(1.0),
+            vec![(x, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(1, 0),
+        );
+        let y = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            2,
+            meta(0, 1),
+        );
+        g.add_dep(x, y, MicroSecs::ZERO);
         let _ = up;
         let diags = check_task_graph(&g);
         assert!(
@@ -168,17 +234,49 @@ mod tests {
         );
         // The same graph under greedy priorities is fine (y runs first).
         let mut g2 = TaskGraph::new("greedy", 2, Discipline::GreedyPriority);
-        let x = g2.push(0, 1.0, vec![], 0, 0, 5, meta(0, 0));
-        let _ = g2.push(1, 1.0, vec![(x, 0.0)], 0, 0, 1, meta(1, 0));
-        let y = g2.push(0, 1.0, vec![], 0, 0, 0, meta(0, 1));
-        g2.add_dep(x, y, 0.0);
+        let x = g2.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            5,
+            meta(0, 0),
+        );
+        let _ = g2.push(
+            1,
+            MicroSecs::new(1.0),
+            vec![(x, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(1, 0),
+        );
+        let y = g2.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0, 1),
+        );
+        g2.add_dep(x, y, MicroSecs::ZERO);
         assert!(check_task_graph(&g2).is_empty());
     }
 
     #[test]
     fn negative_duration_is_flagged() {
         let mut g = TaskGraph::new("neg", 1, Discipline::FixedOrder);
-        let _ = g.push(0, -1.0, vec![], 0, 0, 0, meta(0, 0));
+        let _ = g.push(
+            0,
+            MicroSecs::new(-1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0, 0),
+        );
         let diags = check_task_graph(&g);
         assert!(diags.iter().any(|d| d.code == CheckCode::TaskDuration));
     }

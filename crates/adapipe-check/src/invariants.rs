@@ -8,6 +8,7 @@ use adapipe_model::LayerRange;
 use adapipe_partition::{f1b_iteration_time, F1bBreakdown, StageTimes};
 use adapipe_profiler::UnitProfile;
 use adapipe_recompute::{strategy, RecomputeStrategy, StageCost};
+use adapipe_units::Bytes;
 
 /// Relative comparison tolerance for `f64` quantities that round-trip
 /// through text serialization: `17` significant digits survive the trip,
@@ -141,7 +142,7 @@ pub fn check_stage_cost(
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let fresh = strategy::cost_of(units, strat);
-    if !approx_eq(fresh.time_f, stored.time_f, tol) {
+    if !approx_eq(fresh.time_f.as_micros(), stored.time_f.as_micros(), tol) {
         out.push(Diagnostic::error(
             CheckCode::CostDrift,
             Some(stage),
@@ -151,7 +152,7 @@ pub fn check_stage_cost(
             ),
         ));
     }
-    if !approx_eq(fresh.time_b, stored.time_b, tol) {
+    if !approx_eq(fresh.time_b.as_micros(), stored.time_b.as_micros(), tol) {
         out.push(Diagnostic::error(
             CheckCode::CostDrift,
             Some(stage),
@@ -213,7 +214,7 @@ pub fn check_memory_accounting(
 pub fn check_capacity(
     stage: usize,
     memory: &StageMemory,
-    capacity: u64,
+    capacity: Bytes,
     severity: Severity,
 ) -> Vec<Diagnostic> {
     if memory.fits(capacity) {
@@ -221,8 +222,8 @@ pub fn check_capacity(
     }
     let diag = format!(
         "stage needs {:.2} GB but the device caps at {:.2} GB ({memory})",
-        memory.total() as f64 / 1e9,
-        capacity as f64 / 1e9
+        memory.total().as_f64() / 1e9,
+        capacity.as_f64() / 1e9
     );
     vec![match severity {
         Severity::Error => Diagnostic::error(CheckCode::BudgetOverflow, Some(stage), diag),
@@ -257,7 +258,7 @@ pub fn check_breakdown(
         ("total T", fresh.total(), stored.total()),
     ];
     for (name, want, got) in phases {
-        if !approx_eq(want, got, tol) {
+        if !approx_eq(want.as_micros(), got.as_micros(), tol) {
             out.push(Diagnostic::error(
                 CheckCode::BreakdownDrift,
                 None,
@@ -271,6 +272,7 @@ pub fn check_breakdown(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adapipe_units::MicroSecs;
 
     fn r(first: usize, last: usize) -> LayerRange {
         LayerRange { first, last }
@@ -304,12 +306,18 @@ mod tests {
 
     #[test]
     fn breakdown_drift_is_detected() {
-        let times = vec![StageTimes { f: 1.0, b: 2.0 }; 4];
+        let times = vec![
+            StageTimes {
+                f: MicroSecs::new(1.0),
+                b: MicroSecs::new(2.0)
+            };
+            4
+        ];
         let good = f1b_iteration_time(&times, 16);
         assert!(check_breakdown(&times, 16, &good, 1e-9).is_empty());
 
         let mut bad = good;
-        bad.steady *= 1.5;
+        bad.steady = bad.steady * 1.5;
         let diags = check_breakdown(&times, 16, &bad, 1e-9);
         assert!(diags.iter().any(|d| d.code == CheckCode::BreakdownDrift));
 
@@ -320,14 +328,14 @@ mod tests {
     #[test]
     fn capacity_overflow_respects_severity() {
         let mem = StageMemory {
-            static_bytes: 10,
-            buffer_bytes: 0,
-            intermediate_bytes: 0,
+            static_bytes: Bytes::new(10),
+            buffer_bytes: Bytes::ZERO,
+            intermediate_bytes: Bytes::ZERO,
         };
-        assert!(check_capacity(0, &mem, 10, Severity::Error).is_empty());
-        let err = check_capacity(0, &mem, 9, Severity::Error);
+        assert!(check_capacity(0, &mem, Bytes::new(10), Severity::Error).is_empty());
+        let err = check_capacity(0, &mem, Bytes::new(9), Severity::Error);
         assert_eq!(err[0].severity, Severity::Error);
-        let warn = check_capacity(0, &mem, 9, Severity::Warning);
+        let warn = check_capacity(0, &mem, Bytes::new(9), Severity::Warning);
         assert_eq!(warn[0].severity, Severity::Warning);
         assert_eq!(warn[0].code, CheckCode::BudgetOverflow);
     }
@@ -335,15 +343,15 @@ mod tests {
     #[test]
     fn memory_accounting_flags_each_field() {
         let want = StageMemory {
-            static_bytes: 1,
-            buffer_bytes: 2,
-            intermediate_bytes: 3,
+            static_bytes: Bytes::new(1),
+            buffer_bytes: Bytes::new(2),
+            intermediate_bytes: Bytes::new(3),
         };
         assert!(check_memory_accounting(0, &want, &want).is_empty());
         let got = StageMemory {
-            static_bytes: 9,
-            buffer_bytes: 2,
-            intermediate_bytes: 7,
+            static_bytes: Bytes::new(9),
+            buffer_bytes: Bytes::new(2),
+            intermediate_bytes: Bytes::new(7),
         };
         let diags = check_memory_accounting(0, &want, &got);
         assert_eq!(diags.len(), 2);

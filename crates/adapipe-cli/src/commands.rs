@@ -141,27 +141,32 @@ pub fn plan(mut args: Args) -> Result<String, ConfigError> {
     }
 }
 
-/// Reads a plan file written by `plan --out`.
-fn read_plan(args: &mut Args) -> Result<adapipe::Plan, ConfigError> {
+/// Reads a plan file written by `plan --out`. The second element
+/// carries parser warnings (e.g. a legacy v1 file whose seconds were
+/// converted to microseconds) formatted as ready-to-print lines.
+fn read_plan(args: &mut Args) -> Result<(adapipe::Plan, String), ConfigError> {
     let path = args.require("plan")?;
     let text = std::fs::read_to_string(&path)
         .map_err(|e| ConfigError::Domain(format!("cannot read {path}: {e}")))?;
-    adapipe::plan_io::from_text(&text).map_err(|e| ConfigError::Domain(e.to_string()))
+    let (plan, warnings) = adapipe::plan_io::from_text_with_warnings(&text)
+        .map_err(|e| ConfigError::Domain(e.to_string()))?;
+    let rendered = warnings.iter().map(|w| format!("warning: {w}\n")).collect();
+    Ok((plan, rendered))
 }
 
 /// `adapipe show`: print a saved plan and re-evaluate it.
 pub fn show(mut args: Args) -> Result<String, ConfigError> {
-    let plan = read_plan(&mut args)?;
+    let (plan, warnings) = read_plan(&mut args)?;
     let planner = build_planner(&mut args)?;
     args.finish()?;
     let eval = planner.evaluate(&plan);
-    Ok(format!("{plan}\nevaluation: {eval}\n"))
+    Ok(format!("{warnings}{plan}\nevaluation: {eval}\n"))
 }
 
 /// `adapipe trace`: simulate a saved plan and emit Chrome-trace JSON
 /// (load in chrome://tracing or Perfetto).
 pub fn trace(mut args: Args) -> Result<String, ConfigError> {
-    let plan = read_plan(&mut args)?;
+    let (plan, warnings) = read_plan(&mut args)?;
     let out_file = args.take("out");
     let planner = build_planner(&mut args)?;
     args.finish()?;
@@ -172,9 +177,9 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
             std::fs::write(&path, &json)
                 .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
             Ok(format!(
-                "{} events written to {path} ({:.3}s makespan)\n",
+                "{warnings}{} events written to {path} ({:.3}s makespan)\n",
                 eval.report.timeline.len(),
-                eval.iteration_time
+                eval.iteration_time.as_secs()
             ))
         }
         None => Ok(json),
@@ -185,7 +190,7 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
 /// feasibility invariants (Eq. (1)-(3), partition cover, schedule DAG)
 /// without executing it. `--quick true` skips the iso-cache spot-check.
 pub fn verify(mut args: Args) -> Result<String, ConfigError> {
-    let plan = read_plan(&mut args)?;
+    let (plan, warnings) = read_plan(&mut args)?;
     let quick = match args.take("quick").as_deref() {
         None | Some("false") => false,
         Some("true") => true,
@@ -206,7 +211,7 @@ pub fn verify(mut args: Args) -> Result<String, ConfigError> {
     };
     let report = planner.verify_with(&plan, opts);
     let header = format!(
-        "verifying {} plan ({} stages, n={}) against {} on {}\n",
+        "{warnings}verifying {} plan ({} stages, n={}) against {} on {}\n",
         plan.method,
         plan.stages.len(),
         plan.n_microbatches,
@@ -276,7 +281,7 @@ pub fn compare(mut args: Args) -> Result<String, ConfigError> {
         planner.model().name(),
         planner.cluster().name()
     );
-    let mut best: Option<(Method, f64)> = None;
+    let mut best: Option<(Method, adapipe_units::MicroSecs)> = None;
     for method in Method::all() {
         let line = match planner.plan(method, parallel, train) {
             Ok(plan) => {
@@ -296,7 +301,7 @@ pub fn compare(mut args: Args) -> Result<String, ConfigError> {
         out.push_str(&format!("  {method:<20} {line}\n"));
     }
     if let Some((method, t)) = best {
-        out.push_str(&format!("fastest: {method} at {t:.3}s\n"));
+        out.push_str(&format!("fastest: {method} at {:.3}s\n", t.as_secs()));
     }
     if let Some((hits, misses, rate)) = sink.iso_cache_stats() {
         out.push_str(&format!(

@@ -1,5 +1,6 @@
 use crate::device::DeviceSpec;
 use crate::link::LinkSpec;
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -95,14 +96,14 @@ impl ClusterSpec {
     ///
     /// Returns zero when `group <= 1`.
     #[must_use]
-    pub fn allreduce_time(&self, bytes: u64, group: usize) -> f64 {
+    pub fn allreduce_time(&self, bytes: Bytes, group: usize) -> MicroSecs {
         if group <= 1 {
-            return 0.0;
+            return MicroSecs::ZERO;
         }
         let g = group as f64;
-        let volume = 2.0 * (g - 1.0) / g * bytes as f64;
         let steps = 2.0 * (g - 1.0);
-        steps * self.intra_link.latency() + volume / self.intra_link.bandwidth()
+        let volume_time = (2.0 * (g - 1.0) / g) * (bytes / self.intra_link.bandwidth());
+        steps * self.intra_link.latency() + volume_time
     }
 
     /// Time of a reduce-scatter *or* all-gather of `bytes` across `group`
@@ -111,14 +112,14 @@ impl ClusterSpec {
     /// same total volume, so modelling both halves at `allreduce/2` keeps
     /// the aggregate identical.
     #[must_use]
-    pub fn half_collective_time(&self, bytes: u64, group: usize) -> f64 {
+    pub fn half_collective_time(&self, bytes: Bytes, group: usize) -> MicroSecs {
         self.allreduce_time(bytes, group) / 2.0
     }
 
     /// Time to send `bytes` from one pipeline stage to the next
     /// (inter-node point-to-point).
     #[must_use]
-    pub fn p2p_time(&self, bytes: u64) -> f64 {
+    pub fn p2p_time(&self, bytes: Bytes) -> MicroSecs {
         self.inter_link.transfer_time(bytes)
     }
 
@@ -127,14 +128,14 @@ impl ClusterSpec {
     /// sit on different nodes, so this rides the inter-node link:
     /// `2 (g−1)/g · bytes` plus per-step latencies. Zero for `group <= 1`.
     #[must_use]
-    pub fn grad_allreduce_time(&self, bytes: u64, group: usize) -> f64 {
+    pub fn grad_allreduce_time(&self, bytes: Bytes, group: usize) -> MicroSecs {
         if group <= 1 {
-            return 0.0;
+            return MicroSecs::ZERO;
         }
         let g = group as f64;
-        let volume = 2.0 * (g - 1.0) / g * bytes as f64;
         let steps = 2.0 * (g - 1.0);
-        steps * self.inter_link.latency() + volume / self.inter_link.bandwidth()
+        let volume_time = (2.0 * (g - 1.0) / g) * (bytes / self.inter_link.bandwidth());
+        steps * self.inter_link.latency() + volume_time
     }
 }
 
@@ -154,30 +155,33 @@ impl fmt::Display for ClusterSpec {
 #[cfg(test)]
 mod tests {
 
+    use super::*;
     use crate::presets;
 
     #[test]
     fn allreduce_grows_with_group_size() {
         let c = presets::cluster_a();
-        let t2 = c.allreduce_time(1 << 24, 2);
-        let t8 = c.allreduce_time(1 << 24, 8);
+        let t2 = c.allreduce_time(Bytes::new(1 << 24), 2);
+        let t8 = c.allreduce_time(Bytes::new(1 << 24), 8);
         assert!(t8 > t2);
-        assert_eq!(c.allreduce_time(1 << 24, 1), 0.0);
+        assert_eq!(c.allreduce_time(Bytes::new(1 << 24), 1), MicroSecs::ZERO);
     }
 
     #[test]
     fn half_collective_is_half() {
         let c = presets::cluster_a();
-        let full = c.allreduce_time(1 << 20, 4);
-        let half = c.half_collective_time(1 << 20, 4);
-        assert!((full - 2.0 * half).abs() < 1e-12);
+        let full = c.allreduce_time(Bytes::new(1 << 20), 4);
+        let half = c.half_collective_time(Bytes::new(1 << 20), 4);
+        assert!((full - 2.0 * half).abs() < MicroSecs::new(1e-9));
     }
 
     #[test]
     fn p2p_uses_inter_node_link() {
         let c = presets::cluster_b_small();
-        let t = c.p2p_time(1 << 20);
-        assert!((t - c.inter_link().transfer_time(1 << 20)).abs() < 1e-15);
+        let t = c.p2p_time(Bytes::new(1 << 20));
+        assert!(
+            (t - c.inter_link().transfer_time(Bytes::new(1 << 20))).abs() < MicroSecs::new(1e-9)
+        );
     }
 
     #[test]
@@ -189,12 +193,15 @@ mod tests {
     #[test]
     fn grad_allreduce_scales_with_group_and_rides_the_slow_link() {
         let c = presets::cluster_a();
-        assert_eq!(c.grad_allreduce_time(1 << 30, 1), 0.0);
-        let t2 = c.grad_allreduce_time(1 << 30, 2);
-        let t8 = c.grad_allreduce_time(1 << 30, 8);
+        assert_eq!(
+            c.grad_allreduce_time(Bytes::new(1 << 30), 1),
+            MicroSecs::ZERO
+        );
+        let t2 = c.grad_allreduce_time(Bytes::new(1 << 30), 2);
+        let t8 = c.grad_allreduce_time(Bytes::new(1 << 30), 8);
         assert!(t8 > t2);
         // Inter-node bandwidth, not NVLink: slower than the TP collective
         // of the same volume.
-        assert!(t2 > c.allreduce_time(1 << 30, 2) / 4.0);
+        assert!(t2 > c.allreduce_time(Bytes::new(1 << 30), 2) / 4.0);
     }
 }

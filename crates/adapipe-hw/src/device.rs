@@ -1,3 +1,4 @@
+use adapipe_units::{Bytes, BytesPerSec, Flops, FlopsPerSec, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -11,13 +12,13 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceSpec {
     name: String,
-    mem_bytes: u64,
-    reserved_bytes: u64,
-    peak_flops: f64,
-    hbm_bandwidth: f64,
+    mem_bytes: Bytes,
+    reserved_bytes: Bytes,
+    peak_flops: FlopsPerSec,
+    hbm_bandwidth: BytesPerSec,
     matmul_efficiency: f64,
     mem_efficiency: f64,
-    kernel_overhead: f64,
+    kernel_overhead: MicroSecs,
 }
 
 impl DeviceSpec {
@@ -33,34 +34,34 @@ impl DeviceSpec {
         &self.name
     }
 
-    /// Device memory capacity in bytes.
+    /// Device memory capacity.
     #[must_use]
-    pub fn mem_bytes(&self) -> u64 {
+    pub fn mem_bytes(&self) -> Bytes {
         self.mem_bytes
     }
 
-    /// Bytes unavailable to the training job (driver context, collective
+    /// Memory unavailable to the training job (driver context, collective
     /// communication buffers, allocator fragmentation).
     #[must_use]
-    pub fn reserved_bytes(&self) -> u64 {
+    pub fn reserved_bytes(&self) -> Bytes {
         self.reserved_bytes
     }
 
     /// Memory the job may actually allocate: capacity minus reservation.
     #[must_use]
-    pub fn usable_bytes(&self) -> u64 {
-        self.mem_bytes - self.reserved_bytes
+    pub fn usable_bytes(&self) -> Bytes {
+        self.mem_bytes.saturating_sub(self.reserved_bytes)
     }
 
-    /// Peak half-precision math rate in FLOP/s.
+    /// Peak half-precision math rate.
     #[must_use]
-    pub fn peak_flops(&self) -> f64 {
+    pub fn peak_flops(&self) -> FlopsPerSec {
         self.peak_flops
     }
 
-    /// Device-memory bandwidth in bytes/s.
+    /// Device-memory bandwidth.
     #[must_use]
-    pub fn hbm_bandwidth(&self) -> f64 {
+    pub fn hbm_bandwidth(&self) -> BytesPerSec {
         self.hbm_bandwidth
     }
 
@@ -76,9 +77,9 @@ impl DeviceSpec {
         self.mem_efficiency
     }
 
-    /// Fixed per-kernel launch overhead in seconds.
+    /// Fixed per-kernel launch overhead.
     #[must_use]
-    pub fn kernel_overhead(&self) -> f64 {
+    pub fn kernel_overhead(&self) -> MicroSecs {
         self.kernel_overhead
     }
 
@@ -86,7 +87,7 @@ impl DeviceSpec {
     /// operations and moving `bytes` through memory: the roofline maximum
     /// of the math time and the memory time, plus launch overhead.
     #[must_use]
-    pub fn matmul_time(&self, flops: f64, bytes: f64) -> f64 {
+    pub fn matmul_time(&self, flops: Flops, bytes: Bytes) -> MicroSecs {
         let math = flops / (self.peak_flops * self.matmul_efficiency);
         let mem = bytes / (self.hbm_bandwidth * self.mem_efficiency);
         self.kernel_overhead + math.max(mem)
@@ -94,7 +95,7 @@ impl DeviceSpec {
 
     /// Time for a bandwidth-bound kernel moving `bytes` through memory.
     #[must_use]
-    pub fn bandwidth_time(&self, bytes: f64) -> f64 {
+    pub fn bandwidth_time(&self, bytes: Bytes) -> MicroSecs {
         self.kernel_overhead + bytes / (self.hbm_bandwidth * self.mem_efficiency)
     }
 }
@@ -105,9 +106,9 @@ impl fmt::Display for DeviceSpec {
             f,
             "{} ({} GB, {:.0} TFLOPs, {:.0} GB/s)",
             self.name,
-            self.mem_bytes >> 30,
-            self.peak_flops / 1e12,
-            self.hbm_bandwidth / 1e9
+            self.mem_bytes.get() >> 30,
+            self.peak_flops.get() / 1e12,
+            self.hbm_bandwidth.get() / 1e9
         )
     }
 }
@@ -116,54 +117,54 @@ impl fmt::Display for DeviceSpec {
 #[derive(Debug, Clone)]
 pub struct DeviceSpecBuilder {
     name: String,
-    mem_bytes: u64,
-    reserved_bytes: u64,
-    peak_flops: f64,
-    hbm_bandwidth: f64,
+    mem_bytes: Bytes,
+    reserved_bytes: Bytes,
+    peak_flops: FlopsPerSec,
+    hbm_bandwidth: BytesPerSec,
     matmul_efficiency: f64,
     mem_efficiency: f64,
-    kernel_overhead: f64,
+    kernel_overhead: MicroSecs,
 }
 
 impl DeviceSpecBuilder {
     fn new(name: impl Into<String>) -> Self {
         DeviceSpecBuilder {
             name: name.into(),
-            mem_bytes: 0,
-            reserved_bytes: 0,
-            peak_flops: 0.0,
-            hbm_bandwidth: 0.0,
+            mem_bytes: Bytes::ZERO,
+            reserved_bytes: Bytes::ZERO,
+            peak_flops: FlopsPerSec::new(0.0),
+            hbm_bandwidth: BytesPerSec::new(0.0),
             matmul_efficiency: 0.5,
             mem_efficiency: 0.8,
-            kernel_overhead: 6e-6,
+            kernel_overhead: MicroSecs::new(6.0),
         }
     }
 
-    /// Sets the memory capacity in bytes.
+    /// Sets the memory capacity.
     #[must_use]
-    pub fn mem_bytes(mut self, mem_bytes: u64) -> Self {
+    pub fn mem_bytes(mut self, mem_bytes: Bytes) -> Self {
         self.mem_bytes = mem_bytes;
         self
     }
 
-    /// Sets the reserved (non-allocatable) bytes — driver context,
+    /// Sets the reserved (non-allocatable) memory — driver context,
     /// collective buffers, fragmentation. Default 0.
     #[must_use]
-    pub fn reserved_bytes(mut self, reserved_bytes: u64) -> Self {
+    pub fn reserved_bytes(mut self, reserved_bytes: Bytes) -> Self {
         self.reserved_bytes = reserved_bytes;
         self
     }
 
-    /// Sets the peak half-precision FLOP/s.
+    /// Sets the peak half-precision math rate.
     #[must_use]
-    pub fn peak_flops(mut self, peak_flops: f64) -> Self {
+    pub fn peak_flops(mut self, peak_flops: FlopsPerSec) -> Self {
         self.peak_flops = peak_flops;
         self
     }
 
-    /// Sets the device-memory bandwidth in bytes/s.
+    /// Sets the device-memory bandwidth.
     #[must_use]
-    pub fn hbm_bandwidth(mut self, hbm_bandwidth: f64) -> Self {
+    pub fn hbm_bandwidth(mut self, hbm_bandwidth: BytesPerSec) -> Self {
         self.hbm_bandwidth = hbm_bandwidth;
         self
     }
@@ -182,9 +183,9 @@ impl DeviceSpecBuilder {
         self
     }
 
-    /// Sets the per-kernel launch overhead in seconds (default 6 µs).
+    /// Sets the per-kernel launch overhead (default 6 µs).
     #[must_use]
-    pub fn kernel_overhead(mut self, overhead: f64) -> Self {
+    pub fn kernel_overhead(mut self, overhead: MicroSecs) -> Self {
         self.kernel_overhead = overhead;
         self
     }
@@ -197,14 +198,20 @@ impl DeviceSpecBuilder {
     /// efficiency fraction is outside `(0, 1]`.
     #[must_use]
     pub fn build(self) -> DeviceSpec {
-        assert!(self.mem_bytes > 0, "device memory capacity must be set");
+        assert!(
+            self.mem_bytes > Bytes::ZERO,
+            "device memory capacity must be set"
+        );
         assert!(
             self.reserved_bytes < self.mem_bytes,
             "reservation must leave usable memory"
         );
-        assert!(self.peak_flops > 0.0, "device peak FLOP/s must be set");
         assert!(
-            self.hbm_bandwidth > 0.0,
+            self.peak_flops.get() > 0.0,
+            "device peak FLOP/s must be set"
+        );
+        assert!(
+            self.hbm_bandwidth.get() > 0.0,
             "device memory bandwidth must be set"
         );
         assert!(
@@ -216,8 +223,8 @@ impl DeviceSpecBuilder {
             "memory efficiency must be in (0, 1]"
         );
         assert!(
-            self.kernel_overhead >= 0.0,
-            "kernel overhead must be non-negative"
+            !self.kernel_overhead.is_invalid_cost(),
+            "kernel overhead must be a finite non-negative time"
         );
         DeviceSpec {
             name: self.name,
@@ -241,26 +248,26 @@ mod tests {
     fn roofline_picks_the_binding_resource() {
         let dev = presets::a100_80gb();
         // Huge math, tiny data: math-bound.
-        let math_bound = dev.matmul_time(1e15, 1.0);
-        assert!(math_bound > 1e15 / dev.peak_flops() / 2.0);
+        let math_bound = dev.matmul_time(Flops::new(1e15), Bytes::new(1));
+        assert!(math_bound > (Flops::new(1e15) / dev.peak_flops()) * 0.5);
         // Tiny math, huge data: memory-bound.
-        let mem_bound = dev.matmul_time(1.0, 1e12);
-        assert!(mem_bound > 1e12 / dev.hbm_bandwidth() / 2.0);
+        let mem_bound = dev.matmul_time(Flops::new(1.0), Bytes::new(1_000_000_000_000));
+        assert!(mem_bound > (Bytes::new(1_000_000_000_000) / dev.hbm_bandwidth()) * 0.5);
     }
 
     #[test]
     fn overhead_dominates_empty_kernels() {
         let dev = presets::a100_80gb();
-        let t = dev.matmul_time(0.0, 0.0);
-        assert!((t - dev.kernel_overhead()).abs() < 1e-12);
+        let t = dev.matmul_time(Flops::ZERO, Bytes::ZERO);
+        assert!((t - dev.kernel_overhead()).abs() < MicroSecs::new(1e-9));
     }
 
     #[test]
     #[should_panic(expected = "capacity must be set")]
     fn unset_capacity_panics() {
         let _ = DeviceSpec::builder("x")
-            .peak_flops(1.0)
-            .hbm_bandwidth(1.0)
+            .peak_flops(FlopsPerSec::new(1.0))
+            .hbm_bandwidth(BytesPerSec::new(1.0))
             .build();
     }
 

@@ -8,20 +8,23 @@
 //! memory capacity and bandwidth, and link bandwidth/latency.
 //!
 //! The rest of the workspace consumes only the derived quantities —
-//! seconds per FLOP, seconds per moved byte, collective and point-to-point
-//! transfer times — so any internally-consistent description exercises the
-//! same code paths as a profiled machine.
+//! kernel times, collective and point-to-point transfer times — so any
+//! internally-consistent description exercises the same code paths as a
+//! profiled machine. Every quantity is expressed in the `adapipe-units`
+//! newtypes ([`adapipe_units::MicroSecs`], [`adapipe_units::Bytes`], …),
+//! so a seconds/microseconds or bytes/GiB mix-up fails to compile.
 //!
 //! # Example
 //!
 //! ```
 //! use adapipe_hw::presets;
+//! use adapipe_units::{Bytes, MicroSecs};
 //!
 //! let cluster = presets::cluster_a();
-//! assert_eq!(cluster.device().mem_bytes(), 80 * (1 << 30));
+//! assert_eq!(cluster.device().mem_bytes(), Bytes::from_gib(80));
 //! // An 8-way all-reduce of 1 MiB over NVLink takes microseconds.
-//! let t = cluster.allreduce_time(1 << 20, 8);
-//! assert!(t > 0.0 && t < 1e-3);
+//! let t = cluster.allreduce_time(Bytes::from_mib(1), 8);
+//! assert!(t > MicroSecs::ZERO && t < MicroSecs::from_millis(1.0));
 //! ```
 
 #![forbid(unsafe_code)]

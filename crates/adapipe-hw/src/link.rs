@@ -1,43 +1,48 @@
+use adapipe_units::{Bytes, BytesPerSec, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A link between devices: sustained bandwidth and per-message latency.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkSpec {
-    bandwidth: f64,
-    latency: f64,
+    bandwidth: BytesPerSec,
+    latency: MicroSecs,
 }
 
 impl LinkSpec {
-    /// Creates a link with `bandwidth` bytes/s and `latency` seconds.
+    /// Creates a link with the given sustained bandwidth and per-message
+    /// latency.
     ///
     /// # Panics
     ///
     /// Panics if `bandwidth` is not strictly positive or `latency` is
     /// negative.
     #[must_use]
-    pub fn new(bandwidth: f64, latency: f64) -> Self {
-        assert!(bandwidth > 0.0, "link bandwidth must be positive");
-        assert!(latency >= 0.0, "link latency must be non-negative");
+    pub fn new(bandwidth: BytesPerSec, latency: MicroSecs) -> Self {
+        assert!(bandwidth.get() > 0.0, "link bandwidth must be positive");
+        assert!(
+            !latency.is_invalid_cost(),
+            "link latency must be a finite non-negative time"
+        );
         LinkSpec { bandwidth, latency }
     }
 
-    /// Sustained bandwidth in bytes per second.
+    /// Sustained bandwidth.
     #[must_use]
-    pub fn bandwidth(&self) -> f64 {
+    pub fn bandwidth(&self) -> BytesPerSec {
         self.bandwidth
     }
 
-    /// Per-message latency in seconds.
+    /// Per-message latency.
     #[must_use]
-    pub fn latency(&self) -> f64 {
+    pub fn latency(&self) -> MicroSecs {
         self.latency
     }
 
-    /// Time in seconds to move `bytes` over this link once.
+    /// Time to move `bytes` over this link once.
     #[must_use]
-    pub fn transfer_time(&self, bytes: u64) -> f64 {
-        self.latency + bytes as f64 / self.bandwidth
+    pub fn transfer_time(&self, bytes: Bytes) -> MicroSecs {
+        self.latency + bytes / self.bandwidth
     }
 }
 
@@ -46,8 +51,8 @@ impl fmt::Display for LinkSpec {
         write!(
             f,
             "{:.1} GB/s, {:.1} us",
-            self.bandwidth / 1e9,
-            self.latency * 1e6
+            self.bandwidth.get() / 1e9,
+            self.latency.as_micros()
         )
     }
 }
@@ -58,21 +63,24 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_linearly_past_latency() {
-        let link = LinkSpec::new(1e9, 1e-6);
-        let t1 = link.transfer_time(1_000_000);
-        let t2 = link.transfer_time(2_000_000);
-        assert!((t2 - t1 - 1e-3).abs() < 1e-12);
+        let link = LinkSpec::new(BytesPerSec::new(1e9), MicroSecs::new(1.0));
+        let t1 = link.transfer_time(Bytes::new(1_000_000));
+        let t2 = link.transfer_time(Bytes::new(2_000_000));
+        // Another megabyte at 1 GB/s is another millisecond.
+        assert!((t2 - t1 - MicroSecs::from_millis(1.0)).abs() < MicroSecs::new(1e-6));
     }
 
     #[test]
     fn zero_bytes_costs_latency_only() {
-        let link = LinkSpec::new(5e9, 2e-6);
-        assert!((link.transfer_time(0) - 2e-6).abs() < 1e-15);
+        let link = LinkSpec::new(BytesPerSec::new(5e9), MicroSecs::new(2.0));
+        assert!(
+            (link.transfer_time(Bytes::ZERO) - MicroSecs::new(2.0)).abs() < MicroSecs::new(1e-9)
+        );
     }
 
     #[test]
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_panics() {
-        let _ = LinkSpec::new(0.0, 0.0);
+        let _ = LinkSpec::new(BytesPerSec::new(0.0), MicroSecs::ZERO);
     }
 }

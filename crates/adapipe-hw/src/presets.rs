@@ -3,6 +3,7 @@
 use crate::cluster::ClusterSpec;
 use crate::device::DeviceSpec;
 use crate::link::LinkSpec;
+use adapipe_units::{Bytes, BytesPerSec, FlopsPerSec, MicroSecs};
 
 /// NVIDIA A100 80 GB SXM: 312 TFLOP/s bf16 peak, ~2 TB/s HBM2e.
 ///
@@ -12,13 +13,13 @@ use crate::link::LinkSpec;
 #[must_use]
 pub fn a100_80gb() -> DeviceSpec {
     DeviceSpec::builder("a100-80gb")
-        .mem_bytes(80 * (1 << 30))
-        .reserved_bytes(3 * (1 << 30))
-        .peak_flops(312e12)
-        .hbm_bandwidth(2.0e12)
+        .mem_bytes(Bytes::from_gib(80))
+        .reserved_bytes(Bytes::from_gib(3))
+        .peak_flops(FlopsPerSec::new(312e12))
+        .hbm_bandwidth(BytesPerSec::new(2.0e12))
         .matmul_efficiency(0.45)
         .mem_efficiency(0.8)
-        .kernel_overhead(6e-6)
+        .kernel_overhead(MicroSecs::new(6.0))
         .build()
 }
 
@@ -26,13 +27,13 @@ pub fn a100_80gb() -> DeviceSpec {
 #[must_use]
 pub fn ascend910_32gb() -> DeviceSpec {
     DeviceSpec::builder("ascend910-32gb")
-        .mem_bytes(32 * (1 << 30))
-        .reserved_bytes(3 * (1 << 29))
-        .peak_flops(256e12)
-        .hbm_bandwidth(1.2e12)
+        .mem_bytes(Bytes::from_gib(32))
+        .reserved_bytes(Bytes::new(3 << 29))
+        .peak_flops(FlopsPerSec::new(256e12))
+        .hbm_bandwidth(BytesPerSec::new(1.2e12))
         .matmul_efficiency(0.35)
         .mem_efficiency(0.7)
-        .kernel_overhead(8e-6)
+        .kernel_overhead(MicroSecs::new(8.0))
         .build()
 }
 
@@ -53,8 +54,8 @@ pub fn cluster_a_with_nodes(nodes: usize) -> ClusterSpec {
         a100_80gb(),
         8,
         nodes,
-        LinkSpec::new(250e9, 5e-6),
-        LinkSpec::new(100e9, 10e-6),
+        LinkSpec::new(BytesPerSec::new(250e9), MicroSecs::new(5.0)),
+        LinkSpec::new(BytesPerSec::new(100e9), MicroSecs::new(10.0)),
     )
 }
 
@@ -79,19 +80,20 @@ pub fn cluster_b_with_nodes(nodes: usize) -> ClusterSpec {
         ascend910_32gb(),
         8,
         nodes,
-        LinkSpec::new(30e9, 8e-6),
-        LinkSpec::new(12.5e9, 15e-6),
+        LinkSpec::new(BytesPerSec::new(30e9), MicroSecs::new(8.0)),
+        LinkSpec::new(BytesPerSec::new(12.5e9), MicroSecs::new(15.0)),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adapipe_units::Flops;
 
     #[test]
     fn capacities_match_paper() {
-        assert_eq!(a100_80gb().mem_bytes(), 80 << 30);
-        assert_eq!(ascend910_32gb().mem_bytes(), 32 << 30);
+        assert_eq!(a100_80gb().mem_bytes(), Bytes::from_gib(80));
+        assert_eq!(ascend910_32gb().mem_bytes(), Bytes::from_gib(32));
     }
 
     #[test]
@@ -106,7 +108,7 @@ mod tests {
     fn a100_is_faster_than_ascend_for_same_gemm() {
         let a = a100_80gb();
         let b = ascend910_32gb();
-        let (flops, bytes) = (1e12, 1e9);
+        let (flops, bytes) = (Flops::new(1e12), Bytes::new(1_000_000_000));
         assert!(a.matmul_time(flops, bytes) < b.matmul_time(flops, bytes));
     }
 
@@ -114,7 +116,9 @@ mod tests {
     fn cluster_b_interconnect_is_slower() {
         let a = cluster_a();
         let b = cluster_b_small();
-        assert!(b.p2p_time(1 << 24) > a.p2p_time(1 << 24));
-        assert!(b.allreduce_time(1 << 24, 8) > a.allreduce_time(1 << 24, 8));
+        assert!(b.p2p_time(Bytes::new(1 << 24)) > a.p2p_time(Bytes::new(1 << 24)));
+        assert!(
+            b.allreduce_time(Bytes::new(1 << 24), 8) > a.allreduce_time(Bytes::new(1 << 24), 8)
+        );
     }
 }

@@ -20,6 +20,7 @@
 //! use adapipe_memory::{MemoryModel, OptimizerSpec};
 //! use adapipe_model::{presets, LayerRange, LayerSeq, ParallelConfig, TrainConfig};
 //! use adapipe_profiler::Profiler;
+//! use adapipe_units::Bytes;
 //!
 //! let model = presets::gpt3_175b();
 //! let parallel = ParallelConfig::new(8, 8, 1)?;
@@ -30,7 +31,7 @@
 //! let mem = MemoryModel::new(model.clone(), parallel, OptimizerSpec::adam_fp32());
 //! let range = LayerRange::new(0, 24);
 //! let stage0 = mem.stage_breakdown(&table, &seq, range, 0, table.saved_bytes_pinned(range));
-//! assert!(stage0.static_bytes > 0);
+//! assert!(stage0.static_bytes > Bytes::ZERO);
 //! # Ok::<(), adapipe_model::ConfigError>(())
 //! ```
 

@@ -1,6 +1,7 @@
 use crate::optimizer::OptimizerSpec;
 use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig};
 use adapipe_profiler::ProfileTable;
+use adapipe_units::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,29 +20,31 @@ pub fn f1b_live_microbatches(pipeline: usize, stage: usize) -> usize {
     pipeline - stage
 }
 
-/// Full memory breakdown of one pipeline stage on one device, in bytes.
+/// Full memory breakdown of one pipeline stage on one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageMemory {
     /// Parameters + gradients + ZeRO-sharded optimizer states.
-    pub static_bytes: u64,
+    pub static_bytes: Bytes,
     /// Recompute buffer: intermediates of one decoder layer (§4.2).
-    pub buffer_bytes: u64,
+    pub buffer_bytes: Bytes,
     /// Saved intermediates: per-micro-batch saved bytes times the number
     /// of live micro-batches.
-    pub intermediate_bytes: u64,
+    pub intermediate_bytes: Bytes,
 }
 
 impl StageMemory {
     /// Total bytes used on the device.
     #[must_use]
-    pub fn total(&self) -> u64 {
-        self.static_bytes + self.buffer_bytes + self.intermediate_bytes
+    pub fn total(&self) -> Bytes {
+        self.static_bytes
+            .saturating_add(self.buffer_bytes)
+            .saturating_add(self.intermediate_bytes)
     }
 
-    /// Whether the stage fits in `capacity` bytes.
+    /// Whether the stage fits in `capacity`.
     #[must_use]
-    pub fn fits(&self, capacity: u64) -> bool {
-        self.total() <= capacity
+    pub fn fits(&self, capacity: Bytes) -> bool {
+        self.total().fits(capacity)
     }
 }
 
@@ -50,10 +53,10 @@ impl fmt::Display for StageMemory {
         write!(
             f,
             "static {:.2} GB + buffer {:.2} GB + intermediates {:.2} GB = {:.2} GB",
-            self.static_bytes as f64 / 1e9,
-            self.buffer_bytes as f64 / 1e9,
-            self.intermediate_bytes as f64 / 1e9,
-            self.total() as f64 / 1e9,
+            self.static_bytes.as_f64() / 1e9,
+            self.buffer_bytes.as_f64() / 1e9,
+            self.intermediate_bytes.as_f64() / 1e9,
+            self.total().as_f64() / 1e9,
         )
     }
 }
@@ -94,9 +97,9 @@ impl MemoryModel {
     /// Static bytes for a stage holding the layers of `range`:
     /// `params·dtype/t + params·grad_bytes/t + params·(state+master)/(t·d)`.
     #[must_use]
-    pub fn static_bytes(&self, seq: &LayerSeq, range: LayerRange) -> u64 {
+    pub fn static_bytes(&self, seq: &LayerSeq, range: LayerRange) -> Bytes {
         let (pg, opt) = self.static_bytes_split(seq, range);
-        pg + opt
+        pg.saturating_add(opt)
     }
 
     /// Static bytes split into the replicated part (parameters +
@@ -104,7 +107,7 @@ impl MemoryModel {
     /// copy). Bidirectional schedules like Chimera replicate the former
     /// per hosted pipeline but shard the latter across the replica pair.
     #[must_use]
-    pub fn static_bytes_split(&self, seq: &LayerSeq, range: LayerRange) -> (u64, u64) {
+    pub fn static_bytes_split(&self, seq: &LayerSeq, range: LayerRange) -> (Bytes, Bytes) {
         let n = self.model.range_params(seq, range);
         let t = self.parallel.tensor() as u64;
         let d = self.parallel.data() as u64;
@@ -113,7 +116,7 @@ impl MemoryModel {
         let opt = n
             * (self.optimizer.state_bytes_per_param + self.optimizer.master_bytes_per_param)
             / (t * d);
-        (params + grads, opt)
+        (Bytes::new(params + grads), Bytes::new(opt))
     }
 
     /// Full breakdown for stage `stage` of a 1F1B pipeline whose
@@ -129,13 +132,13 @@ impl MemoryModel {
         seq: &LayerSeq,
         range: LayerRange,
         stage: usize,
-        saved_bytes_per_mb: u64,
+        saved_bytes_per_mb: Bytes,
     ) -> StageMemory {
         let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
         StageMemory {
             static_bytes: self.static_bytes(seq, range),
             buffer_bytes: table.recompute_buffer_bytes(range),
-            intermediate_bytes: live * saved_bytes_per_mb,
+            intermediate_bytes: saved_bytes_per_mb * live,
         }
     }
 
@@ -149,18 +152,18 @@ impl MemoryModel {
         seq: &LayerSeq,
         range: LayerRange,
         live_microbatches: usize,
-        saved_bytes_per_mb: u64,
+        saved_bytes_per_mb: Bytes,
     ) -> StageMemory {
         StageMemory {
             static_bytes: self.static_bytes(seq, range),
             buffer_bytes: table.recompute_buffer_bytes(range),
-            intermediate_bytes: live_microbatches as u64 * saved_bytes_per_mb,
+            intermediate_bytes: saved_bytes_per_mb * live_microbatches as u64,
         }
     }
 
     /// The per-micro-batch activation budget the recomputation knapsack
     /// may spend for stage `stage` holding `range`, under device capacity
-    /// `capacity` bytes: `(capacity − static − buffer) / (p − s)`.
+    /// `capacity`: `(capacity − static − buffer) / (p − s)`.
     ///
     /// Returns `None` when static memory plus the recompute buffer already
     /// exceed the capacity — the stage cannot run at all (the OOM cases in
@@ -172,9 +175,11 @@ impl MemoryModel {
         seq: &LayerSeq,
         range: LayerRange,
         stage: usize,
-        capacity: u64,
-    ) -> Option<u64> {
-        let fixed = self.static_bytes(seq, range) + table.recompute_buffer_bytes(range);
+        capacity: Bytes,
+    ) -> Option<Bytes> {
+        let fixed = self
+            .static_bytes(seq, range)
+            .saturating_add(table.recompute_buffer_bytes(range));
         let free = capacity.checked_sub(fixed)?;
         let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
         Some(free / live)
@@ -216,7 +221,7 @@ mod tests {
         let (_, parallel, _, seq) = setup();
         let mem = MemoryModel::new(presets::gpt3_175b(), parallel, OptimizerSpec::adam_fp32());
         let parts = seq.even_partition(8);
-        let gb = mem.static_bytes(&seq, parts[3]) as f64 / 1e9;
+        let gb = mem.static_bytes(&seq, parts[3]).as_f64() / 1e9;
         assert!((35.0..55.0).contains(&gb), "static = {gb:.1} GB");
     }
 
@@ -225,11 +230,11 @@ mod tests {
         let (model, parallel, table, seq) = setup();
         let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
         let range = seq.even_partition(8)[3];
-        let cap = 80 << 30;
+        let cap = Bytes::from_gib(80);
         let b0 = mem.activation_budget(&table, &seq, range, 0, cap).unwrap();
         let b7 = mem.activation_budget(&table, &seq, range, 7, cap).unwrap();
         assert!(b0 < b7);
-        assert_eq!(b0 * 8, b7 - b7 % 8);
+        assert_eq!(b0 * 8, Bytes::new(b7.get() - b7.get() % 8));
     }
 
     #[test]
@@ -238,7 +243,7 @@ mod tests {
         let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
         let whole = LayerRange::new(0, seq.len() - 1);
         assert!(mem
-            .activation_budget(&table, &seq, whole, 0, 8 << 30)
+            .activation_budget(&table, &seq, whole, 0, Bytes::from_gib(8))
             .is_none());
     }
 
@@ -247,14 +252,16 @@ mod tests {
         let (model, parallel, table, seq) = setup();
         let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
         let range = seq.even_partition(8)[0];
-        let bd = mem.stage_breakdown(&table, &seq, range, 0, 123_456_789);
+        let bd = mem.stage_breakdown(&table, &seq, range, 0, Bytes::new(123_456_789));
         assert_eq!(
             bd.total(),
-            bd.static_bytes + bd.buffer_bytes + bd.intermediate_bytes
+            bd.static_bytes
+                .saturating_add(bd.buffer_bytes)
+                .saturating_add(bd.intermediate_bytes)
         );
-        assert_eq!(bd.intermediate_bytes, 8 * 123_456_789);
-        assert!(bd.fits(u64::MAX));
-        assert!(!bd.fits(1));
+        assert_eq!(bd.intermediate_bytes, Bytes::new(8 * 123_456_789));
+        assert!(bd.fits(Bytes::new(u64::MAX)));
+        assert!(!bd.fits(Bytes::new(1)));
     }
 
     #[test]
@@ -262,12 +269,12 @@ mod tests {
         let (model, parallel, table, seq) = setup();
         let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
         let range = seq.even_partition(8)[0];
-        let saved = 1_000_000u64;
+        let saved = Bytes::new(1_000_000);
         // GPipe holds all n micro-batches; 1F1B stage 0 holds p.
         let gpipe = mem.stage_breakdown_with_live(&table, &seq, range, 128, saved);
         let f1b = mem.stage_breakdown(&table, &seq, range, 0, saved);
-        assert_eq!(gpipe.intermediate_bytes, 128 * saved);
-        assert_eq!(f1b.intermediate_bytes, 8 * saved);
+        assert_eq!(gpipe.intermediate_bytes, saved * 128);
+        assert_eq!(f1b.intermediate_bytes, saved * 8);
         assert_eq!(gpipe.static_bytes, f1b.static_bytes);
     }
 
@@ -277,8 +284,8 @@ mod tests {
         let mem = MemoryModel::new(model, parallel, OptimizerSpec::adam_fp32());
         for range in seq.even_partition(8) {
             let (pg, opt) = mem.static_bytes_split(&seq, range);
-            assert_eq!(pg + opt, mem.static_bytes(&seq, range));
-            assert!(pg > 0 && opt > 0);
+            assert_eq!(pg.saturating_add(opt), mem.static_bytes(&seq, range));
+            assert!(pg > Bytes::ZERO && opt > Bytes::ZERO);
         }
     }
 

@@ -17,6 +17,7 @@ use crate::cost::{F1bBreakdown, StageTimes};
 use crate::provider::StageCostProvider;
 use adapipe_model::LayerRange;
 use adapipe_obs::Recorder;
+use adapipe_units::{Cost, MicroSecs};
 use serde::{Deserialize, Serialize};
 
 /// The output of Algorithm 1: per-stage layer ranges, their optimized
@@ -32,9 +33,9 @@ pub struct PartitionPlan {
 }
 
 impl PartitionPlan {
-    /// Predicted iteration time in seconds.
+    /// Predicted iteration time.
     #[must_use]
-    pub fn iteration_time(&self) -> f64 {
+    pub fn iteration_time(&self) -> MicroSecs {
         self.breakdown.total()
     }
 }
@@ -43,17 +44,18 @@ impl PartitionPlan {
 #[derive(Debug, Clone, Copy)]
 struct State {
     /// Warmup time `W_s`.
-    w: f64,
+    w: MicroSecs,
     /// Ending time `E_s`.
-    e: f64,
+    e: MicroSecs,
     /// Bottleneck micro-step `M_s` over stages `s..`.
-    m: f64,
+    m: MicroSecs,
     /// Forward time of stage `s` itself.
-    f: f64,
+    f: MicroSecs,
     /// Backward time of stage `s` itself.
-    b: f64,
-    /// Objective `W + E + (n − p + s)·M` used for comparisons.
-    t: f64,
+    b: MicroSecs,
+    /// Objective `W + E + (n − p + s)·M` used for comparisons; the
+    /// NaN-free [`Cost`] order makes `<` a genuine total order here.
+    t: Cost,
     /// Chosen last layer of stage `s` (split point).
     split: usize,
 }
@@ -118,7 +120,7 @@ pub fn solve_traced(
                 m,
                 f: times.f,
                 b: times.b,
-                t: times.f + times.b + (n - 1) as f64 * m,
+                t: Cost::of(times.f + times.b + (n - 1) as f64 * m),
                 split: l - 1,
             });
         }
@@ -144,7 +146,7 @@ pub fn solve_traced(
                 let w = times.f + (next.w + next.b).max(ahead * times.f);
                 let e = times.b + (next.e + next.f).max(ahead * times.b);
                 let m = next.m.max(times.f + times.b);
-                let t = w + e + (n - p + s) as f64 * m;
+                let t = Cost::of(w + e + (n - p + s) as f64 * m);
                 if best.is_none_or(|cur| t < cur.t) {
                     best = Some(State {
                         w,
@@ -218,6 +220,7 @@ mod tests {
     use super::*;
     use crate::provider::StageCostProvider;
     use adapipe_model::LayerRange;
+    use adapipe_units::MicroSecs;
 
     /// A synthetic provider: layer `k` costs `weights[k]` forward and
     /// `2·weights[k]` backward, no memory constraints.
@@ -228,14 +231,17 @@ mod tests {
     impl StageCostProvider for Synthetic {
         fn stage_times(&self, _stage: usize, range: LayerRange) -> Option<StageTimes> {
             let f: f64 = self.weights[range.first..=range.last].iter().sum();
-            Some(StageTimes { f, b: 2.0 * f })
+            Some(StageTimes {
+                f: MicroSecs::new(f),
+                b: MicroSecs::new(2.0 * f),
+            })
         }
     }
 
     /// Exhaustive search over all partitions for small instances.
     fn exhaustive_best(provider: &impl StageCostProvider, l: usize, p: usize, n: usize) -> f64 {
         crate::exhaustive::solve(provider, l, p, n)
-            .map_or(f64::INFINITY, |plan| plan.iteration_time())
+            .map_or(f64::INFINITY, |plan| plan.iteration_time().as_micros())
     }
 
     #[test]
@@ -245,7 +251,7 @@ mod tests {
         };
         let plan = solve(&provider, 8, 4, 16).unwrap();
         // All stages must end up with equal work: bottleneck = 2 layers.
-        assert!((plan.breakdown.bottleneck - 6.0).abs() < 1e-12);
+        assert!((plan.breakdown.bottleneck.as_micros() - 6.0).abs() < 1e-12);
         let lens: Vec<usize> = plan.ranges.iter().map(LayerRange::len).collect();
         assert_eq!(lens, vec![2, 2, 2, 2]);
     }
@@ -271,7 +277,7 @@ mod tests {
             let plan = solve(&provider, l, p, n).unwrap();
             let best = exhaustive_best(&provider, l, p, n);
             assert!(
-                (plan.iteration_time() - best).abs() < 1e-9,
+                (plan.iteration_time().as_micros() - best).abs() < 1e-9,
                 "l={l} p={p} n={n}: dp {} vs exhaustive {best}",
                 plan.iteration_time()
             );
@@ -303,8 +309,8 @@ mod tests {
                 return None;
             }
             Some(StageTimes {
-                f: range.len() as f64,
-                b: 2.0 * range.len() as f64,
+                f: MicroSecs::new(range.len() as f64),
+                b: MicroSecs::new(2.0 * range.len() as f64),
             })
         }
     }
@@ -328,7 +334,7 @@ mod tests {
         };
         let plan = solve(&provider, 6, 3, 12).unwrap();
         let eval = evaluate_partition(&provider, &plan.ranges, 12).unwrap();
-        assert!((eval.iteration_time() - plan.iteration_time()).abs() < 1e-9);
+        assert!((eval.iteration_time() - plan.iteration_time()).abs() < MicroSecs::new(1e-9));
     }
 
     #[test]

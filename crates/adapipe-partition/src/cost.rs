@@ -1,5 +1,6 @@
 //! The analytic 1F1B cost model (§5.1, Equation (3)).
 
+use adapipe_units::MicroSecs;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -7,16 +8,16 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageTimes {
     /// Forward time of one micro-batch through the stage.
-    pub f: f64,
+    pub f: MicroSecs,
     /// Backward time of one micro-batch through the stage (including any
     /// recomputation the stage's strategy performs).
-    pub b: f64,
+    pub b: MicroSecs,
 }
 
 impl StageTimes {
     /// Micro-step time `F_s + B_s` — what Figure 9 of the paper plots.
     #[must_use]
-    pub fn micro_step(&self) -> f64 {
+    pub fn micro_step(&self) -> MicroSecs {
         self.f + self.b
     }
 }
@@ -25,19 +26,19 @@ impl StageTimes {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct F1bBreakdown {
     /// Warmup time `W₀`: first forward until stage 0's first backward.
-    pub warmup: f64,
+    pub warmup: MicroSecs,
     /// Steady time `(n − p) · M₀`.
-    pub steady: f64,
+    pub steady: MicroSecs,
     /// Ending time `E₀`.
-    pub ending: f64,
+    pub ending: MicroSecs,
     /// Bottleneck micro-step `M₀ = max_s (F_s + B_s)`.
-    pub bottleneck: f64,
+    pub bottleneck: MicroSecs,
 }
 
 impl F1bBreakdown {
     /// Total iteration time `W₀ + steady + E₀`.
     #[must_use]
-    pub fn total(&self) -> f64 {
+    pub fn total(&self) -> MicroSecs {
         self.warmup + self.steady + self.ending
     }
 }
@@ -47,10 +48,10 @@ impl fmt::Display for F1bBreakdown {
         write!(
             f,
             "warmup {:.3}s + steady {:.3}s + ending {:.3}s = {:.3}s",
-            self.warmup,
-            self.steady,
-            self.ending,
-            self.total()
+            self.warmup.as_secs(),
+            self.steady.as_secs(),
+            self.ending.as_secs(),
+            self.total().as_secs()
         )
     }
 }
@@ -102,13 +103,19 @@ mod tests {
     use super::*;
 
     fn uniform(p: usize, f: f64, b: f64) -> Vec<StageTimes> {
-        vec![StageTimes { f, b }; p]
+        vec![
+            StageTimes {
+                f: MicroSecs::new(f),
+                b: MicroSecs::new(b),
+            };
+            p
+        ]
     }
 
     #[test]
     fn single_stage_is_sequential() {
         let bd = f1b_iteration_time(&uniform(1, 2.0, 3.0), 10);
-        assert!((bd.total() - 10.0 * 5.0).abs() < 1e-12);
+        assert!((bd.total().as_micros() - 10.0 * 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -120,7 +127,7 @@ mod tests {
                 let bd = f1b_iteration_time(&uniform(p, f, b), n);
                 let expect = (n + p - 1) as f64 * (f + b);
                 assert!(
-                    (bd.total() - expect).abs() < 1e-9,
+                    (bd.total().as_micros() - expect).abs() < 1e-9,
                     "p={p} n={n}: {} vs {expect}",
                     bd.total()
                 );
@@ -134,7 +141,7 @@ mod tests {
         let (p, n) = (8usize, 64usize);
         let bd = f1b_iteration_time(&uniform(p, 1.0, 2.0), n);
         let work = n as f64 * 3.0;
-        let bubble = bd.total() - work;
+        let bubble = bd.total().as_micros() - work;
         let ratio = bubble / work;
         assert!((ratio - (p - 1) as f64 / n as f64).abs() < 1e-9);
     }
@@ -142,22 +149,34 @@ mod tests {
     #[test]
     fn slow_stage_dominates_steady_phase() {
         let mut times = uniform(4, 1.0, 2.0);
-        times[2] = StageTimes { f: 2.0, b: 4.0 };
+        times[2] = StageTimes {
+            f: MicroSecs::new(2.0),
+            b: MicroSecs::new(4.0),
+        };
         let bd = f1b_iteration_time(&times, 100);
-        assert!((bd.bottleneck - 6.0).abs() < 1e-12);
-        assert!((bd.steady - 96.0 * 6.0).abs() < 1e-9);
+        assert!((bd.bottleneck.as_micros() - 6.0).abs() < 1e-12);
+        assert!((bd.steady.as_micros() - 96.0 * 6.0).abs() < 1e-9);
     }
 
     #[test]
     fn two_stage_example_from_figure3() {
         // Stage 1 warmup is one forward; stage 0 warmup adds its own
         // forward plus max(fwd+bwd downstream, its second forward).
-        let times = [StageTimes { f: 1.0, b: 2.0 }, StageTimes { f: 1.0, b: 2.0 }];
+        let times = [
+            StageTimes {
+                f: MicroSecs::new(1.0),
+                b: MicroSecs::new(2.0),
+            },
+            StageTimes {
+                f: MicroSecs::new(1.0),
+                b: MicroSecs::new(2.0),
+            },
+        ];
         let bd = f1b_iteration_time(&times, 2);
         // W0 = 1 + max(1+2, 1) = 4; E0 = 2 + max(2+1, 2) = 5; steady 0.
-        assert!((bd.warmup - 4.0).abs() < 1e-12);
-        assert!((bd.ending - 5.0).abs() < 1e-12);
-        assert!((bd.total() - 9.0).abs() < 1e-12);
+        assert!((bd.warmup.as_micros() - 4.0).abs() < 1e-12);
+        assert!((bd.ending.as_micros() - 5.0).abs() < 1e-12);
+        assert!((bd.total().as_micros() - 9.0).abs() < 1e-12);
     }
 
     #[test]
@@ -176,6 +195,10 @@ mod tests {
 
     #[test]
     fn micro_step_is_f_plus_b() {
-        assert!((StageTimes { f: 1.5, b: 2.5 }.micro_step() - 4.0).abs() < 1e-15);
+        let st = StageTimes {
+            f: MicroSecs::new(1.5),
+            b: MicroSecs::new(2.5),
+        };
+        assert!((st.micro_step().as_micros() - 4.0).abs() < 1e-15);
     }
 }

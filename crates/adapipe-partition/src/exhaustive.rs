@@ -75,6 +75,7 @@ mod tests {
     use super::*;
     use crate::algorithm1;
     use crate::cost::StageTimes;
+    use adapipe_units::MicroSecs;
 
     struct Synthetic {
         weights: Vec<f64>,
@@ -83,7 +84,10 @@ mod tests {
     impl StageCostProvider for Synthetic {
         fn stage_times(&self, _stage: usize, range: LayerRange) -> Option<StageTimes> {
             let f: f64 = self.weights[range.first..=range.last].iter().sum();
-            Some(StageTimes { f, b: 2.0 * f })
+            Some(StageTimes {
+                f: MicroSecs::new(f),
+                b: MicroSecs::new(2.0 * f),
+            })
         }
     }
 
@@ -97,7 +101,7 @@ mod tests {
             let dp = algorithm1::solve(&provider, l, p, n).unwrap();
             let brute = solve(&provider, l, p, n).unwrap();
             assert!(
-                dp.iteration_time() <= brute.iteration_time() + 1e-9,
+                dp.iteration_time() <= brute.iteration_time() + MicroSecs::new(1e-9),
                 "l={l} p={p} n={n}: dp {} vs brute {}",
                 dp.iteration_time(),
                 brute.iteration_time()
@@ -119,7 +123,10 @@ mod tests {
 
     impl StageCostProvider for Capped {
         fn stage_times(&self, _stage: usize, range: LayerRange) -> Option<StageTimes> {
-            (range.len() <= 2).then_some(StageTimes { f: 1.0, b: 2.0 })
+            (range.len() <= 2).then_some(StageTimes {
+                f: MicroSecs::new(1.0),
+                b: MicroSecs::new(2.0),
+            })
         }
     }
 
@@ -145,12 +152,12 @@ mod tests {
             // an empirically calibrated band — and never *better* than
             // brute force, which would indicate a cost-model bug.
             proptest::prop_assert!(
-                dp.iteration_time() >= brute.iteration_time() - 1e-9,
+                dp.iteration_time() >= brute.iteration_time() - MicroSecs::new(1e-9),
                 "dp beat exhaustive: {} vs {}", dp.iteration_time(), brute.iteration_time()
             );
             let band = if n < 2 * p { 1.10 } else { 1.05 };
             proptest::prop_assert!(
-                dp.iteration_time() <= brute.iteration_time() * band + 1e-9,
+                dp.iteration_time() <= brute.iteration_time() * band + MicroSecs::new(1e-9),
                 "dp {} vs brute {} (n={}, p={})", dp.iteration_time(), brute.iteration_time(), n, p
             );
         }

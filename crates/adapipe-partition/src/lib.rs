@@ -27,6 +27,7 @@
 //! use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
 //! use adapipe_partition::{algorithm1, KnapsackCostProvider};
 //! use adapipe_profiler::Profiler;
+//! use adapipe_units::Bytes;
 //!
 //! let model = presets::gpt2_small();
 //! let parallel = ParallelConfig::new(2, 4, 1)?;
@@ -35,7 +36,7 @@
 //! let seq = LayerSeq::for_model(&model);
 //! let mem = MemoryModel::new(model.clone(), parallel, OptimizerSpec::adam_fp32());
 //!
-//! let provider = KnapsackCostProvider::new(&seq, &table, &mem, 80 * (1 << 30));
+//! let provider = KnapsackCostProvider::new(&seq, &table, &mem, Bytes::from_gib(80));
 //! let plan = algorithm1::solve(&provider, seq.len(), 4, 32).expect("feasible");
 //! assert_eq!(plan.ranges.len(), 4);
 //! # Ok::<(), adapipe_model::ConfigError>(())

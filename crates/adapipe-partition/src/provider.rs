@@ -7,6 +7,7 @@ use adapipe_model::{LayerKind, LayerRange, LayerSeq};
 use adapipe_obs::Recorder;
 use adapipe_profiler::ProfileTable;
 use adapipe_recompute::{optimize_traced, KnapsackConfig, OptimizedStage, StrategyError};
+use adapipe_units::Bytes;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
@@ -40,7 +41,7 @@ pub struct KnapsackCostProvider<'a> {
     seq: &'a LayerSeq,
     table: &'a ProfileTable,
     mem: &'a MemoryModel,
-    capacity: u64,
+    capacity: Bytes,
     iso_cache: bool,
     knapsack: KnapsackConfig,
     rec: Recorder,
@@ -51,14 +52,13 @@ pub struct KnapsackCostProvider<'a> {
 
 impl<'a> KnapsackCostProvider<'a> {
     /// Creates a provider for stages drawn from `seq`, profiled in
-    /// `table`, budgeted by `mem` against a per-device `capacity` in
-    /// bytes.
+    /// `table`, budgeted by `mem` against a per-device `capacity`.
     #[must_use]
     pub fn new(
         seq: &'a LayerSeq,
         table: &'a ProfileTable,
         mem: &'a MemoryModel,
-        capacity: u64,
+        capacity: Bytes,
     ) -> Self {
         KnapsackCostProvider {
             seq,
@@ -107,7 +107,7 @@ impl<'a> KnapsackCostProvider<'a> {
 
     /// The device capacity the provider budgets against.
     #[must_use]
-    pub fn capacity(&self) -> u64 {
+    pub fn capacity(&self) -> Bytes {
         self.capacity
     }
 
@@ -128,8 +128,8 @@ impl<'a> KnapsackCostProvider<'a> {
             .mem
             .activation_budget(self.table, self.seq, range, stage, self.capacity)
             .ok_or(StrategyError::OutOfMemory {
-                required: u64::MAX,
-                budget: 0,
+                required: Bytes::new(u64::MAX),
+                budget: Bytes::ZERO,
             })?;
         let units = self.table.units_in(range);
         optimize_traced(&units, budget, self.knapsack, &self.rec)
@@ -185,6 +185,7 @@ mod tests {
     use adapipe_memory::OptimizerSpec;
     use adapipe_model::{presets, ModelSpec, ParallelConfig, TrainConfig};
     use adapipe_profiler::Profiler;
+    use adapipe_units::MicroSecs;
 
     struct Fixture {
         seq: LayerSeq,
@@ -207,8 +208,8 @@ mod tests {
             ParallelConfig::new(2, 4, 1).unwrap(),
             1024,
         );
-        let cached = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
-        let raw = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30)
+        let cached = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let raw = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80))
             .with_isomorphism_cache(false);
         for stage in 0..4 {
             for first in [0usize, 1, 5, 10] {
@@ -236,7 +237,7 @@ mod tests {
             ParallelConfig::new(2, 4, 1).unwrap(),
             1024,
         );
-        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
         // Layers 3..=6 and 5..=8 both start with an attention layer and
         // span four layers.
         let a = p.stage_times(1, LayerRange::new(3, 6));
@@ -253,11 +254,11 @@ mod tests {
             ParallelConfig::new(8, 8, 1).unwrap(),
             16384,
         );
-        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
         let range = fx.seq.even_partition(8)[4];
         let s0 = p.stage_times(0, range).unwrap();
         let s7 = p.stage_times(7, range).unwrap();
-        assert!((s0.f - s7.f).abs() < 1e-12);
+        assert!((s0.f - s7.f).abs() < MicroSecs::new(1e-6));
         assert!(s0.b >= s7.b);
     }
 
@@ -268,7 +269,7 @@ mod tests {
             ParallelConfig::new(8, 8, 1).unwrap(),
             16384,
         );
-        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 4 << 30);
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(4));
         let whole = LayerRange::new(0, fx.seq.len() - 1);
         assert!(p.stage_times(0, whole).is_none());
     }
@@ -280,7 +281,7 @@ mod tests {
             ParallelConfig::new(2, 4, 1).unwrap(),
             1024,
         );
-        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, 80 << 30);
+        let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
         let parts = fx.seq.even_partition(4);
         let times: Vec<StageTimes> = parts
             .iter()
@@ -288,6 +289,6 @@ mod tests {
             .map(|(s, r)| p.stage_times(s, *r).unwrap())
             .collect();
         let bd = f1b_iteration_time(&times, 16);
-        assert!(bd.total().is_finite() && bd.total() > 0.0);
+        assert!(!bd.total().is_invalid_cost() && bd.total() > MicroSecs::ZERO);
     }
 }

@@ -15,23 +15,43 @@
 //!   backward (data-gradient plus weight-gradient GEMMs).
 
 use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig, UnitKind};
+use adapipe_units::{Bytes, Flops};
 
 /// Per-unit cost description in device-independent terms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnitCost {
     /// Forward floating-point operations.
-    pub flops_f: f64,
+    pub flops_f: Flops,
     /// Backward floating-point operations (excluding any recomputation).
-    pub flops_b: f64,
+    pub flops_b: Flops,
     /// Bytes read + written by the forward kernel (roofline memory term).
-    pub bytes_moved: f64,
+    pub bytes_moved: Bytes,
     /// Bytes kept per micro-batch when the unit is configured *saved*:
     /// the output tensor plus any internally saved tensors.
-    pub mem_saved: u64,
-    /// Tensor-parallel collective payload (bytes) triggered by the unit's
+    pub mem_saved: Bytes,
+    /// Tensor-parallel collective payload triggered by the unit's
     /// forward pass: all-gather before a layer's first GEMM,
     /// reduce-scatter after its last. Zero for interior units.
-    pub comm_bytes: u64,
+    pub comm_bytes: Bytes,
+}
+
+/// Wraps the raw per-unit formulas into typed quantities. The analytic
+/// formulas are born as `f64`; byte counts round down to whole bytes
+/// exactly as the old untyped code's `as u64` casts did.
+fn typed(
+    flops_f: f64,
+    flops_b: f64,
+    bytes_moved: f64,
+    mem_saved: f64,
+    comm_bytes: f64,
+) -> UnitCost {
+    UnitCost {
+        flops_f: Flops::new(flops_f),
+        flops_b: Flops::new(flops_b),
+        bytes_moved: Bytes::new(bytes_moved as u64),
+        mem_saved: Bytes::new(mem_saved as u64),
+        comm_bytes: Bytes::new(comm_bytes as u64),
+    }
 }
 
 /// Activation element size tracking helper.
@@ -120,41 +140,33 @@ fn gemm_unit(d: &Dims, k: f64, n: f64, comm: GemmComm) -> UnitCost {
     // Input (full sequence after gather), weight shard, output shard.
     let bytes_moved = d.tokens * k * d.dtype + k * n * d.dtype / d.t + d.act(n);
     let comm_bytes = match comm {
-        GemmComm::AllGatherIn => (d.tokens * k * d.dtype) as u64,
-        GemmComm::ReduceScatterOut => (d.tokens * n * d.dtype) as u64,
-        GemmComm::None => 0,
+        GemmComm::AllGatherIn => d.tokens * k * d.dtype,
+        GemmComm::ReduceScatterOut => d.tokens * n * d.dtype,
+        GemmComm::None => 0.0,
     };
-    UnitCost {
-        flops_f,
-        flops_b: 2.0 * flops_f,
-        bytes_moved,
-        mem_saved: d.act(n) as u64,
-        comm_bytes,
-    }
+    typed(flops_f, 2.0 * flops_f, bytes_moved, d.act(n), comm_bytes)
 }
 
 fn norm(d: &Dims) -> UnitCost {
     // LayerNorm / RMSNorm over the local sequence shard:
     // read input + residual, write output.
-    let bytes_moved = 3.0 * d.act(d.hidden);
-    UnitCost {
-        flops_f: 5.0 * d.tokens * d.hidden / d.t,
-        flops_b: 7.0 * d.tokens * d.hidden / d.t,
-        bytes_moved,
-        mem_saved: d.act(d.hidden) as u64,
-        comm_bytes: 0,
-    }
+    typed(
+        5.0 * d.tokens * d.hidden / d.t,
+        7.0 * d.tokens * d.hidden / d.t,
+        3.0 * d.act(d.hidden),
+        d.act(d.hidden),
+        0.0,
+    )
 }
 
 fn elementwise(d: &Dims, width: f64, tensors_touched: f64) -> UnitCost {
-    let bytes_moved = tensors_touched * d.act(width);
-    UnitCost {
-        flops_f: 4.0 * d.tokens * width / d.t,
-        flops_b: 6.0 * d.tokens * width / d.t,
-        bytes_moved,
-        mem_saved: d.act(width) as u64,
-        comm_bytes: 0,
-    }
+    typed(
+        4.0 * d.tokens * width / d.t,
+        6.0 * d.tokens * width / d.t,
+        tensors_touched * d.act(width),
+        d.act(width),
+        0.0,
+    )
 }
 
 fn core_attention(d: &Dims) -> UnitCost {
@@ -165,26 +177,20 @@ fn core_attention(d: &Dims) -> UnitCost {
     let bytes_moved = 2.0 * d.act(d.hidden) + 2.0 * d.act(d.kv_hidden);
     // Saved: output O plus the fp32 log-sum-exp per head per token.
     let lse = d.tokens * (d.heads / d.t) * 4.0;
-    UnitCost {
+    // FlashAttention backward re-streams the inputs and computes
+    // dQ, dK, dV: ~2.5× the forward math.
+    typed(
         flops_f,
-        // FlashAttention backward re-streams the inputs and computes
-        // dQ, dK, dV: ~2.5× the forward math.
-        flops_b: 2.5 * flops_f,
+        2.5 * flops_f,
         bytes_moved,
-        mem_saved: (d.act(d.hidden) + lse) as u64,
-        comm_bytes: 0,
-    }
+        d.act(d.hidden) + lse,
+        0.0,
+    )
 }
 
 fn embedding(d: &Dims) -> UnitCost {
     // Table lookup: bandwidth only. Saves its output (the stage-0 input).
-    UnitCost {
-        flops_f: 0.0,
-        flops_b: 0.0,
-        bytes_moved: 2.0 * d.act(d.hidden),
-        mem_saved: d.act(d.hidden) as u64,
-        comm_bytes: 0,
-    }
+    typed(0.0, 0.0, 2.0 * d.act(d.hidden), d.act(d.hidden), 0.0)
 }
 
 fn decoding_head(d: &Dims) -> UnitCost {
@@ -193,23 +199,23 @@ fn decoding_head(d: &Dims) -> UnitCost {
     let bytes_moved = d.tokens * d.hidden * d.dtype
         + d.hidden * d.vocab * d.dtype / d.t
         + d.tokens * d.vocab * 4.0 / d.t;
-    UnitCost {
+    // The fused loss keeps fp32 softmax statistics for backward.
+    typed(
         flops_f,
-        flops_b: 2.0 * flops_f,
+        2.0 * flops_f,
         bytes_moved,
-        // The fused loss keeps fp32 softmax statistics for backward.
-        mem_saved: (d.tokens * d.vocab * 4.0 / d.t) as u64,
-        comm_bytes: (d.tokens * d.hidden * d.dtype) as u64,
-    }
+        d.tokens * d.vocab * 4.0 / d.t,
+        d.tokens * d.hidden * d.dtype,
+    )
 }
 
 /// Bytes of the activation tensor crossing a pipeline-stage boundary for
 /// one micro-batch (`tokens × hidden`, sharded over the TP group since
 /// each rank forwards its own sequence shard).
 #[must_use]
-pub fn boundary_bytes(model: &ModelSpec, parallel: &ParallelConfig, train: &TrainConfig) -> u64 {
+pub fn boundary_bytes(model: &ModelSpec, parallel: &ParallelConfig, train: &TrainConfig) -> Bytes {
     let d = Dims::new(model, parallel, train);
-    d.act(d.hidden) as u64
+    Bytes::new(d.act(d.hidden) as u64)
 }
 
 #[cfg(test)]
@@ -230,7 +236,7 @@ mod tests {
         let (m, p, t) = setup();
         let c = unit_cost(&m, &p, &t, UnitKind::QProj);
         let expect = 2.0 * 4096.0 * 12288.0 * 12288.0 / 8.0;
-        assert!((c.flops_f - expect).abs() / expect < 1e-12);
+        assert!((c.flops_f.get() - expect).abs() / expect < 1e-12);
         assert_eq!(c.flops_b, 2.0 * c.flops_f);
     }
 
@@ -241,7 +247,7 @@ mod tests {
         let t = TrainConfig::new(1, 4096, 128).unwrap();
         let q = unit_cost(&m, &p, &t, UnitKind::QProj);
         let k = unit_cost(&m, &p, &t, UnitKind::KProj);
-        assert!(k.flops_f < q.flops_f / 4.0);
+        assert!(k.flops_f.get() < q.flops_f.get() / 4.0);
         assert!(k.mem_saved < q.mem_saved);
     }
 
@@ -255,7 +261,7 @@ mod tests {
         let c2 = unit_cost(&m, &p, &t2, UnitKind::CoreAttention);
         assert!((c2.flops_f / c1.flops_f - 4.0).abs() < 1e-9);
         // ...but its saved memory only linearly (FlashAttention).
-        assert!((c2.mem_saved as f64 / c1.mem_saved as f64 - 2.0).abs() < 0.01);
+        assert!((c2.mem_saved.as_f64() / c1.mem_saved.as_f64() - 2.0).abs() < 0.01);
     }
 
     #[test]
@@ -272,11 +278,20 @@ mod tests {
     #[test]
     fn collectives_attach_to_boundary_gemms_only() {
         let (m, p, t) = setup();
-        assert!(unit_cost(&m, &p, &t, UnitKind::QProj).comm_bytes > 0);
-        assert!(unit_cost(&m, &p, &t, UnitKind::OutProj).comm_bytes > 0);
-        assert_eq!(unit_cost(&m, &p, &t, UnitKind::KProj).comm_bytes, 0);
-        assert_eq!(unit_cost(&m, &p, &t, UnitKind::CoreAttention).comm_bytes, 0);
-        assert_eq!(unit_cost(&m, &p, &t, UnitKind::AttnNorm).comm_bytes, 0);
+        assert!(unit_cost(&m, &p, &t, UnitKind::QProj).comm_bytes > Bytes::ZERO);
+        assert!(unit_cost(&m, &p, &t, UnitKind::OutProj).comm_bytes > Bytes::ZERO);
+        assert_eq!(
+            unit_cost(&m, &p, &t, UnitKind::KProj).comm_bytes,
+            Bytes::ZERO
+        );
+        assert_eq!(
+            unit_cost(&m, &p, &t, UnitKind::CoreAttention).comm_bytes,
+            Bytes::ZERO
+        );
+        assert_eq!(
+            unit_cost(&m, &p, &t, UnitKind::AttnNorm).comm_bytes,
+            Bytes::ZERO
+        );
     }
 
     #[test]
@@ -299,15 +314,15 @@ mod tests {
         // all-gather.
         assert_eq!(gate.flops_f, up.flops_f);
         assert_eq!(gate.mem_saved, up.mem_saved);
-        assert!(gate.comm_bytes > 0);
-        assert_eq!(up.comm_bytes, 0);
+        assert!(gate.comm_bytes > Bytes::ZERO);
+        assert_eq!(up.comm_bytes, Bytes::ZERO);
         // Down projects back to hidden: smaller output, reduce-scatter.
         assert!(down.mem_saved < gate.mem_saved);
-        assert!(down.comm_bytes > 0);
+        assert!(down.comm_bytes > Bytes::ZERO);
         // Gated activation touches three tensors of ffn width.
         let act = unit_cost(&m, &p, &t, UnitKind::FfnActGated);
         assert_eq!(act.mem_saved, gate.mem_saved);
-        assert!(act.bytes_moved > 2.9 * gate.mem_saved as f64);
+        assert!(act.bytes_moved.as_f64() > 2.9 * gate.mem_saved.as_f64());
     }
 
     #[test]
@@ -318,13 +333,13 @@ mod tests {
         // vocab 50257 >> 4h: the head GEMM out-flops the FFN.
         assert!(head.flops_f > fc1.flops_f);
         // And it pins fp32 softmax statistics.
-        let expect = 4096u64 * 50257 * 4 / 8;
+        let expect = Bytes::new(4096 * 50257 * 4 / 8);
         assert_eq!(head.mem_saved, expect);
     }
 
     #[test]
     fn boundary_bytes_match_hidden_activation() {
         let (m, p, t) = setup();
-        assert_eq!(boundary_bytes(&m, &p, &t), (4096u64 * 12288 * 2) / 8);
+        assert_eq!(boundary_bytes(&m, &p, &t), Bytes::new(4096 * 12288 * 2 / 8));
     }
 }

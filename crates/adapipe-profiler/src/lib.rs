@@ -30,7 +30,9 @@
 //! let train = TrainConfig::new(1, 4096, 128)?;
 //! let table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
 //!
-//! // Backward is at least as expensive as forward for every unit.
+//! // Backward is at least as expensive as forward for every unit
+//! // (times are `adapipe_units::MicroSecs`, so this comparison is
+//! // dimension-checked at compile time).
 //! for unit in table.all_units() {
 //!     assert!(unit.time_b >= unit.time_f * 0.9);
 //! }

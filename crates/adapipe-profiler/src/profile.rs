@@ -1,4 +1,5 @@
 use adapipe_model::{ComputationUnit, LayerRange};
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 
 /// Profiled cost of one computation unit: the `Time_f(U)`, `Time_b(U)` and
@@ -7,15 +8,15 @@ use serde::{Deserialize, Serialize};
 pub struct UnitProfile {
     /// Which unit this row describes.
     pub unit: ComputationUnit,
-    /// Forward time in seconds (including the unit's share of
-    /// tensor-parallel collectives).
-    pub time_f: f64,
-    /// Backward time in seconds, *excluding* recomputation — the
-    /// recomputation DP adds `time_f` back for each recomputed unit.
-    pub time_b: f64,
+    /// Forward time (including the unit's share of tensor-parallel
+    /// collectives).
+    pub time_f: MicroSecs,
+    /// Backward time, *excluding* recomputation — the recomputation DP
+    /// adds `time_f` back for each recomputed unit.
+    pub time_b: MicroSecs,
     /// Bytes kept per micro-batch when the unit is *saved* (its output
     /// plus internally saved tensors).
-    pub mem_saved: u64,
+    pub mem_saved: Bytes,
 }
 
 impl UnitProfile {
@@ -38,7 +39,7 @@ pub struct ProfileTable {
     /// order.
     per_layer: Vec<Vec<UnitProfile>>,
     /// Bytes crossing a pipeline-stage boundary per micro-batch.
-    boundary_bytes: u64,
+    boundary_bytes: Bytes,
 }
 
 /// Error returned by [`ProfileTable::from_measurements`] when a supplied
@@ -79,7 +80,7 @@ impl std::fmt::Display for MeasurementError {
 impl std::error::Error for MeasurementError {}
 
 impl ProfileTable {
-    pub(crate) fn new(per_layer: Vec<Vec<UnitProfile>>, boundary_bytes: u64) -> Self {
+    pub(crate) fn new(per_layer: Vec<Vec<UnitProfile>>, boundary_bytes: Bytes) -> Self {
         ProfileTable {
             per_layer,
             boundary_bytes,
@@ -99,7 +100,7 @@ impl ProfileTable {
     /// or non-finite.
     pub fn from_measurements(
         per_layer: Vec<Vec<UnitProfile>>,
-        boundary_bytes: u64,
+        boundary_bytes: Bytes,
     ) -> Result<Self, MeasurementError> {
         if per_layer.is_empty() || per_layer.iter().any(Vec::is_empty) {
             return Err(MeasurementError::Empty);
@@ -112,11 +113,7 @@ impl ProfileTable {
                         found: u.unit.layer,
                     });
                 }
-                if !u.time_f.is_finite()
-                    || !u.time_b.is_finite()
-                    || u.time_f < 0.0
-                    || u.time_b < 0.0
-                {
+                if u.time_f.is_invalid_cost() || u.time_b.is_invalid_cost() {
                     return Err(MeasurementError::InvalidValue { layer: l });
                 }
             }
@@ -161,37 +158,47 @@ impl ProfileTable {
     /// with no recomputation decisions applied — recomputation never
     /// changes forward time).
     #[must_use]
-    pub fn forward_time(&self, range: LayerRange) -> f64 {
+    pub fn forward_time(&self, range: LayerRange) -> MicroSecs {
         range
             .as_range()
-            .map(|l| self.per_layer[l].iter().map(|u| u.time_f).sum::<f64>())
+            .map(|l| {
+                self.per_layer[l]
+                    .iter()
+                    .map(|u| u.time_f)
+                    .sum::<MicroSecs>()
+            })
             .sum()
     }
 
     /// Total backward time of the layers in `range`, excluding
     /// recomputation.
     #[must_use]
-    pub fn backward_time(&self, range: LayerRange) -> f64 {
+    pub fn backward_time(&self, range: LayerRange) -> MicroSecs {
         range
             .as_range()
-            .map(|l| self.per_layer[l].iter().map(|u| u.time_b).sum::<f64>())
+            .map(|l| {
+                self.per_layer[l]
+                    .iter()
+                    .map(|u| u.time_b)
+                    .sum::<MicroSecs>()
+            })
             .sum()
     }
 
     /// Bytes of intermediates per micro-batch if *every* unit in `range`
     /// is saved (the no-recomputation activation footprint).
     #[must_use]
-    pub fn saved_bytes_all(&self, range: LayerRange) -> u64 {
+    pub fn saved_bytes_all(&self, range: LayerRange) -> Bytes {
         range
             .as_range()
-            .map(|l| self.per_layer[l].iter().map(|u| u.mem_saved).sum::<u64>())
+            .map(|l| self.per_layer[l].iter().map(|u| u.mem_saved).sum::<Bytes>())
             .sum()
     }
 
     /// Bytes of intermediates per micro-batch if only *pinned* units in
     /// `range` are saved (the full-recomputation floor).
     #[must_use]
-    pub fn saved_bytes_pinned(&self, range: LayerRange) -> u64 {
+    pub fn saved_bytes_pinned(&self, range: LayerRange) -> Bytes {
         range
             .as_range()
             .map(|l| {
@@ -199,7 +206,7 @@ impl ProfileTable {
                     .iter()
                     .filter(|u| u.is_pinned())
                     .map(|u| u.mem_saved)
-                    .sum::<u64>()
+                    .sum::<Bytes>()
             })
             .sum()
     }
@@ -209,7 +216,7 @@ impl ProfileTable {
     /// `range`. Because layer outputs are pinned saved, recomputation
     /// never spans more than one layer.
     #[must_use]
-    pub fn recompute_buffer_bytes(&self, range: LayerRange) -> u64 {
+    pub fn recompute_buffer_bytes(&self, range: LayerRange) -> Bytes {
         range
             .as_range()
             .map(|l| {
@@ -217,16 +224,16 @@ impl ProfileTable {
                     .iter()
                     .filter(|u| !u.is_pinned())
                     .map(|u| u.mem_saved)
-                    .sum::<u64>()
+                    .sum::<Bytes>()
             })
             .max()
-            .unwrap_or(0)
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// Bytes of the activation crossing a pipeline-stage boundary per
     /// micro-batch.
     #[must_use]
-    pub fn boundary_bytes(&self) -> u64 {
+    pub fn boundary_bytes(&self) -> Bytes {
         self.boundary_bytes
     }
 }
@@ -256,7 +263,7 @@ mod tests {
         let t = table();
         let range = LayerRange::new(0, t.num_layers() - 1);
         assert!(t.saved_bytes_pinned(range) < t.saved_bytes_all(range));
-        assert!(t.saved_bytes_pinned(range) > 0);
+        assert!(t.saved_bytes_pinned(range) > Bytes::ZERO);
     }
 
     #[test]
@@ -266,7 +273,7 @@ mod tests {
         let a = LayerRange::new(0, 9);
         let b = LayerRange::new(10, t.num_layers() - 1);
         let sum = t.forward_time(a) + t.forward_time(b);
-        assert!((t.forward_time(full) - sum).abs() < 1e-12);
+        assert!((t.forward_time(full) - sum).abs() < MicroSecs::new(1e-6));
     }
 
     #[test]
@@ -304,20 +311,20 @@ mod tests {
         let t = table();
         // Empty table.
         assert_eq!(
-            ProfileTable::from_measurements(vec![], 0).unwrap_err(),
+            ProfileTable::from_measurements(vec![], Bytes::ZERO).unwrap_err(),
             MeasurementError::Empty
         );
         // Mismatched layer index.
         let mut bad: Vec<Vec<UnitProfile>> = vec![t.layer_units(1).to_vec()];
         assert!(matches!(
-            ProfileTable::from_measurements(bad.clone(), 0).unwrap_err(),
+            ProfileTable::from_measurements(bad.clone(), Bytes::ZERO).unwrap_err(),
             MeasurementError::LayerIndexMismatch { .. }
         ));
         // Negative time.
         bad[0] = t.layer_units(0).to_vec();
-        bad[0][0].time_f = -1.0;
+        bad[0][0].time_f = MicroSecs::new(-1.0);
         assert!(matches!(
-            ProfileTable::from_measurements(bad, 0).unwrap_err(),
+            ProfileTable::from_measurements(bad, Bytes::ZERO).unwrap_err(),
             MeasurementError::InvalidValue { layer: 0 }
         ));
     }

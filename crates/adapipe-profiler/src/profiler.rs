@@ -89,8 +89,8 @@ impl Profiler {
                     device.bandwidth_time(cost.bytes_moved)
                 } + comm;
                 if let Some((rng, amp)) = rng.as_mut() {
-                    time_f *= 1.0 + rng.gen_range(-*amp..=*amp);
-                    time_b *= 1.0 + rng.gen_range(-*amp..=*amp);
+                    time_f = time_f * (1.0 + rng.gen_range(-*amp..=*amp));
+                    time_b = time_b * (1.0 + rng.gen_range(-*amp..=*amp));
                 }
                 units.push(UnitProfile {
                     unit: ComputationUnit {
@@ -113,6 +113,7 @@ mod tests {
     use super::*;
     use adapipe_hw::presets as hw;
     use adapipe_model::presets;
+    use adapipe_units::MicroSecs;
 
     fn setup() -> (ModelSpec, ParallelConfig, TrainConfig) {
         (
@@ -150,9 +151,21 @@ mod tests {
         // milliseconds on A100s; the roofline must land in that decade.
         let (m, p, t) = setup();
         let table = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
-        let fwd: f64 = table.layer_units(1).iter().map(|u| u.time_f).sum::<f64>()
-            + table.layer_units(2).iter().map(|u| u.time_f).sum::<f64>();
-        assert!((1e-3..50e-3).contains(&fwd), "block fwd = {fwd:.4}s");
+        let fwd: MicroSecs = table
+            .layer_units(1)
+            .iter()
+            .map(|u| u.time_f)
+            .sum::<MicroSecs>()
+            + table
+                .layer_units(2)
+                .iter()
+                .map(|u| u.time_f)
+                .sum::<MicroSecs>();
+        assert!(
+            (1e-3..50e-3).contains(&fwd.as_secs()),
+            "block fwd = {:.4}s",
+            fwd.as_secs()
+        );
     }
 
     #[test]
@@ -177,8 +190,8 @@ mod tests {
         let (m, p, t) = setup();
         let a = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
         let b = Profiler::new(hw::cluster_b_small()).profile(&m, &p, &t);
-        let fa: f64 = a.all_units().map(|u| u.time_f).sum();
-        let fb: f64 = b.all_units().map(|u| u.time_f).sum();
+        let fa: MicroSecs = a.all_units().map(|u| u.time_f).sum();
+        let fb: MicroSecs = b.all_units().map(|u| u.time_f).sum();
         assert!(fb > fa);
     }
 
@@ -187,8 +200,8 @@ mod tests {
         let (m, p, t) = setup();
         let table = Profiler::new(hw::cluster_a()).profile(&m, &p, &t);
         // All attention layers (odd indices 1, 3, ...) share unit costs.
-        let a: Vec<f64> = table.layer_units(1).iter().map(|u| u.time_f).collect();
-        let b: Vec<f64> = table.layer_units(3).iter().map(|u| u.time_f).collect();
+        let a: Vec<MicroSecs> = table.layer_units(1).iter().map(|u| u.time_f).collect();
+        let b: Vec<MicroSecs> = table.layer_units(3).iter().map(|u| u.time_f).collect();
         assert_eq!(a, b);
     }
 }

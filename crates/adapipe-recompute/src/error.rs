@@ -1,3 +1,4 @@
+use adapipe_units::Bytes;
 use std::error::Error;
 use std::fmt;
 
@@ -11,10 +12,10 @@ pub enum StrategyError {
     /// entries of Table 3 arise (e.g. the `(1, 32, 2)` strategy, where
     /// unsharded layer outputs are too large to pin).
     OutOfMemory {
-        /// Bytes required by pinned units per micro-batch.
-        required: u64,
-        /// Bytes available per micro-batch.
-        budget: u64,
+        /// Memory required by pinned units per micro-batch.
+        required: Bytes,
+        /// Memory available per micro-batch.
+        budget: Bytes,
     },
 }
 
@@ -23,7 +24,7 @@ impl fmt::Display for StrategyError {
         match self {
             StrategyError::OutOfMemory { required, budget } => write!(
                 f,
-                "pinned intermediates need {required} bytes per micro-batch \
+                "pinned intermediates need {required} per micro-batch \
                  but only {budget} are available"
             ),
         }
@@ -39,8 +40,8 @@ mod tests {
     #[test]
     fn display_mentions_both_sides() {
         let e = StrategyError::OutOfMemory {
-            required: 10,
-            budget: 5,
+            required: Bytes::new(10),
+            budget: Bytes::new(5),
         };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains('5'));

@@ -5,6 +5,7 @@ use crate::error::StrategyError;
 use crate::strategy::{cost_of, RecomputeStrategy, StageCost};
 use adapipe_obs::Recorder;
 use adapipe_profiler::UnitProfile;
+use adapipe_units::{Bytes, Cost};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -39,8 +40,8 @@ pub struct OptimizedStage {
     pub strategy: RecomputeStrategy,
     /// Exact cost of the chosen strategy.
     pub cost: StageCost,
-    /// Budget bytes not consumed by saved intermediates.
-    pub slack_bytes: u64,
+    /// Budget not consumed by saved intermediates.
+    pub slack_bytes: Bytes,
 }
 
 /// Optimizes the recomputation strategy for one stage with the default
@@ -52,7 +53,7 @@ pub struct OptimizedStage {
 /// exceed `budget_per_mb`.
 pub fn optimize(
     units: &[UnitProfile],
-    budget_per_mb: u64,
+    budget_per_mb: Bytes,
 ) -> Result<OptimizedStage, StrategyError> {
     optimize_with(units, budget_per_mb, KnapsackConfig::default())
 }
@@ -75,7 +76,7 @@ pub fn optimize(
 /// exceed the budget.
 pub fn optimize_with(
     units: &[UnitProfile],
-    budget_per_mb: u64,
+    budget_per_mb: Bytes,
     config: KnapsackConfig,
 ) -> Result<OptimizedStage, StrategyError> {
     optimize_traced(units, budget_per_mb, config, &Recorder::disabled())
@@ -93,13 +94,13 @@ pub fn optimize_with(
 /// exceed the budget.
 pub fn optimize_traced(
     units: &[UnitProfile],
-    budget_per_mb: u64,
+    budget_per_mb: Bytes,
     config: KnapsackConfig,
     rec: &Recorder,
 ) -> Result<OptimizedStage, StrategyError> {
     let started = rec.is_enabled().then(Instant::now);
     rec.incr("recompute.knapsack.calls");
-    let pinned_bytes: u64 = units
+    let pinned_bytes: Bytes = units
         .iter()
         .filter(|u| u.is_pinned())
         .map(|u| u.mem_saved)
@@ -115,13 +116,13 @@ pub fn optimize_traced(
     let free: Vec<(usize, &UnitProfile)> = units
         .iter()
         .enumerate()
-        .filter(|(_, u)| !u.is_pinned() && u.mem_saved > 0)
+        .filter(|(_, u)| !u.is_pinned() && u.mem_saved > Bytes::ZERO)
         .collect();
 
     let mut saved: Vec<bool> = units.iter().map(UnitProfile::is_pinned).collect();
     // Zero-size free units are free to save; never recompute them.
     for (i, u) in units.iter().enumerate() {
-        if !u.is_pinned() && u.mem_saved == 0 {
+        if !u.is_pinned() && u.mem_saved == Bytes::ZERO {
             saved[i] = true;
         }
     }
@@ -138,8 +139,14 @@ pub fn optimize_traced(
     if let Some(t0) = started {
         rec.observe("recompute.knapsack.us", t0.elapsed().as_secs_f64() * 1e6);
     }
+    // Rescaling audit: the DP must never over-commit the real budget
+    // (weights round *up*, capacity rounds *down* — see `solve`).
+    debug_assert!(
+        cost.saved_bytes_per_mb.fits(budget_per_mb),
+        "knapsack over-committed the unscaled budget"
+    );
     Ok(OptimizedStage {
-        slack_bytes: budget_per_mb - cost.saved_bytes_per_mb,
+        slack_bytes: budget_per_mb.saturating_sub(cost.saved_bytes_per_mb),
         strategy,
         cost,
     })
@@ -147,15 +154,33 @@ pub fn optimize_traced(
 
 /// 0/1 knapsack over the free units; returns the original indices of the
 /// units to save.
+///
+/// # Rescaling audit (§5.3)
+///
+/// The DP runs on an integer memory axis rescaled by `scale` (the GCD of
+/// the unit footprints, doubled until the axis fits the cell cap). For
+/// the rescaled solution to be feasible in *unscaled* [`Bytes`], the
+/// rounding directions must never under-report memory:
+///
+/// * unit footprints round **up** (`div_ceil`) — a saved set that fits
+///   the scaled axis can only *over*-estimate its real bytes;
+/// * the stage budget rounds **down** (integer division) — the scaled
+///   capacity can only *under*-estimate the real budget.
+///
+/// Both biases point the same (conservative) way, so
+/// `Σ scaled-feasible footprints ≤ scale · capacity ≤ budget` holds
+/// exactly; `optimize_traced` debug-asserts it and the
+/// `rescaled_solution_feasible_in_unscaled_bytes` proptest exercises it
+/// with adversarial sizes and forced re-bucketing.
 fn solve(
     free: &[(usize, &UnitProfile)],
-    budget: u64,
+    budget: Bytes,
     config: KnapsackConfig,
     rec: &Recorder,
 ) -> Vec<usize> {
     // Everything fits: skip the DP entirely.
-    let total: u64 = free.iter().map(|(_, u)| u.mem_saved).sum();
-    if total <= budget {
+    let total: Bytes = free.iter().map(|(_, u)| u.mem_saved).sum();
+    if total.fits(budget) {
         return free.iter().map(|(i, _)| *i).collect();
     }
 
@@ -163,15 +188,17 @@ fn solve(
     let g = if config.disable_gcd {
         1
     } else {
-        free.iter().fold(0u64, |acc, (_, u)| gcd(acc, u.mem_saved))
+        free.iter()
+            .fold(0u64, |acc, (_, u)| gcd(acc, u.mem_saved.get()))
     };
     debug_assert!(g > 0);
     let mut scale = g;
     // Re-bucket further if the capacity axis would still be too long.
-    let mut capacity = (budget / scale) as usize;
+    // Budget rounds DOWN: never pretend to more memory than exists.
+    let mut capacity = (budget.get() / scale) as usize;
     while capacity > config.max_capacity_cells {
         scale *= 2;
-        capacity = (budget / scale) as usize;
+        capacity = (budget.get() / scale) as usize;
         rec.incr("recompute.knapsack.rebuckets");
     }
     let exact = scale == g;
@@ -181,16 +208,17 @@ fn solve(
         ((capacity + 1) * free.len()) as u64,
     );
 
-    // weights rounded up when re-bucketed (conservative: never exceeds
-    // the real budget).
+    // Weights round UP: never pretend a unit is smaller than it is.
+    // (With `scale == g` both roundings are exact and the DP is optimal.)
     let weights: Vec<usize> = free
         .iter()
-        .map(|(_, u)| (u.mem_saved.div_ceil(scale)) as usize)
+        .map(|(_, u)| (u.mem_saved.get().div_ceil(scale)) as usize)
         .collect();
 
-    // value[m]: best saved forward time using capacity m.
+    // value[m]: best saved forward time using capacity m. `Cost` gives
+    // the DP a NaN-free total order on its MicroSecs value axis.
     // take[i] is a bitset over capacities where item i is taken.
-    let mut value = vec![0.0f64; capacity + 1];
+    let mut value = vec![Cost::ZERO; capacity + 1];
     let words = capacity / 64 + 1;
     let mut take: Vec<Vec<u64>> = Vec::with_capacity(free.len());
     for (item, (_, u)) in free.iter().enumerate() {
@@ -198,7 +226,7 @@ fn solve(
         let mut bits = vec![0u64; words];
         if w <= capacity {
             for m in (w..=capacity).rev() {
-                let cand = value[m - w] + u.time_f;
+                let cand = value[m - w] + Cost::of(u.time_f);
                 if cand > value[m] {
                     value[m] = cand;
                     bits[m / 64] |= 1 << (m % 64);
@@ -237,6 +265,7 @@ mod tests {
     use adapipe_hw::presets as hw;
     use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
     use adapipe_profiler::Profiler;
+    use adapipe_units::MicroSecs;
     use proptest::prelude::*;
 
     type TestResult = Result<(), Box<dyn std::error::Error>>;
@@ -260,7 +289,7 @@ mod tests {
     #[test]
     fn unbounded_budget_saves_everything() -> TestResult {
         let us = units(LayerRange::new(1, 6))?;
-        let opt = optimize(&us, u64::MAX)?;
+        let opt = optimize(&us, Bytes::new(u64::MAX))?;
         assert_eq!(opt.strategy.saved_count(), us.len());
         Ok(())
     }
@@ -269,7 +298,7 @@ mod tests {
     fn pinned_overflow_is_oom() -> TestResult {
         let us = units(LayerRange::new(1, 6))?;
         assert!(matches!(
-            optimize(&us, 0),
+            optimize(&us, Bytes::ZERO),
             Err(StrategyError::OutOfMemory { .. })
         ));
         Ok(())
@@ -278,7 +307,7 @@ mod tests {
     #[test]
     fn tight_budget_degenerates_to_full_recompute() -> TestResult {
         let us = units(LayerRange::new(1, 6))?;
-        let pinned: u64 = us
+        let pinned: Bytes = us
             .iter()
             .filter(|u| u.is_pinned())
             .map(|u| u.mem_saved)
@@ -288,7 +317,7 @@ mod tests {
             opt.strategy.saved_count(),
             us.iter().filter(|u| u.is_pinned()).count()
         );
-        assert_eq!(opt.slack_bytes, 0);
+        assert_eq!(opt.slack_bytes, Bytes::ZERO);
         Ok(())
     }
 
@@ -296,11 +325,14 @@ mod tests {
     fn budget_monotonicity() -> TestResult {
         // More budget never yields worse (larger) backward time.
         let us = units(LayerRange::new(1, 8))?;
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
-        let mut last_b = f64::INFINITY;
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
+        let mut last_b = MicroSecs::new(f64::INFINITY);
         for frac in [25u64, 50, 75, 100] {
             let opt = optimize(&us, all * frac / 100)?;
-            assert!(opt.cost.time_b <= last_b + 1e-12, "frac {frac}");
+            assert!(
+                opt.cost.time_b <= last_b + MicroSecs::new(1e-6),
+                "frac {frac}"
+            );
             last_b = opt.cost.time_b;
         }
         Ok(())
@@ -309,28 +341,31 @@ mod tests {
     #[test]
     fn respects_budget_exactly() -> TestResult {
         let us = units(LayerRange::new(1, 8))?;
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 60 / 100;
         let opt = optimize(&us, budget)?;
         assert!(opt.cost.saved_bytes_per_mb <= budget);
-        assert_eq!(opt.slack_bytes, budget - opt.cost.saved_bytes_per_mb);
+        assert_eq!(
+            opt.slack_bytes,
+            budget.saturating_sub(opt.cost.saved_bytes_per_mb)
+        );
         Ok(())
     }
 
     /// Brute force over all subsets of free units (for small n).
-    fn brute_force(us: &[UnitProfile], budget: u64) -> f64 {
-        let pinned_bytes: u64 = us
+    fn brute_force(us: &[UnitProfile], budget: Bytes) -> f64 {
+        let pinned_bytes: Bytes = us
             .iter()
             .filter(|u| u.is_pinned())
             .map(|u| u.mem_saved)
             .sum();
-        if pinned_bytes > budget {
+        if !pinned_bytes.fits(budget) {
             return f64::NAN;
         }
         let free: Vec<&UnitProfile> = us.iter().filter(|u| !u.is_pinned()).collect();
         let mut best = 0.0f64;
         for mask in 0u32..(1 << free.len()) {
-            let bytes: u64 = free
+            let bytes: Bytes = free
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| mask >> i & 1 == 1)
@@ -340,9 +375,9 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| mask >> i & 1 == 1)
-                .map(|(_, u)| u.time_f)
+                .map(|(_, u)| u.time_f.as_micros())
                 .sum();
-            if pinned_bytes + bytes <= budget && val > best {
+            if pinned_bytes.saturating_add(bytes).fits(budget) && val > best {
                 best = val;
             }
         }
@@ -352,7 +387,7 @@ mod tests {
     #[test]
     fn matches_brute_force_on_one_block() -> TestResult {
         let us = units(LayerRange::new(1, 2))?; // 10 units, 8 free
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         for frac in [10u64, 30, 55, 80, 95] {
             let budget = all * frac / 100;
             let Ok(opt) = optimize(&us, budget) else {
@@ -362,7 +397,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(i, u)| opt.strategy.is_saved(*i) && !u.is_pinned())
-                .map(|(_, u)| u.time_f)
+                .map(|(_, u)| u.time_f.as_micros())
                 .sum();
             let best = brute_force(&us, budget);
             assert!(
@@ -387,12 +422,12 @@ mod tests {
                 .enumerate()
                 .map(|(i, &s)| UnitProfile {
                     unit: ComputationUnit { kind: UnitKind::FfnAct, layer: i },
-                    time_f: f64::from(values[i % values.len()]),
-                    time_b: 1.0,
-                    mem_saved: s * 7, // common factor exercises the GCD path
+                    time_f: MicroSecs::new(f64::from(values[i % values.len()])),
+                    time_b: MicroSecs::new(1.0),
+                    mem_saved: Bytes::new(s * 7), // common factor exercises the GCD path
                 })
                 .collect();
-            let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+            let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
             let budget = all * budget_scale / 100;
             let opt = match optimize(&us, budget) {
                 Ok(opt) => opt,
@@ -402,10 +437,58 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| opt.strategy.is_saved(*i))
-                .map(|(_, u)| u.time_f)
+                .map(|(_, u)| u.time_f.as_micros())
                 .sum();
             let best = brute_force(&us, budget);
             prop_assert!((saved_f - best).abs() <= 1e-9 * (1.0 + best));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Satellite audit: with adversarial (non-power-of-two) sizes and
+        /// a tiny cell cap forcing several re-bucketing rounds, the
+        /// rescaled DP's chosen set must still fit the *unscaled* budget
+        /// in real Bytes — weights round up, capacity rounds down.
+        #[test]
+        fn rescaled_solution_feasible_in_unscaled_bytes(
+            sizes in proptest::collection::vec(1u64..10_000, 2..24),
+            budget_scale in 1u64..100,
+            cells in 4usize..64,
+        ) {
+            use adapipe_model::{ComputationUnit, UnitKind};
+            let us: Vec<UnitProfile> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &sz)| UnitProfile {
+                    unit: ComputationUnit { kind: UnitKind::FfnAct, layer: i },
+                    time_f: MicroSecs::new((i + 1) as f64),
+                    time_b: MicroSecs::new(1.0),
+                    // Odd multiplier keeps the GCD small so the cell cap
+                    // genuinely forces re-bucketing.
+                    mem_saved: Bytes::new(sz * 3 + 1),
+                })
+                .collect();
+            let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
+            let budget = all * budget_scale / 100;
+            let opt = match optimize_with(
+                &us,
+                budget,
+                KnapsackConfig { max_capacity_cells: cells, disable_gcd: false },
+            ) {
+                Ok(opt) => opt,
+                Err(e) => return Err(TestCaseError::Fail(format!("optimize failed: {e}"))),
+            };
+            // Feasibility in unscaled Bytes, recomputed independently of
+            // the DP's own accounting.
+            let chosen: Bytes = us
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| opt.strategy.is_saved(*i))
+                .map(|(_, u)| u.mem_saved)
+                .sum();
+            prop_assert!(chosen.fits(budget), "chosen {chosen} vs budget {budget}");
+            prop_assert_eq!(chosen, opt.cost.saved_bytes_per_mb);
         }
     }
 
@@ -414,7 +497,7 @@ mod tests {
         // Disabling the GCD rescaling (ablation) must not change the
         // chosen value when the cell cap is not binding.
         let us = units(LayerRange::new(1, 4))?;
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 60 / 100;
         let fast = optimize(&us, budget)?;
         let slow = optimize_with(
@@ -425,7 +508,7 @@ mod tests {
                 disable_gcd: true,
             },
         )?;
-        assert!((fast.cost.time_b - slow.cost.time_b).abs() < 1e-9);
+        assert!((fast.cost.time_b - slow.cost.time_b).abs() < MicroSecs::new(1e-3));
         Ok(())
     }
 
@@ -433,7 +516,7 @@ mod tests {
     fn traced_optimize_records_dp_effort() -> TestResult {
         let rec = Recorder::new();
         let us = units(LayerRange::new(1, 8))?;
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let opt = optimize_traced(&us, all * 60 / 100, KnapsackConfig::default(), &rec)?;
         let baseline = optimize(&us, all * 60 / 100)?;
         assert_eq!(opt, baseline, "tracing must not change the result");
@@ -450,7 +533,7 @@ mod tests {
         // Force re-bucketing with a tiny cell cap; result must respect the
         // budget even if slightly suboptimal.
         let us = units(LayerRange::new(1, 20))?;
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let budget = all * 70 / 100;
         let opt = optimize_with(
             &us,

@@ -28,6 +28,7 @@
 //! use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
 //! use adapipe_profiler::Profiler;
 //! use adapipe_recompute::{optimize, strategy};
+//! use adapipe_units::Bytes;
 //!
 //! let model = presets::gpt2_small();
 //! let parallel = ParallelConfig::new(2, 4, 1)?;
@@ -36,7 +37,7 @@
 //! let units = table.units_in(LayerRange::new(1, 6));
 //!
 //! let full = strategy::full(&units);
-//! let generous = optimize(&units, u64::MAX).expect("unbounded budget is feasible");
+//! let generous = optimize(&units, Bytes::new(u64::MAX)).expect("unbounded budget is feasible");
 //! // With unlimited memory the optimizer saves everything...
 //! assert_eq!(generous.strategy.saved_count(), units.len());
 //! // ...and its backward time beats full recomputation.

@@ -22,14 +22,14 @@ use crate::error::StrategyError;
 use crate::knapsack::KnapsackConfig;
 use crate::strategy::RecomputeStrategy;
 use adapipe_profiler::UnitProfile;
+use adapipe_units::{Bytes, BytesPerSec, MicroSecs};
 use serde::{Deserialize, Serialize};
 
 /// Host-offload link description.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OffloadLink {
-    /// Device↔host bandwidth in bytes/s (PCIe 4.0 ×16 ≈ 25 GB/s
-    /// effective).
-    pub bandwidth: f64,
+    /// Device↔host bandwidth (PCIe 4.0 ×16 ≈ 25 GB/s effective).
+    pub bandwidth: BytesPerSec,
     /// Fraction of each transfer hidden under compute (0 = fully
     /// exposed, 1 = free).
     pub overlap: f64,
@@ -40,7 +40,7 @@ impl OffloadLink {
     #[must_use]
     pub fn pcie4() -> Self {
         OffloadLink {
-            bandwidth: 25e9,
+            bandwidth: BytesPerSec::new(25e9),
             overlap: 0.5,
         }
     }
@@ -48,8 +48,8 @@ impl OffloadLink {
     /// Exposed round-trip time for `bytes` (store in forward + fetch in
     /// backward), after overlap.
     #[must_use]
-    pub fn round_trip(&self, bytes: u64) -> f64 {
-        2.0 * bytes as f64 / self.bandwidth * (1.0 - self.overlap)
+    pub fn round_trip(&self, bytes: Bytes) -> MicroSecs {
+        (bytes / self.bandwidth) * (2.0 * (1.0 - self.overlap))
     }
 }
 
@@ -70,13 +70,13 @@ pub struct HybridStage {
     /// Per-unit decisions, in execution order.
     pub decisions: Vec<UnitDecision>,
     /// Forward time (unchanged by the strategy).
-    pub time_f: f64,
+    pub time_f: MicroSecs,
     /// Backward time including recomputation and exposed transfers.
-    pub time_b: f64,
+    pub time_b: MicroSecs,
     /// Device bytes of saved intermediates per micro-batch.
-    pub saved_bytes_per_mb: u64,
+    pub saved_bytes_per_mb: Bytes,
     /// Host bytes shipped per micro-batch.
-    pub offloaded_bytes_per_mb: u64,
+    pub offloaded_bytes_per_mb: Bytes,
 }
 
 impl HybridStage {
@@ -105,11 +105,11 @@ impl HybridStage {
 /// recompute anchors).
 pub fn optimize_hybrid(
     units: &[UnitProfile],
-    budget_per_mb: u64,
+    budget_per_mb: Bytes,
     link: OffloadLink,
 ) -> Result<HybridStage, StrategyError> {
     // Evacuation penalty per unit: the cheaper of recompute / offload.
-    let penalty: Vec<f64> = units
+    let penalty: Vec<MicroSecs> = units
         .iter()
         .map(|u| u.time_f.min(link.round_trip(u.mem_saved)))
         .collect();
@@ -126,19 +126,19 @@ pub fn optimize_hybrid(
     // Materialize decisions; compute the exact hybrid cost from the
     // real unit table.
     let mut decisions = Vec::with_capacity(units.len());
-    let mut time_f = 0.0;
-    let mut time_b = 0.0;
-    let mut saved_bytes = 0u64;
-    let mut offloaded_bytes = 0u64;
+    let mut time_f = MicroSecs::ZERO;
+    let mut time_b = MicroSecs::ZERO;
+    let mut saved_bytes = Bytes::ZERO;
+    let mut offloaded_bytes = Bytes::ZERO;
     for (i, u) in units.iter().enumerate() {
         time_f += u.time_f;
         time_b += u.time_b;
         if opt.strategy.is_saved(i) {
             decisions.push(UnitDecision::Saved);
-            saved_bytes += u.mem_saved;
+            saved_bytes = saved_bytes.saturating_add(u.mem_saved);
         } else if link.round_trip(u.mem_saved) < u.time_f {
             decisions.push(UnitDecision::Offloaded);
-            offloaded_bytes += u.mem_saved;
+            offloaded_bytes = offloaded_bytes.saturating_add(u.mem_saved);
             time_b += link.round_trip(u.mem_saved);
         } else {
             decisions.push(UnitDecision::Recomputed);
@@ -149,8 +149,8 @@ pub fn optimize_hybrid(
     // PCIe budget check: the bus can ship at most bandwidth × compute
     // time per micro-batch; beyond that, transfers cannot hide even
     // partially — demote the *least* profitable offloads to recompute.
-    let window = (time_f + time_b) * link.bandwidth;
-    if offloaded_bytes as f64 * 2.0 > window {
+    let window: Bytes = (time_f + time_b) * link.bandwidth;
+    if !(offloaded_bytes * 2).fits(window) {
         let mut offloads: Vec<usize> = decisions
             .iter()
             .enumerate()
@@ -161,14 +161,14 @@ pub fn optimize_hybrid(
         offloads.sort_by(|&a, &b| {
             let pa = units[a].time_f - link.round_trip(units[a].mem_saved);
             let pb = units[b].time_f - link.round_trip(units[b].mem_saved);
-            pa.total_cmp(&pb)
+            pa.as_micros().total_cmp(&pb.as_micros())
         });
         for i in offloads {
-            if offloaded_bytes as f64 * 2.0 <= window {
+            if (offloaded_bytes * 2).fits(window) {
                 break;
             }
             decisions[i] = UnitDecision::Recomputed;
-            offloaded_bytes -= units[i].mem_saved;
+            offloaded_bytes = offloaded_bytes.saturating_sub(units[i].mem_saved);
             time_b -= link.round_trip(units[i].mem_saved);
             time_b += units[i].time_f;
         }
@@ -215,13 +215,13 @@ mod tests {
     #[test]
     fn offloading_never_hurts_backward_time() {
         let us = units();
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         for frac in [20u64, 40, 60, 80] {
             let budget = all * frac / 100;
             let plain = optimize(&us, budget).unwrap();
             let hybrid = optimize_hybrid(&us, budget, OffloadLink::pcie4()).unwrap();
             assert!(
-                hybrid.time_b <= plain.cost.time_b + 1e-9,
+                hybrid.time_b <= plain.cost.time_b + MicroSecs::new(1e-3),
                 "frac {frac}: hybrid {} vs plain {}",
                 hybrid.time_b,
                 plain.cost.time_b
@@ -233,25 +233,25 @@ mod tests {
     #[test]
     fn zero_overlap_slow_bus_degenerates_to_recompute() {
         let us = units();
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         // A bus so slow that every round trip costs more than recompute.
         let link = OffloadLink {
-            bandwidth: 1e6,
+            bandwidth: BytesPerSec::new(1e6),
             overlap: 0.0,
         };
         let hybrid = optimize_hybrid(&us, all / 2, link).unwrap();
         let (_, _, offloaded) = hybrid.counts();
         assert_eq!(offloaded, 0);
         let plain = optimize(&us, all / 2).unwrap();
-        assert!((hybrid.time_b - plain.cost.time_b).abs() < 1e-9);
+        assert!((hybrid.time_b - plain.cost.time_b).abs() < MicroSecs::new(1e-3));
     }
 
     #[test]
     fn infinitely_fast_bus_offloads_everything_unsaved() {
         let us = units();
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let link = OffloadLink {
-            bandwidth: 1e18,
+            bandwidth: BytesPerSec::new(1e18),
             overlap: 0.0,
         };
         let hybrid = optimize_hybrid(&us, all / 4, link).unwrap();
@@ -259,24 +259,24 @@ mod tests {
         assert_eq!(recomputed, 0, "free transfers beat all recomputes");
         assert!(offloaded > 0);
         // Backward collapses to the no-recompute floor.
-        let base: f64 = us.iter().map(|u| u.time_b).sum();
-        assert!((hybrid.time_b - base).abs() < 1e-6);
+        let base: MicroSecs = us.iter().map(|u| u.time_b).sum();
+        assert!((hybrid.time_b - base).abs() < MicroSecs::new(1.0));
     }
 
     #[test]
     fn pcie_budget_demotes_excess_offloads() {
         let us = units();
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         // Fast enough that offload beats recompute per unit, but so
         // little window that the aggregate cannot fit.
         let link = OffloadLink {
-            bandwidth: 5e9,
+            bandwidth: BytesPerSec::new(5e9),
             overlap: 0.999,
         };
         let hybrid = optimize_hybrid(&us, all / 4, link).unwrap();
         let window = (hybrid.time_f + hybrid.time_b) * link.bandwidth;
         assert!(
-            hybrid.offloaded_bytes_per_mb as f64 * 2.0 <= window + 1.0,
+            (hybrid.offloaded_bytes_per_mb * 2).fits(window.saturating_add(Bytes::new(1))),
             "offloaded {} vs window {window}",
             hybrid.offloaded_bytes_per_mb
         );
@@ -285,7 +285,7 @@ mod tests {
     #[test]
     fn projection_keeps_saved_set() {
         let us = units();
-        let all: u64 = us.iter().map(|u| u.mem_saved).sum();
+        let all: Bytes = us.iter().map(|u| u.mem_saved).sum();
         let hybrid = optimize_hybrid(&us, all / 2, OffloadLink::pcie4()).unwrap();
         let plain = as_recompute_strategy(&us, &hybrid);
         for (i, d) in hybrid.decisions.iter().enumerate() {
@@ -297,7 +297,7 @@ mod tests {
     fn oom_still_surfaces() {
         let us = units();
         assert!(matches!(
-            optimize_hybrid(&us, 0, OffloadLink::pcie4()),
+            optimize_hybrid(&us, Bytes::ZERO, OffloadLink::pcie4()),
             Err(StrategyError::OutOfMemory { .. })
         ));
     }

@@ -2,6 +2,7 @@
 
 use adapipe_model::UnitKind;
 use adapipe_profiler::UnitProfile;
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -94,11 +95,11 @@ impl fmt::Display for RecomputeStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageCost {
     /// Forward time of the stage (independent of recomputation).
-    pub time_f: f64,
+    pub time_f: MicroSecs,
     /// Backward time including re-running the forward of recomputed units.
-    pub time_b: f64,
-    /// Bytes of saved intermediates per micro-batch.
-    pub saved_bytes_per_mb: u64,
+    pub time_b: MicroSecs,
+    /// Saved intermediates per micro-batch.
+    pub saved_bytes_per_mb: Bytes,
 }
 
 /// Exact cost of applying `strategy` to `units`.
@@ -109,14 +110,14 @@ pub struct StageCost {
 #[must_use]
 pub fn cost_of(units: &[UnitProfile], strategy: &RecomputeStrategy) -> StageCost {
     assert_eq!(units.len(), strategy.len(), "strategy/unit length mismatch");
-    let mut time_f = 0.0;
-    let mut time_b = 0.0;
-    let mut saved_bytes = 0u64;
+    let mut time_f = MicroSecs::ZERO;
+    let mut time_b = MicroSecs::ZERO;
+    let mut saved_bytes = Bytes::ZERO;
     for (i, u) in units.iter().enumerate() {
         time_f += u.time_f;
         time_b += u.time_b;
         if strategy.is_saved(i) {
-            saved_bytes += u.mem_saved;
+            saved_bytes = saved_bytes.saturating_add(u.mem_saved);
         } else {
             // Recomputed units repeat their forward pass during backward.
             time_b += u.time_f;
@@ -138,19 +139,19 @@ pub fn cost_of(units: &[UnitProfile], strategy: &RecomputeStrategy) -> StageCost
 ///
 /// Panics if the strategy length does not match the unit count.
 #[must_use]
-pub fn buffer_bytes_of(units: &[UnitProfile], strategy: &RecomputeStrategy) -> u64 {
+pub fn buffer_bytes_of(units: &[UnitProfile], strategy: &RecomputeStrategy) -> Bytes {
     assert_eq!(units.len(), strategy.len(), "strategy/unit length mismatch");
-    let mut max = 0u64;
-    let mut cur = 0u64;
+    let mut max = Bytes::ZERO;
+    let mut cur = Bytes::ZERO;
     let mut cur_layer = usize::MAX;
     for (i, u) in units.iter().enumerate() {
         if u.unit.layer != cur_layer {
             max = max.max(cur);
-            cur = 0;
+            cur = Bytes::ZERO;
             cur_layer = u.unit.layer;
         }
         if !strategy.is_saved(i) {
-            cur += u.mem_saved;
+            cur = cur.saturating_add(u.mem_saved);
         }
     }
     max.max(cur)
@@ -241,7 +242,7 @@ mod tests {
         assert!(all.time_b < fullc.time_b);
         assert!(all.saved_bytes_per_mb > fullc.saved_bytes_per_mb);
         // Forward time is invariant under the strategy.
-        assert!((all.time_f - fullc.time_f).abs() < 1e-15);
+        assert!((all.time_f - fullc.time_f).abs() < MicroSecs::new(1e-9));
     }
 
     #[test]
@@ -249,9 +250,9 @@ mod tests {
         let us = units();
         let s = full(&us);
         let c = cost_of(&us, &s);
-        let base_b: f64 = us.iter().map(|u| u.time_b).sum();
-        let free_f: f64 = us.iter().filter(|u| !u.is_pinned()).map(|u| u.time_f).sum();
-        assert!((c.time_b - base_b - free_f).abs() < 1e-12);
+        let base_b: MicroSecs = us.iter().map(|u| u.time_b).sum();
+        let free_f: MicroSecs = us.iter().filter(|u| !u.is_pinned()).map(|u| u.time_f).sum();
+        assert!((c.time_b - base_b - free_f).abs() < MicroSecs::new(1e-6));
     }
 
     #[test]
@@ -286,10 +287,10 @@ mod tests {
     #[test]
     fn buffer_is_zero_without_recomputation() {
         let us = units();
-        assert_eq!(buffer_bytes_of(&us, &none(&us)), 0);
+        assert_eq!(buffer_bytes_of(&us, &none(&us)), Bytes::ZERO);
         // Full recomputation buffers the heaviest single layer.
         let full_buf = buffer_bytes_of(&us, &full(&us));
-        assert!(full_buf > 0);
+        assert!(full_buf > Bytes::ZERO);
         let per_layer_max = us
             .iter()
             .filter(|u| !u.is_pinned())

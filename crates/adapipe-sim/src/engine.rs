@@ -7,6 +7,7 @@
 use crate::report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 use crate::task::{Discipline, TaskGraph};
 use adapipe_obs::Recorder;
+use adapipe_units::{Bytes, MicroSecs};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -142,20 +143,20 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
             busy[t.device] = true;
             started[id] = true;
             dispatchable[t.device].remove(&(t.priority, id));
-            mem_cur[t.device] += t.mem_acquire as i64;
+            mem_cur[t.device] += t.mem_acquire.get() as i64;
             mem_peak[t.device] = mem_peak[t.device].max(mem_cur[t.device]);
             memory_timeline.push(MemorySample {
-                time: now,
+                time: MicroSecs::new(now),
                 device: t.device,
-                bytes: mem_cur[t.device].max(0) as u64,
+                bytes: Bytes::new(mem_cur[t.device].max(0) as u64),
             });
-            busy_time[t.device] += t.dur;
-            let end = now + t.dur;
+            busy_time[t.device] += t.dur.as_micros();
+            let end = now + t.dur.as_micros();
             timeline.push(TimelineEntry {
                 device: t.device,
                 meta: t.meta,
-                start: now,
-                end,
+                start: MicroSecs::new(now),
+                end: MicroSecs::new(end),
             });
             push(&mut heap, &mut seq, end, EventKind::Complete(id));
         }};
@@ -229,11 +230,11 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
                     done[id] = true;
                     completed += 1;
                     busy[t.device] = false;
-                    mem_cur[t.device] -= t.mem_release as i64;
+                    mem_cur[t.device] -= t.mem_release.get() as i64;
                     memory_timeline.push(MemorySample {
-                        time: ev.time,
+                        time: MicroSecs::new(ev.time),
                         device: t.device,
-                        bytes: mem_cur[t.device].max(0) as u64,
+                        bytes: Bytes::new(mem_cur[t.device].max(0) as u64),
                     });
                     makespan = makespan.max(ev.time);
                     touched.push(t.device);
@@ -243,7 +244,7 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
                             .deps
                             .iter()
                             .find(|(p, _)| *p == id)
-                            .map_or(0.0, |(_, delay)| *delay);
+                            .map_or(0.0, |(_, delay)| delay.as_micros());
                         ready_at[dep_id] = ready_at[dep_id].max(ev.time + edge);
                         unmet[dep_id] -= 1;
                         if unmet[dep_id] == 0 {
@@ -293,30 +294,40 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
         );
     }
 
-    timeline.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.device.cmp(&b.device)));
+    timeline.sort_by(|a, b| {
+        a.start
+            .as_micros()
+            .total_cmp(&b.start.as_micros())
+            .then(a.device.cmp(&b.device))
+    });
     let devices = (0..d)
         .map(|dev| DeviceReport {
-            busy: busy_time[dev],
-            bubble: makespan - busy_time[dev],
-            peak_dynamic_bytes: mem_peak[dev].max(0) as u64,
+            busy: MicroSecs::new(busy_time[dev]),
+            bubble: MicroSecs::new(makespan - busy_time[dev]),
+            peak_dynamic_bytes: Bytes::new(mem_peak[dev].max(0) as u64),
         })
         .collect();
-    memory_timeline.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.device.cmp(&b.device)));
+    memory_timeline.sort_by(|a, b| {
+        a.time
+            .as_micros()
+            .total_cmp(&b.time.as_micros())
+            .then(a.device.cmp(&b.device))
+    });
     if rec.is_enabled() {
         rec.add("sim.tasks", n as u64);
         rec.add("sim.events", events);
         rec.gauge_max("sim.ready_queue.peak", ready_peak as f64);
         for dev in 0..d {
-            rec.gauge(&format!("sim.device{dev}.busy_s"), busy_time[dev]);
+            rec.gauge(&format!("sim.device{dev}.busy_us"), busy_time[dev]);
             rec.gauge(
-                &format!("sim.device{dev}.bubble_s"),
+                &format!("sim.device{dev}.bubble_us"),
                 makespan - busy_time[dev],
             );
         }
     }
     SimReport {
         schedule: graph.name.clone(),
-        makespan,
+        makespan: MicroSecs::new(makespan),
         devices,
         timeline,
         memory_timeline,
@@ -340,12 +351,28 @@ mod tests {
     #[test]
     fn chain_runs_sequentially_with_delays() {
         let mut g = TaskGraph::new("chain", 2, Discipline::FixedOrder);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0));
-        let b = g.push(1, 2.0, vec![(a, 0.5)], 0, 0, 0, meta(0));
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let b = g.push(
+            1,
+            MicroSecs::new(2.0),
+            vec![(a, MicroSecs::new(0.5))],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
         let _ = b;
         let r = simulate(&g);
-        assert!((r.makespan - 3.5).abs() < 1e-12);
-        assert!((r.devices[1].bubble - 1.5).abs() < 1e-12);
+        assert!((r.makespan - MicroSecs::new(3.5)).abs() < MicroSecs::new(1e-12));
+        assert!((r.devices[1].bubble - MicroSecs::new(1.5)).abs() < MicroSecs::new(1e-12));
     }
 
     #[test]
@@ -354,46 +381,118 @@ mod tests {
         // 2s. FixedOrder must idle device 0 until x is ready even though
         // z is runnable.
         let mut g = TaskGraph::new("block", 2, Discipline::FixedOrder);
-        let y = g.push(1, 2.0, vec![], 0, 0, 0, meta(0));
-        let _x = g.push(0, 1.0, vec![(y, 0.0)], 0, 0, 0, meta(1));
-        let _z = g.push(0, 1.0, vec![], 0, 0, 1, meta(2));
+        let y = g.push(
+            1,
+            MicroSecs::new(2.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let _x = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(y, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(1),
+        );
+        let _z = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(2),
+        );
         let r = simulate(&g);
-        assert!((r.makespan - 4.0).abs() < 1e-12);
+        assert!((r.makespan - MicroSecs::new(4.0)).abs() < MicroSecs::new(1e-12));
     }
 
     #[test]
     fn greedy_reorders_past_blocked_head() {
         let mut g = TaskGraph::new("greedy", 2, Discipline::GreedyPriority);
-        let y = g.push(1, 2.0, vec![], 0, 0, 0, meta(0));
-        let _x = g.push(0, 1.0, vec![(y, 0.0)], 0, 0, 0, meta(1));
-        let _z = g.push(0, 1.0, vec![], 0, 0, 1, meta(2));
+        let y = g.push(
+            1,
+            MicroSecs::new(2.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let _x = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(y, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(1),
+        );
+        let _z = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(2),
+        );
         let r = simulate(&g);
         // z runs at t=0 on device 0; x at t=2.
-        assert!((r.makespan - 3.0).abs() < 1e-12);
+        assert!((r.makespan - MicroSecs::new(3.0)).abs() < MicroSecs::new(1e-12));
     }
 
     #[test]
     fn memory_ledger_tracks_peak_not_end() {
         let mut g = TaskGraph::new("mem", 1, Discipline::FixedOrder);
         // Acquire 100, release 0; then acquire 50 release 150.
-        let a = g.push(0, 1.0, vec![], 100, 0, 0, meta(0));
-        let _b = g.push(0, 1.0, vec![(a, 0.0)], 50, 150, 1, meta(1));
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::new(100),
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let _b = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(a, MicroSecs::ZERO)],
+            Bytes::new(50),
+            Bytes::new(150),
+            1,
+            meta(1),
+        );
         let r = simulate(&g);
-        assert_eq!(r.devices[0].peak_dynamic_bytes, 150);
+        assert_eq!(r.devices[0].peak_dynamic_bytes, Bytes::new(150));
     }
 
     #[test]
     fn deterministic_tie_breaking() {
         let mut g = TaskGraph::new("tie", 1, Discipline::GreedyPriority);
         for i in 0..5 {
-            let _ = g.push(0, 1.0, vec![], 0, 0, 10 - i, meta(i as usize));
+            let _ = g.push(
+                0,
+                MicroSecs::new(1.0),
+                vec![],
+                Bytes::ZERO,
+                Bytes::ZERO,
+                10 - i,
+                meta(i as usize),
+            );
         }
         let r1 = simulate(&g);
         let r2 = simulate(&g);
         assert_eq!(r1.timeline.len(), r2.timeline.len());
         for (a, b) in r1.timeline.iter().zip(&r2.timeline) {
             assert_eq!(a.meta, b.meta);
-            assert!((a.start - b.start).abs() < 1e-15);
+            assert!((a.start - b.start).abs() < MicroSecs::new(1e-15));
         }
         // Priorities inverted: micro-batch 4 (priority 6) runs first.
         assert_eq!(r1.timeline[0].meta.micro_batch, 4);
@@ -402,30 +501,70 @@ mod tests {
     #[test]
     fn traced_simulation_reports_engine_effort() {
         let mut g = TaskGraph::new("traced", 2, Discipline::GreedyPriority);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0));
-        let _b = g.push(1, 2.0, vec![(a, 0.5)], 0, 0, 0, meta(1));
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let _b = g.push(
+            1,
+            MicroSecs::new(2.0),
+            vec![(a, MicroSecs::new(0.5))],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(1),
+        );
         let rec = Recorder::new();
         let traced = simulate_traced(&g, &rec);
         let plain = simulate(&g);
-        assert!((traced.makespan - plain.makespan).abs() < 1e-15);
+        assert!((traced.makespan - plain.makespan).abs() < MicroSecs::new(1e-15));
         let snap = rec.snapshot();
         assert_eq!(snap.counters["sim.tasks"], 2);
         assert!(snap.counters["sim.events"] >= 4); // 2 ready + 2 complete
         assert!(snap.gauges["sim.ready_queue.peak"] >= 1.0);
-        assert!(snap.gauges.contains_key("sim.device0.busy_s"));
-        assert!(snap.gauges.contains_key("sim.device1.bubble_s"));
+        assert!(snap.gauges.contains_key("sim.device0.busy_us"));
+        assert!(snap.gauges.contains_key("sim.device1.bubble_us"));
         assert_eq!(snap.spans.iter().filter(|s| s.name == "sim.run").count(), 1);
     }
 
     #[test]
     fn busy_plus_bubble_equals_makespan() {
         let mut g = TaskGraph::new("sum", 3, Discipline::FixedOrder);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0));
-        let b = g.push(1, 2.0, vec![(a, 0.1)], 0, 0, 0, meta(0));
-        let _c = g.push(2, 3.0, vec![(b, 0.1)], 0, 0, 0, meta(0));
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let b = g.push(
+            1,
+            MicroSecs::new(2.0),
+            vec![(a, MicroSecs::new(0.1))],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let _c = g.push(
+            2,
+            MicroSecs::new(3.0),
+            vec![(b, MicroSecs::new(0.1))],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
         let r = simulate(&g);
         for dev in &r.devices {
-            assert!((dev.busy + dev.bubble - r.makespan).abs() < 1e-12);
+            assert!((dev.busy + dev.bubble - r.makespan).abs() < MicroSecs::new(1e-12));
         }
     }
 }

@@ -22,12 +22,21 @@
 //!
 //! ```
 //! use adapipe_sim::{schedule, simulate, StageExec};
+//! use adapipe_units::{Bytes, MicroSecs};
 //!
-//! let stages = vec![StageExec { time_f: 1.0, time_b: 2.0, saved_bytes: 100, buffer_bytes: 10 }; 4];
-//! let graph = schedule::one_f_one_b(&stages, 8, 0.0);
+//! let stages = vec![
+//!     StageExec {
+//!         time_f: MicroSecs::new(1.0),
+//!         time_b: MicroSecs::new(2.0),
+//!         saved_bytes: Bytes::new(100),
+//!         buffer_bytes: Bytes::new(10),
+//!     };
+//!     4
+//! ];
+//! let graph = schedule::one_f_one_b(&stages, 8, MicroSecs::ZERO);
 //! let report = simulate(&graph);
 //! // Balanced 1F1B: (n + p - 1)(f + b) = 11 * 3.
-//! assert!((report.makespan - 33.0).abs() < 1e-9);
+//! assert!((report.makespan - MicroSecs::new(33.0)).abs() < MicroSecs::new(1e-9));
 //! ```
 
 #![forbid(unsafe_code)]

@@ -4,6 +4,7 @@
 
 use crate::report::SimReport;
 use crate::task::OpKind;
+use adapipe_units::{Bytes, MicroSecs};
 use std::fmt::Write as _;
 
 /// Renders the report as an ASCII Gantt chart, one row per device,
@@ -17,15 +18,17 @@ use std::fmt::Write as _;
 pub fn render_ascii(report: &SimReport, width: usize) -> String {
     assert!(width > 0, "need a positive width");
     let mut out = String::new();
-    if report.makespan <= 0.0 {
+    if report.makespan <= MicroSecs::ZERO {
         return out;
     }
-    let scale = width as f64 / report.makespan;
+    let scale = width as f64 / report.makespan.as_micros();
     for dev in 0..report.devices.len() {
         let mut line = vec!['.'; width];
         for e in report.timeline.iter().filter(|e| e.device == dev) {
-            let from = (e.start * scale).floor() as usize;
-            let to = ((e.end * scale).ceil() as usize).min(width).max(from + 1);
+            let from = (e.start.as_micros() * scale).floor() as usize;
+            let to = ((e.end.as_micros() * scale).ceil() as usize)
+                .min(width)
+                .max(from + 1);
             let ch = match e.meta.kind {
                 OpKind::Forward => {
                     char::from_digit((e.meta.micro_batch % 10) as u32, 10).unwrap_or('F')
@@ -62,16 +65,16 @@ pub fn render_memory_sparkline(report: &SimReport, device: usize, width: usize) 
         .iter()
         .map(|s| s.bytes)
         .max()
-        .unwrap_or(0);
-    if max == 0 || report.makespan <= 0.0 {
+        .unwrap_or(Bytes::ZERO);
+    if max == Bytes::ZERO || report.makespan <= MicroSecs::ZERO {
         return ".".repeat(width);
     }
     // Peak per bucket, carrying the running level across bucket edges.
-    let mut buckets = vec![0u64; width];
-    let mut level = 0u64;
+    let mut buckets = vec![Bytes::ZERO; width];
+    let mut level = Bytes::ZERO;
     let mut cursor = 0usize;
     for (b, bucket) in buckets.iter_mut().enumerate() {
-        let end = (b + 1) as f64 / width as f64 * report.makespan;
+        let end = report.makespan * ((b + 1) as f64 / width as f64);
         let mut peak = level;
         while cursor < samples.len() && samples[cursor].time <= end {
             level = samples[cursor].bytes;
@@ -83,17 +86,18 @@ pub fn render_memory_sparkline(report: &SimReport, device: usize, width: usize) 
     buckets
         .iter()
         .map(|&b| {
-            if b == 0 {
+            if b == Bytes::ZERO {
                 '.'
             } else {
-                char::from_digit(((b * 9) / max) as u32, 10).unwrap_or('9')
+                char::from_digit(((b.get() * 9) / max.get()) as u32, 10).unwrap_or('9')
             }
         })
         .collect()
 }
 
 /// Exports the timeline as Chrome-trace JSON (an array of complete
-/// duration events with microsecond timestamps), loadable in
+/// duration events with microsecond timestamps — the native unit of
+/// [`MicroSecs`], so no conversion factor appears), loadable in
 /// `chrome://tracing` or Perfetto.
 #[must_use]
 pub fn to_chrome_trace(report: &SimReport) -> String {
@@ -114,8 +118,8 @@ pub fn to_chrome_trace(report: &SimReport) -> String {
             "\n  {{\"name\": \"{name}\", \"cat\": \"{}\", \"ph\": \"X\", \
              \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}}}",
             report.schedule,
-            e.start * 1e6,
-            (e.end - e.start) * 1e6,
+            e.start.as_micros(),
+            (e.end - e.start).as_micros(),
             e.device,
         );
     }
@@ -129,18 +133,19 @@ mod tests {
     use crate::engine::simulate;
     use crate::schedule;
     use crate::task::StageExec;
+    use adapipe_units::{Bytes, MicroSecs};
 
     fn report() -> SimReport {
         let stages = vec![
             StageExec {
-                time_f: 1.0,
-                time_b: 2.0,
-                saved_bytes: 1,
-                buffer_bytes: 0
+                time_f: MicroSecs::new(1.0),
+                time_b: MicroSecs::new(2.0),
+                saved_bytes: Bytes::new(1),
+                buffer_bytes: Bytes::ZERO
             };
             3
         ];
-        simulate(&schedule::one_f_one_b(&stages, 4, 0.0))
+        simulate(&schedule::one_f_one_b(&stages, 4, MicroSecs::ZERO))
     }
 
     #[test]
@@ -170,7 +175,7 @@ mod tests {
     fn empty_report_renders_empty() {
         let r = SimReport {
             schedule: "x".into(),
-            makespan: 0.0,
+            makespan: MicroSecs::ZERO,
             devices: vec![],
             timeline: vec![],
             memory_timeline: vec![],
@@ -199,11 +204,11 @@ mod tests {
                 .filter(|s| s.device == dev)
                 .map(|s| s.bytes)
                 .max()
-                .unwrap_or(0);
+                .unwrap_or(Bytes::ZERO);
             assert_eq!(max, d.peak_dynamic_bytes, "device {dev}");
             // Fully drained: the last sample returns to zero.
             let last = r.memory_timeline.iter().rfind(|s| s.device == dev).unwrap();
-            assert_eq!(last.bytes, 0, "device {dev}");
+            assert_eq!(last.bytes, Bytes::ZERO, "device {dev}");
         }
     }
 

@@ -1,4 +1,5 @@
 use crate::task::TaskMeta;
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -7,11 +8,11 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MemorySample {
     /// Simulation time of the change.
-    pub time: f64,
+    pub time: MicroSecs,
     /// Device whose ledger changed.
     pub device: usize,
-    /// Dynamic bytes held right after the change.
-    pub bytes: u64,
+    /// Dynamic memory held right after the change.
+    pub bytes: Bytes,
 }
 
 /// One executed task on the timeline.
@@ -21,22 +22,22 @@ pub struct TimelineEntry {
     pub device: usize,
     /// What ran.
     pub meta: TaskMeta,
-    /// Start time in seconds.
-    pub start: f64,
-    /// End time in seconds.
-    pub end: f64,
+    /// Start time.
+    pub start: MicroSecs,
+    /// End time.
+    pub end: MicroSecs,
 }
 
 /// Per-device aggregates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeviceReport {
-    /// Seconds the device spent computing.
-    pub busy: f64,
-    /// Seconds idle within the iteration span (bubbles).
-    pub bubble: f64,
-    /// Peak bytes of dynamic memory (activations + recompute buffers)
-    /// observed on the device. Static memory is the caller's to add.
-    pub peak_dynamic_bytes: u64,
+    /// Time the device spent computing.
+    pub busy: MicroSecs,
+    /// Time idle within the iteration span (bubbles).
+    pub bubble: MicroSecs,
+    /// Peak dynamic memory (activations + recompute buffers) observed on
+    /// the device. Static memory is the caller's to add.
+    pub peak_dynamic_bytes: Bytes,
 }
 
 /// The simulator's output: what the paper measures on hardware.
@@ -44,8 +45,8 @@ pub struct DeviceReport {
 pub struct SimReport {
     /// Schedule name the report was produced from.
     pub schedule: String,
-    /// End-to-end iteration time in seconds.
-    pub makespan: f64,
+    /// End-to-end iteration time.
+    pub makespan: MicroSecs,
     /// Per-device aggregates, indexed by device.
     pub devices: Vec<DeviceReport>,
     /// Every executed task, ordered by start time.
@@ -58,31 +59,29 @@ pub struct SimReport {
 impl SimReport {
     /// Total bubble time across devices.
     #[must_use]
-    pub fn total_bubble(&self) -> f64 {
+    pub fn total_bubble(&self) -> MicroSecs {
         self.devices.iter().map(|d| d.bubble).sum()
     }
 
-    /// Fraction of device-seconds wasted in bubbles.
+    /// Fraction of device-time wasted in bubbles.
     #[must_use]
     pub fn bubble_ratio(&self) -> f64 {
         let span = self.makespan * self.devices.len() as f64;
-        // lint: allow(float-eq): exact-zero guard before division, not a
-        // tolerance comparison — any nonzero span is a valid denominator.
-        if span == 0.0 {
-            0.0
-        } else {
+        if span > MicroSecs::ZERO {
             self.total_bubble() / span
+        } else {
+            0.0
         }
     }
 
     /// Largest per-device peak of dynamic memory.
     #[must_use]
-    pub fn max_peak_dynamic_bytes(&self) -> u64 {
+    pub fn max_peak_dynamic_bytes(&self) -> Bytes {
         self.devices
             .iter()
             .map(|d| d.peak_dynamic_bytes)
             .max()
-            .unwrap_or(0)
+            .unwrap_or(Bytes::ZERO)
     }
 }
 
@@ -92,10 +91,10 @@ impl fmt::Display for SimReport {
             f,
             "{}: {:.3}s over {} devices, bubble ratio {:.1}%, peak dynamic {:.2} GB",
             self.schedule,
-            self.makespan,
+            self.makespan.as_secs(),
             self.devices.len(),
             100.0 * self.bubble_ratio(),
-            self.max_peak_dynamic_bytes() as f64 / 1e9
+            self.max_peak_dynamic_bytes().as_f64() / 1e9
         )
     }
 }
@@ -108,13 +107,13 @@ mod tests {
     fn ratios_handle_empty_reports() {
         let r = SimReport {
             schedule: "x".into(),
-            makespan: 0.0,
+            makespan: MicroSecs::ZERO,
             devices: vec![],
             timeline: vec![],
             memory_timeline: vec![],
         };
         assert_eq!(r.bubble_ratio(), 0.0);
-        assert_eq!(r.max_peak_dynamic_bytes(), 0);
-        assert_eq!(r.total_bubble(), 0.0);
+        assert_eq!(r.max_peak_dynamic_bytes(), Bytes::ZERO);
+        assert_eq!(r.total_bubble(), MicroSecs::ZERO);
     }
 }

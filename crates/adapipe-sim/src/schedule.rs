@@ -13,6 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::task::{Discipline, OpKind, StageExec, TaskGraph, TaskMeta};
+use adapipe_units::{Bytes, MicroSecs};
 
 /// Script position of op (`kind`, micro-batch `m`) in stage `s`'s 1F1B
 /// queue: `p − s − 1` warmup forwards, alternating steady phase, backward
@@ -47,7 +48,7 @@ fn f1b_script_pos(kind: OpKind, m: usize, s: usize, p: usize, n: usize) -> u64 {
 ///
 /// Panics if `stages` is empty or `n` is less than the stage count.
 #[must_use]
-pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
+pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: MicroSecs) -> TaskGraph {
     let p = stages.len();
     assert!(p > 0, "pipeline must have at least one stage");
     assert!(n >= p, "1F1B needs n >= p (n={n}, p={p})");
@@ -69,7 +70,7 @@ pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
                 stages[s].time_f,
                 deps,
                 stages[s].saved_bytes,
-                0,
+                Bytes::ZERO,
                 f1b_script_pos(OpKind::Forward, m, s, p, n),
                 TaskMeta {
                     kind: OpKind::Forward,
@@ -84,7 +85,7 @@ pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
     for s in (0..p).rev() {
         for m in 0..n {
             let deps = if s == p - 1 {
-                vec![(fwd_id[s][m], 0.0)]
+                vec![(fwd_id[s][m], MicroSecs::ZERO)]
             } else {
                 vec![(bwd_id[s + 1][m], p2p)]
             };
@@ -93,7 +94,7 @@ pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
                 stages[s].time_b,
                 deps,
                 stages[s].buffer_bytes,
-                stages[s].buffer_bytes + stages[s].saved_bytes,
+                stages[s].buffer_bytes.saturating_add(stages[s].saved_bytes),
                 f1b_script_pos(OpKind::Backward, m, s, p, n),
                 TaskMeta {
                     kind: OpKind::Backward,
@@ -116,7 +117,7 @@ pub fn one_f_one_b(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
 ///
 /// Panics if `stages` is empty or `n == 0`.
 #[must_use]
-pub fn gpipe(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
+pub fn gpipe(stages: &[StageExec], n: usize, p2p: MicroSecs) -> TaskGraph {
     let p = stages.len();
     assert!(p > 0, "pipeline must have at least one stage");
     assert!(n > 0, "need at least one micro-batch");
@@ -135,7 +136,7 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
                 stages[s].time_f,
                 deps,
                 stages[s].saved_bytes,
-                0,
+                Bytes::ZERO,
                 m as u64,
                 TaskMeta {
                     kind: OpKind::Forward,
@@ -150,7 +151,7 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
     for s in (0..p).rev() {
         for m in (0..n).rev() {
             let deps = if s == p - 1 {
-                vec![(fwd_id[s][m], 0.0)]
+                vec![(fwd_id[s][m], MicroSecs::ZERO)]
             } else {
                 vec![(bwd_id[s + 1][m], p2p)]
             };
@@ -159,7 +160,7 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
                 stages[s].time_b,
                 deps,
                 stages[s].buffer_bytes,
-                stages[s].buffer_bytes + stages[s].saved_bytes,
+                stages[s].buffer_bytes.saturating_add(stages[s].saved_bytes),
                 (n + (n - 1 - m)) as u64,
                 TaskMeta {
                     kind: OpKind::Backward,
@@ -190,7 +191,12 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: f64) -> TaskGraph {
 /// Panics if `p` is odd or zero, or if `n` is not a positive multiple of
 /// `p`.
 #[must_use]
-pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool) -> TaskGraph {
+pub fn chimera(
+    stages: &[StageExec],
+    n: usize,
+    p2p: MicroSecs,
+    forward_doubling: bool,
+) -> TaskGraph {
     let p = stages.len();
     assert!(
         p > 0 && p.is_multiple_of(2),
@@ -263,7 +269,7 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
                 stages[s].time_f * scale,
                 deps,
                 stages[s].saved_bytes * ms.len() as u64,
-                0,
+                Bytes::ZERO,
                 fwd_prio(m0, s),
                 TaskMeta {
                     kind: OpKind::Forward,
@@ -281,7 +287,7 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
         for s in (0..p).rev() {
             let dev = device_of(dir, s);
             let deps = if s == p - 1 {
-                vec![(fwd_id[gi][s], 0.0)]
+                vec![(fwd_id[gi][s], MicroSecs::ZERO)]
             } else {
                 vec![(bwd_id[m][s + 1], p2p)]
             };
@@ -290,7 +296,7 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
                 stages[s].time_b,
                 deps,
                 stages[s].buffer_bytes,
-                stages[s].buffer_bytes + stages[s].saved_bytes,
+                stages[s].buffer_bytes.saturating_add(stages[s].saved_bytes),
                 bwd_prio(m, s),
                 TaskMeta {
                     kind: OpKind::Backward,
@@ -329,12 +335,12 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
             for u in 1..units {
                 for &task in &f_by[dev][u] {
                     for &dep in &f_by[dev][u - 1] {
-                        g.add_dep(task, dep, 0.0);
+                        g.add_dep(task, dep, MicroSecs::ZERO);
                     }
                 }
                 for &task in &b_by[dev][u] {
                     for &dep in &b_by[dev][u - 1] {
-                        g.add_dep(task, dep, 0.0);
+                        g.add_dep(task, dep, MicroSecs::ZERO);
                     }
                 }
             }
@@ -360,7 +366,7 @@ pub fn chimera(stages: &[StageExec], n: usize, p2p: f64, forward_doubling: bool)
 /// Panics if `devices` is zero, `chunks` is not a positive multiple of
 /// `devices`, or `n < devices`.
 #[must_use]
-pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: f64) -> TaskGraph {
+pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: MicroSecs) -> TaskGraph {
     let p = devices;
     assert!(p > 0, "need at least one device");
     let vp = chunks.len();
@@ -392,7 +398,7 @@ pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: f64) -> 
                 chunks[vs].time_f,
                 deps,
                 chunks[vs].saved_bytes,
-                0,
+                Bytes::ZERO,
                 fwd_prio(m, vs),
                 TaskMeta {
                     kind: OpKind::Forward,
@@ -407,7 +413,7 @@ pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: f64) -> 
     for vs in (0..vp).rev() {
         for m in 0..n {
             let deps = if vs == vp - 1 {
-                vec![(fwd_id[m][vs], 0.0)]
+                vec![(fwd_id[m][vs], MicroSecs::ZERO)]
             } else {
                 vec![(bwd_id[m][vs + 1], p2p)]
             };
@@ -416,7 +422,9 @@ pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: f64) -> 
                 chunks[vs].time_b,
                 deps,
                 chunks[vs].buffer_bytes,
-                chunks[vs].buffer_bytes + chunks[vs].saved_bytes,
+                chunks[vs]
+                    .buffer_bytes
+                    .saturating_add(chunks[vs].saved_bytes),
                 bwd_prio(m, vs),
                 TaskMeta {
                     kind: OpKind::Backward,
@@ -434,7 +442,7 @@ pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: f64) -> 
     for vs in 0..vp {
         let cap = vp - vs;
         for m in cap..n {
-            g.add_dep(fwd_id[m][vs], bwd_id[m - cap][vs], 0.0);
+            g.add_dep(fwd_id[m][vs], bwd_id[m - cap][vs], MicroSecs::ZERO);
         }
     }
     g
@@ -448,23 +456,26 @@ mod tests {
     fn balanced(p: usize, f: f64, b: f64, saved: u64, buffer: u64) -> Vec<StageExec> {
         vec![
             StageExec {
-                time_f: f,
-                time_b: b,
-                saved_bytes: saved,
-                buffer_bytes: buffer
+                time_f: MicroSecs::new(f),
+                time_b: MicroSecs::new(b),
+                saved_bytes: Bytes::new(saved),
+                buffer_bytes: Bytes::new(buffer)
             };
             p
         ]
     }
 
+    /// Zero transfer delay, for the closed-form comparisons.
+    const FREE: MicroSecs = MicroSecs::ZERO;
+
     #[test]
     fn f1b_matches_closed_form_balanced() {
         for (p, n) in [(2usize, 4usize), (4, 8), (8, 64), (4, 4)] {
-            let g = one_f_one_b(&balanced(p, 1.0, 2.0, 0, 0), n, 0.0);
+            let g = one_f_one_b(&balanced(p, 1.0, 2.0, 0, 0), n, FREE);
             let r = simulate(&g);
             let expect = (n + p - 1) as f64 * 3.0;
             assert!(
-                (r.makespan - expect).abs() < 1e-9,
+                (r.makespan.as_micros() - expect).abs() < 1e-9,
                 "p={p} n={n}: {}",
                 r.makespan
             );
@@ -474,10 +485,10 @@ mod tests {
     #[test]
     fn f1b_memory_peak_is_p_minus_s_activations() {
         let (p, n, saved, buffer) = (4usize, 12usize, 1000u64, 77u64);
-        let g = one_f_one_b(&balanced(p, 1.0, 2.0, saved, buffer), n, 0.0);
+        let g = one_f_one_b(&balanced(p, 1.0, 2.0, saved, buffer), n, FREE);
         let r = simulate(&g);
         for (s, dev) in r.devices.iter().enumerate() {
-            let expect = (p - s) as u64 * saved + buffer;
+            let expect = Bytes::new((p - s) as u64 * saved + buffer);
             assert_eq!(dev.peak_dynamic_bytes, expect, "stage {s}");
         }
     }
@@ -501,10 +512,10 @@ mod tests {
     #[test]
     fn gpipe_memory_peak_is_n_activations() {
         let (p, n, saved) = (3usize, 6usize, 500u64);
-        let g = gpipe(&balanced(p, 1.0, 2.0, saved, 33), n, 0.0);
+        let g = gpipe(&balanced(p, 1.0, 2.0, saved, 33), n, FREE);
         let r = simulate(&g);
         for dev in &r.devices {
-            assert_eq!(dev.peak_dynamic_bytes, n as u64 * saved + 33);
+            assert_eq!(dev.peak_dynamic_bytes, Bytes::new(n as u64 * saved + 33));
         }
     }
 
@@ -514,17 +525,21 @@ mod tests {
         // count (2(p−1) slots); 1F1B's win is memory.
         let (p, n) = (4usize, 16usize);
         let stages = balanced(p, 1.0, 2.0, 100, 0);
-        let rg = simulate(&gpipe(&stages, n, 0.0));
-        let rf = simulate(&one_f_one_b(&stages, n, 0.0));
-        assert!((rg.makespan - rf.makespan).abs() < 1e-9);
+        let rg = simulate(&gpipe(&stages, n, FREE));
+        let rf = simulate(&one_f_one_b(&stages, n, FREE));
+        assert!((rg.makespan - rf.makespan).abs() < MicroSecs::new(1e-9));
         assert!(rf.max_peak_dynamic_bytes() < rg.max_peak_dynamic_bytes());
     }
 
     #[test]
     fn f1b_p2p_delay_stretches_makespan() {
         let (p, n) = (4usize, 8usize);
-        let no = simulate(&one_f_one_b(&balanced(p, 1.0, 2.0, 0, 0), n, 0.0));
-        let with = simulate(&one_f_one_b(&balanced(p, 1.0, 2.0, 0, 0), n, 0.25));
+        let no = simulate(&one_f_one_b(&balanced(p, 1.0, 2.0, 0, 0), n, FREE));
+        let with = simulate(&one_f_one_b(
+            &balanced(p, 1.0, 2.0, 0, 0),
+            n,
+            MicroSecs::new(0.25),
+        ));
         assert!(with.makespan > no.makespan);
     }
 
@@ -532,21 +547,21 @@ mod tests {
     fn unbalanced_bottleneck_dominates_f1b() {
         let mut stages = balanced(4, 1.0, 2.0, 0, 0);
         stages[1] = StageExec {
-            time_f: 2.0,
-            time_b: 4.0,
-            saved_bytes: 0,
-            buffer_bytes: 0,
+            time_f: MicroSecs::new(2.0),
+            time_b: MicroSecs::new(4.0),
+            saved_bytes: Bytes::ZERO,
+            buffer_bytes: Bytes::ZERO,
         };
         let n = 32;
-        let r = simulate(&one_f_one_b(&stages, n, 0.0));
+        let r = simulate(&one_f_one_b(&stages, n, FREE));
         // Steady phase must run at the bottleneck micro-step (6.0).
-        assert!(r.makespan > (n - 4) as f64 * 6.0);
+        assert!(r.makespan > MicroSecs::new((n - 4) as f64 * 6.0));
     }
 
     #[test]
     fn chimera_runs_all_tasks_and_balances_directions() {
         let (p, n) = (4usize, 8usize);
-        let g = chimera(&balanced(p, 1.0, 2.0, 10, 1), n, 0.0, false);
+        let g = chimera(&balanced(p, 1.0, 2.0, 10, 1), n, FREE, false);
         let r = simulate(&g);
         assert_eq!(r.timeline.len(), 2 * n * p);
         let down = r.timeline.iter().filter(|e| e.meta.replica == 0).count();
@@ -559,8 +574,8 @@ mod tests {
         // avoids (§7.2 of the paper).
         let (p, n) = (4usize, 32usize);
         let stages = balanced(p, 1.0, 2.0, 0, 0);
-        let rc = simulate(&chimera(&stages, n, 0.0, false));
-        let rf = simulate(&one_f_one_b(&stages, n, 0.0));
+        let rc = simulate(&chimera(&stages, n, FREE, false));
+        let rf = simulate(&one_f_one_b(&stages, n, FREE));
         assert!(
             rc.makespan > rf.makespan,
             "chimera {} vs 1f1b {}",
@@ -573,8 +588,8 @@ mod tests {
     fn chimera_d_never_shrinks_memory_and_doubles_granularity() {
         let (p, n) = (4usize, 16usize);
         let stages = balanced(p, 1.0, 2.0, 1000, 0);
-        let rc = simulate(&chimera(&stages, n, 0.0, false));
-        let rd = simulate(&chimera(&stages, n, 0.0, true));
+        let rc = simulate(&chimera(&stages, n, FREE, false));
+        let rd = simulate(&chimera(&stages, n, FREE, true));
         assert!(rd.max_peak_dynamic_bytes() >= rc.max_peak_dynamic_bytes());
         // Every doubled forward allocates two micro-batches at once.
         let doubled = rd
@@ -591,8 +606,8 @@ mod tests {
         // directions' activations overlap there.
         let (p, n) = (8usize, 16usize);
         let stages = balanced(p, 1.0, 2.0, 1000, 0);
-        let r = simulate(&chimera(&stages, n, 0.0, false));
-        let peaks: Vec<u64> = r.devices.iter().map(|d| d.peak_dynamic_bytes).collect();
+        let r = simulate(&chimera(&stages, n, FREE, false));
+        let peaks: Vec<Bytes> = r.devices.iter().map(|d| d.peak_dynamic_bytes).collect();
         let mid = peaks[p / 2 - 1].max(peaks[p / 2]);
         assert!(mid >= peaks[0], "peaks {peaks:?}");
         assert!(mid >= peaks[p - 1], "peaks {peaks:?}");
@@ -606,8 +621,8 @@ mod tests {
         let plain = balanced(p, 1.0, 2.0, 0, 0);
         // Each of the 2p chunks is half a plain stage.
         let chunks = balanced(2 * p, 0.5, 1.0, 0, 0);
-        let r_plain = simulate(&one_f_one_b(&plain, n, 0.0));
-        let r_inter = simulate(&interleaved(&chunks, p, n, 0.0));
+        let r_plain = simulate(&one_f_one_b(&plain, n, FREE));
+        let r_inter = simulate(&interleaved(&chunks, p, n, FREE));
         assert!(
             r_inter.makespan < r_plain.makespan,
             "interleaved {} vs plain {}",
@@ -623,9 +638,9 @@ mod tests {
         let (p, n) = (4usize, 4usize);
         let plain = balanced(p, 1.0, 2.0, 0, 0);
         let chunks = balanced(2 * p, 0.5, 1.0, 0, 0);
-        let p2p = 0.4;
-        let gain_free = simulate(&one_f_one_b(&plain, n, 0.0)).makespan
-            - simulate(&interleaved(&chunks, p, n, 0.0)).makespan;
+        let p2p = MicroSecs::new(0.4);
+        let gain_free = simulate(&one_f_one_b(&plain, n, FREE)).makespan
+            - simulate(&interleaved(&chunks, p, n, FREE)).makespan;
         let gain_costly = simulate(&one_f_one_b(&plain, n, p2p)).makespan
             - simulate(&interleaved(&chunks, p, n, p2p)).makespan;
         assert!(gain_costly < gain_free, "{gain_costly} !< {gain_free}");
@@ -635,7 +650,7 @@ mod tests {
     fn interleaved_runs_every_task_once() {
         let (p, n, v) = (3usize, 6usize, 3usize);
         let chunks = balanced(v * p, 0.4, 0.8, 7, 1);
-        let r = simulate(&interleaved(&chunks, p, n, 0.01));
+        let r = simulate(&interleaved(&chunks, p, n, MicroSecs::new(0.01)));
         assert_eq!(r.timeline.len(), 2 * n * v * p);
         // Device d runs exactly its own virtual stages.
         for e in &r.timeline {
@@ -647,8 +662,8 @@ mod tests {
     fn interleaved_with_v1_matches_plain_1f1b_memory() {
         let (p, n) = (4usize, 8usize);
         let stages = balanced(p, 1.0, 2.0, 100, 3);
-        let plain = simulate(&one_f_one_b(&stages, n, 0.0));
-        let inter = simulate(&interleaved(&stages, p, n, 0.0));
+        let plain = simulate(&one_f_one_b(&stages, n, FREE));
+        let inter = simulate(&interleaved(&stages, p, n, FREE));
         // v = 1: same chunk-per-device layout; peaks must match 1F1B's
         // (p - s) law.
         for (s, (a, b)) in plain.devices.iter().zip(&inter.devices).enumerate() {
@@ -659,18 +674,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of devices")]
     fn interleaved_rejects_ragged_chunks() {
-        let _ = interleaved(&balanced(5, 1.0, 1.0, 0, 0), 2, 4, 0.0);
+        let _ = interleaved(&balanced(5, 1.0, 1.0, 0, 0), 2, 4, FREE);
     }
 
     #[test]
     #[should_panic(expected = "even stage count")]
     fn chimera_rejects_odd_p() {
-        let _ = chimera(&balanced(3, 1.0, 1.0, 0, 0), 6, 0.0, false);
+        let _ = chimera(&balanced(3, 1.0, 1.0, 0, 0), 6, FREE, false);
     }
 
     #[test]
     #[should_panic(expected = "multiple of p")]
     fn chimera_rejects_ragged_n() {
-        let _ = chimera(&balanced(4, 1.0, 1.0, 0, 0), 6, 0.0, false);
+        let _ = chimera(&balanced(4, 1.0, 1.0, 0, 0), 6, FREE, false);
     }
 }

@@ -1,3 +1,4 @@
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -37,14 +38,14 @@ pub struct TaskMeta {
 /// durations and activation footprint of one micro-batch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageExec {
-    /// Forward duration in seconds.
-    pub time_f: f64,
-    /// Backward duration in seconds (including recomputation).
-    pub time_b: f64,
-    /// Bytes of intermediates stored per in-flight micro-batch.
-    pub saved_bytes: u64,
-    /// Bytes of the recompute buffer live during a backward pass.
-    pub buffer_bytes: u64,
+    /// Forward duration.
+    pub time_f: MicroSecs,
+    /// Backward duration (including recomputation).
+    pub time_b: MicroSecs,
+    /// Intermediates stored per in-flight micro-batch.
+    pub saved_bytes: Bytes,
+    /// Recompute buffer live during a backward pass.
+    pub buffer_bytes: Bytes,
 }
 
 /// How devices choose their next task.
@@ -60,14 +61,14 @@ pub enum Discipline {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct Task {
     pub device: usize,
-    pub dur: f64,
+    pub dur: MicroSecs,
     /// `(task id, extra edge delay)` — the task may start only after
     /// every dependency has finished plus its edge delay (P2P transfer).
-    pub deps: Vec<(usize, f64)>,
-    /// Bytes acquired on the device when the task starts.
-    pub mem_acquire: u64,
-    /// Bytes released on the device when the task ends.
-    pub mem_release: u64,
+    pub deps: Vec<(usize, MicroSecs)>,
+    /// Memory acquired on the device when the task starts.
+    pub mem_acquire: Bytes,
+    /// Memory released on the device when the task ends.
+    pub mem_release: Bytes,
     /// Priority for [`Discipline::GreedyPriority`] (smaller runs first).
     pub priority: u64,
     pub meta: TaskMeta,
@@ -138,13 +139,13 @@ impl TaskGraph {
         self.tasks[task].device
     }
 
-    /// Duration of a task in seconds.
+    /// Duration of a task.
     ///
     /// # Panics
     ///
     /// Panics if `task` is out of range.
     #[must_use]
-    pub fn task_duration(&self, task: usize) -> f64 {
+    pub fn task_duration(&self, task: usize) -> MicroSecs {
         self.tasks[task].dur
     }
 
@@ -154,7 +155,7 @@ impl TaskGraph {
     ///
     /// Panics if `task` is out of range.
     #[must_use]
-    pub fn task_deps(&self, task: usize) -> &[(usize, f64)] {
+    pub fn task_deps(&self, task: usize) -> &[(usize, MicroSecs)] {
         &self.tasks[task].deps
     }
 
@@ -190,10 +191,10 @@ impl TaskGraph {
     pub fn push(
         &mut self,
         device: usize,
-        dur: f64,
-        deps: Vec<(usize, f64)>,
-        mem_acquire: u64,
-        mem_release: u64,
+        dur: MicroSecs,
+        deps: Vec<(usize, MicroSecs)>,
+        mem_acquire: Bytes,
+        mem_release: Bytes,
         priority: u64,
         meta: TaskMeta,
     ) -> usize {
@@ -221,7 +222,7 @@ impl TaskGraph {
     /// # Panics
     ///
     /// Panics if either id is out of range.
-    pub fn add_dep(&mut self, task: usize, dep: usize, delay: f64) {
+    pub fn add_dep(&mut self, task: usize, dep: usize, delay: MicroSecs) {
         assert!(
             task < self.tasks.len() && dep < self.tasks.len(),
             "task id out of range"
@@ -246,8 +247,24 @@ mod tests {
     #[test]
     fn push_assigns_sequential_ids() {
         let mut g = TaskGraph::new("t", 2, Discipline::FixedOrder);
-        let a = g.push(0, 1.0, vec![], 0, 0, 0, meta());
-        let b = g.push(1, 1.0, vec![(a, 0.0)], 0, 0, 1, meta());
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(),
+        );
+        let b = g.push(
+            1,
+            MicroSecs::new(1.0),
+            vec![(a, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            1,
+            meta(),
+        );
         assert_eq!((a, b), (0, 1));
         assert_eq!(g.len(), 2);
         assert!(!g.is_empty());
@@ -257,13 +274,29 @@ mod tests {
     #[should_panic(expected = "must precede")]
     fn forward_reference_panics() {
         let mut g = TaskGraph::new("t", 1, Discipline::FixedOrder);
-        let _ = g.push(0, 1.0, vec![(5, 0.0)], 0, 0, 0, meta());
+        let _ = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![(5, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(),
+        );
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_device_panics() {
         let mut g = TaskGraph::new("t", 1, Discipline::FixedOrder);
-        let _ = g.push(3, 1.0, vec![], 0, 0, 0, meta());
+        let _ = g.push(
+            3,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(),
+        );
     }
 }

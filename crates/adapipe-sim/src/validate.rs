@@ -5,6 +5,7 @@
 
 use crate::report::SimReport;
 use crate::task::OpKind;
+use adapipe_units::MicroSecs;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -18,7 +19,7 @@ pub enum ScheduleViolation {
         /// The device in question.
         device: usize,
         /// Start time of the second task.
-        at: f64,
+        at: MicroSecs,
     },
     /// A micro-batch ran backward before (or without) its forward on the
     /// same (stage, replica).
@@ -85,27 +86,28 @@ impl Error for ScheduleViolation {}
 /// Returns the first violation found.
 pub fn check(report: &SimReport, forwards_cover: usize) -> Result<(), ScheduleViolation> {
     // Per-device non-overlap (timeline is sorted by start).
-    let mut last_end: HashMap<usize, f64> = HashMap::new();
+    let eps = MicroSecs::new(1e-12);
+    let mut last_end: HashMap<usize, MicroSecs> = HashMap::new();
     for e in &report.timeline {
         if e.end <= e.start {
             return Err(ScheduleViolation::NonPositiveDuration { device: e.device });
         }
         if let Some(&end) = last_end.get(&e.device) {
-            if e.start < end - 1e-12 {
+            if e.start + eps < end {
                 return Err(ScheduleViolation::DeviceOverlap {
                     device: e.device,
                     at: e.start,
                 });
             }
         }
-        let slot = last_end.entry(e.device).or_insert(0.0);
+        let slot = last_end.entry(e.device).or_insert(MicroSecs::ZERO);
         *slot = slot.max(e.end);
     }
 
     // Backward-after-forward per (stage, replica, micro-batch). For
     // doubled forwards, micro-batches m..m+cover are covered by the
     // forward recorded at m.
-    let mut fwd_end: HashMap<(usize, usize, usize), f64> = HashMap::new();
+    let mut fwd_end: HashMap<(usize, usize, usize), MicroSecs> = HashMap::new();
     for e in &report.timeline {
         if e.meta.kind == OpKind::Forward {
             for covered in e.meta.micro_batch..e.meta.micro_batch + forwards_cover {
@@ -121,7 +123,7 @@ pub fn check(report: &SimReport, forwards_cover: usize) -> Result<(), ScheduleVi
                 counts.entry(e.meta.stage).or_default().1 += 1;
                 let key = (e.meta.stage, e.meta.replica, e.meta.micro_batch);
                 match fwd_end.get(&key) {
-                    Some(&end) if end <= e.start + 1e-12 => {}
+                    Some(&end) if end <= e.start + eps => {}
                     _ => {
                         return Err(ScheduleViolation::BackwardBeforeForward {
                             micro_batch: e.meta.micro_batch,
@@ -150,14 +152,15 @@ mod tests {
     use crate::engine::simulate;
     use crate::schedule;
     use crate::task::StageExec;
+    use adapipe_units::{Bytes, MicroSecs};
 
     fn stages(p: usize) -> Vec<StageExec> {
         vec![
             StageExec {
-                time_f: 1.0,
-                time_b: 2.0,
-                saved_bytes: 1,
-                buffer_bytes: 0
+                time_f: MicroSecs::new(1.0),
+                time_b: MicroSecs::new(2.0),
+                saved_bytes: Bytes::new(1),
+                buffer_bytes: Bytes::ZERO
             };
             p
         ]
@@ -167,17 +170,18 @@ mod tests {
     fn every_builtin_schedule_validates() {
         let (p, n) = (4usize, 8usize);
         let st = stages(p);
-        check(&simulate(&schedule::one_f_one_b(&st, n, 0.01)), 1).unwrap();
-        check(&simulate(&schedule::gpipe(&st, n, 0.01)), 1).unwrap();
-        check(&simulate(&schedule::chimera(&st, n, 0.01, false)), 1).unwrap();
-        check(&simulate(&schedule::chimera(&st, n, 0.01, true)), 2).unwrap();
+        let p2p = MicroSecs::new(0.01);
+        check(&simulate(&schedule::one_f_one_b(&st, n, p2p)), 1).unwrap();
+        check(&simulate(&schedule::gpipe(&st, n, p2p)), 1).unwrap();
+        check(&simulate(&schedule::chimera(&st, n, p2p, false)), 1).unwrap();
+        check(&simulate(&schedule::chimera(&st, n, p2p, true)), 2).unwrap();
         let chunks = stages(2 * p);
-        check(&simulate(&schedule::interleaved(&chunks, p, n, 0.01)), 1).unwrap();
+        check(&simulate(&schedule::interleaved(&chunks, p, n, p2p)), 1).unwrap();
     }
 
     #[test]
     fn detects_backward_before_forward() {
-        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, 0.0));
+        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, MicroSecs::ZERO));
         // Corrupt: move a backward before everything.
         let idx = report
             .timeline
@@ -188,8 +192,8 @@ mod tests {
         report.timeline.insert(
             0,
             crate::report::TimelineEntry {
-                start: -10.0,
-                end: -8.0,
+                start: MicroSecs::new(-10.0),
+                end: MicroSecs::new(-8.0),
                 ..entry
             },
         );
@@ -201,9 +205,9 @@ mod tests {
 
     #[test]
     fn detects_device_overlap() {
-        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, 0.0));
+        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, MicroSecs::ZERO));
         // Corrupt: stretch the first task over its successor.
-        report.timeline[0].end += 100.0;
+        report.timeline[0].end += MicroSecs::new(100.0);
         // Re-sorting is the caller's contract; keep order and stretch.
         assert!(matches!(
             check(&report, 1),
@@ -213,7 +217,7 @@ mod tests {
 
     #[test]
     fn detects_unbalanced_passes() {
-        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, 0.0));
+        let mut report = simulate(&schedule::one_f_one_b(&stages(2), 4, MicroSecs::ZERO));
         let idx = report
             .timeline
             .iter()

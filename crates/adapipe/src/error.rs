@@ -73,8 +73,8 @@ mod tests {
     #[test]
     fn strategy_error_maps_to_oom() {
         let e = PlanError::from(StrategyError::OutOfMemory {
-            required: 2,
-            budget: 1,
+            required: adapipe_units::Bytes::new(2),
+            budget: adapipe_units::Bytes::new(1),
         });
         assert!(matches!(e, PlanError::OutOfMemory { .. }));
     }

@@ -1,4 +1,5 @@
 use adapipe_sim::SimReport;
+use adapipe_units::{Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -29,12 +30,12 @@ impl fmt::Display for Throughput {
 /// the quantities the paper measures on hardware.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
-    /// Wall-clock time of one training iteration in seconds.
-    pub iteration_time: f64,
-    /// Per-device peak memory (static + dynamic) in bytes.
-    pub peak_bytes_per_device: Vec<u64>,
-    /// Device memory capacity in bytes.
-    pub capacity: u64,
+    /// Wall-clock time of one training iteration.
+    pub iteration_time: MicroSecs,
+    /// Per-device peak memory (static + dynamic).
+    pub peak_bytes_per_device: Vec<Bytes>,
+    /// Device memory capacity.
+    pub capacity: Bytes,
     /// Whether every device stayed within capacity. `false` is the
     /// paper's "OOM" verdict for a configuration.
     pub fits: bool,
@@ -50,7 +51,8 @@ impl Evaluation {
             .iter()
             .copied()
             .max()
-            .unwrap_or(0) as f64
+            .unwrap_or(Bytes::ZERO)
+            .as_f64()
             / 1e9
     }
 
@@ -68,16 +70,16 @@ impl fmt::Display for Evaluation {
             write!(
                 f,
                 "{:.3}s/iter, peak {:.1} GB (cap {:.1} GB)",
-                self.iteration_time,
+                self.iteration_time.as_secs(),
                 self.max_peak_gb(),
-                self.capacity as f64 / 1e9
+                self.capacity.as_f64() / 1e9
             )
         } else {
             write!(
                 f,
                 "OOM: peak {:.1} GB exceeds {:.1} GB",
                 self.max_peak_gb(),
-                self.capacity as f64 / 1e9
+                self.capacity.as_f64() / 1e9
             )
         }
     }
@@ -90,13 +92,13 @@ mod tests {
 
     fn eval(time: f64, fits: bool) -> Evaluation {
         Evaluation {
-            iteration_time: time,
-            peak_bytes_per_device: vec![10_000_000_000],
-            capacity: 80_000_000_000,
+            iteration_time: MicroSecs::from_secs(time),
+            peak_bytes_per_device: vec![Bytes::new(10_000_000_000)],
+            capacity: Bytes::new(80_000_000_000),
             fits,
             report: SimReport {
                 schedule: "test".into(),
-                makespan: time,
+                makespan: MicroSecs::from_secs(time),
                 devices: vec![],
                 timeline: vec![],
                 memory_timeline: vec![],

@@ -3,6 +3,7 @@ use adapipe_memory::StageMemory;
 use adapipe_model::{LayerRange, ParallelConfig, TrainConfig};
 use adapipe_partition::F1bBreakdown;
 use adapipe_recompute::{RecomputeStrategy, StageCost};
+use adapipe_units::MicroSecs;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -35,7 +36,7 @@ impl StagePlan {
 
     /// Micro-step time `F + B` of the stage (Figure 9).
     #[must_use]
-    pub fn micro_step(&self) -> f64 {
+    pub fn micro_step(&self) -> MicroSecs {
         self.cost.time_f + self.cost.time_b
     }
 }
@@ -63,7 +64,7 @@ pub struct Plan {
 impl Plan {
     /// Predicted iteration time from the analytic model, if available.
     #[must_use]
-    pub fn predicted_time(&self) -> Option<f64> {
+    pub fn predicted_time(&self) -> Option<MicroSecs> {
         self.predicted.map(|b| b.total())
     }
 
@@ -101,8 +102,8 @@ impl fmt::Display for Plan {
                 stage.range,
                 stage.layer_count(),
                 stage.saved_units(),
-                stage.cost.time_f * 1e3,
-                stage.cost.time_b * 1e3,
+                stage.cost.time_f.as_millis(),
+                stage.cost.time_b.as_millis(),
                 stage.memory,
             )?;
         }

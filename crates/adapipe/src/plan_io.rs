@@ -5,6 +5,21 @@
 //! The search engine and the execution engine of §6 are separate
 //! programs in practice; this format is the contract between them:
 //! search once, save the plan, execute it many times.
+//!
+//! # Versions and units
+//!
+//! * **v2** (current) — the header is followed by a `units` metadata
+//!   block declaring the dimensions of every quantity in the file
+//!   (`units.time = us`, `units.bytes = B`). Times are microseconds,
+//!   matching [`MicroSecs`]. A v2 file declaring any *other* unit is
+//!   rejected with [`PlanParseError::UnitMismatch`] (surfaced by
+//!   `adapipe verify` as the `unit-mismatch` diagnostic) rather than
+//!   silently reinterpreted — the whole point of carrying units in the
+//!   artifact.
+//! * **v1** (legacy) — no units block; times were plain seconds. Still
+//!   readable: [`from_text`] converts on load and
+//!   [`from_text_with_warnings`] reports the conversion so callers can
+//!   nudge users to re-save.
 
 use crate::method::Method;
 use crate::plan::{Plan, StagePlan};
@@ -12,6 +27,7 @@ use adapipe_memory::StageMemory;
 use adapipe_model::{LayerRange, ParallelConfig, TrainConfig};
 use adapipe_partition::F1bBreakdown;
 use adapipe_recompute::{RecomputeStrategy, StageCost};
+use adapipe_units::{Bytes, MicroSecs};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -36,6 +52,16 @@ pub enum PlanParseError {
     },
     /// The reconstructed plan is internally inconsistent.
     Inconsistent(String),
+    /// The file's `units` block contradicts the units this build stores
+    /// (`unit-mismatch` in the diagnostic catalog).
+    UnitMismatch {
+        /// The `units.*` key in question.
+        key: String,
+        /// The unit the file declares.
+        declared: String,
+        /// The unit this build expects.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for PlanParseError {
@@ -48,6 +74,15 @@ impl fmt::Display for PlanParseError {
                 write!(f, "bad value for `{key}`: `{value}`")
             }
             PlanParseError::Inconsistent(msg) => write!(f, "inconsistent plan: {msg}"),
+            PlanParseError::UnitMismatch {
+                key,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "unit-mismatch: `{key} = {declared}` contradicts this build's `{expected}` \
+                 (refusing to reinterpret quantities)"
+            ),
         }
     }
 }
@@ -68,10 +103,14 @@ impl FromStr for Method {
     }
 }
 
-/// Serializes `plan` to the text format.
+/// Serializes `plan` to the current (v2) text format: all times in
+/// microseconds, all sizes in bytes, declared up front in the `units`
+/// block.
 #[must_use]
 pub fn to_text(plan: &Plan) -> String {
-    let mut out = String::from("adapipe-plan v1\n");
+    let mut out = String::from("adapipe-plan v2\n");
+    let _ = writeln!(out, "units.time = {TIME_UNIT}");
+    let _ = writeln!(out, "units.bytes = {BYTES_UNIT}");
     let _ = writeln!(out, "method = {}", plan.method);
     let _ = writeln!(out, "tensor = {}", plan.parallel.tensor());
     let _ = writeln!(out, "pipeline = {}", plan.parallel.pipeline());
@@ -86,21 +125,28 @@ pub fn to_text(plan: &Plan) -> String {
         let _ = writeln!(
             out,
             "predicted = {:?} {:?} {:?} {:?}",
-            bd.warmup, bd.steady, bd.ending, bd.bottleneck
+            bd.warmup.as_micros(),
+            bd.steady.as_micros(),
+            bd.ending.as_micros(),
+            bd.bottleneck.as_micros()
         );
     }
     for (s, stage) in plan.stages.iter().enumerate() {
         let _ = writeln!(out, "stage = {s}");
         let _ = writeln!(out, "  layers = {} {}", stage.range.first, stage.range.last);
-        let _ = writeln!(out, "  time_f = {:?}", stage.cost.time_f);
-        let _ = writeln!(out, "  time_b = {:?}", stage.cost.time_b);
-        let _ = writeln!(out, "  saved_bytes = {}", stage.cost.saved_bytes_per_mb);
-        let _ = writeln!(out, "  static_bytes = {}", stage.memory.static_bytes);
-        let _ = writeln!(out, "  buffer_bytes = {}", stage.memory.buffer_bytes);
+        let _ = writeln!(out, "  time_f = {:?}", stage.cost.time_f.as_micros());
+        let _ = writeln!(out, "  time_b = {:?}", stage.cost.time_b.as_micros());
+        let _ = writeln!(
+            out,
+            "  saved_bytes = {}",
+            stage.cost.saved_bytes_per_mb.get()
+        );
+        let _ = writeln!(out, "  static_bytes = {}", stage.memory.static_bytes.get());
+        let _ = writeln!(out, "  buffer_bytes = {}", stage.memory.buffer_bytes.get());
         let _ = writeln!(
             out,
             "  intermediate_bytes = {}",
-            stage.memory.intermediate_bytes
+            stage.memory.intermediate_bytes.get()
         );
         let flags: String = stage
             .strategy
@@ -110,6 +156,30 @@ pub fn to_text(plan: &Plan) -> String {
         let _ = writeln!(out, "  saved = {flags}");
     }
     out
+}
+
+/// The time unit the current format stores: microseconds.
+pub const TIME_UNIT: &str = "us";
+/// The byte unit the current format stores: plain bytes.
+pub const BYTES_UNIT: &str = "B";
+
+/// File format versions [`from_text`] understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    /// Legacy: times in seconds, no units block.
+    V1,
+    /// Current: explicit units block, times in microseconds.
+    V2,
+}
+
+impl Version {
+    /// Converts a raw time value from the file into the in-memory unit.
+    fn time(self, raw: f64) -> MicroSecs {
+        match self {
+            Version::V1 => MicroSecs::from_secs(raw),
+            Version::V2 => MicroSecs::new(raw),
+        }
+    }
 }
 
 /// Key/value accumulator for one stage block.
@@ -126,7 +196,7 @@ struct StageFields {
 }
 
 impl StageFields {
-    fn build(self) -> Result<StagePlan, PlanParseError> {
+    fn build(self, version: Version) -> Result<StagePlan, PlanParseError> {
         let (first, last) = self.layers.ok_or(PlanParseError::Missing("layers"))?;
         if first > last {
             return Err(PlanParseError::Inconsistent(format!(
@@ -138,22 +208,26 @@ impl StageFields {
             range: LayerRange::new(first, last),
             strategy: RecomputeStrategy::from_raw_flags(flags),
             cost: StageCost {
-                time_f: self.time_f.ok_or(PlanParseError::Missing("time_f"))?,
-                time_b: self.time_b.ok_or(PlanParseError::Missing("time_b"))?,
-                saved_bytes_per_mb: self
-                    .saved_bytes
-                    .ok_or(PlanParseError::Missing("saved_bytes"))?,
+                time_f: version.time(self.time_f.ok_or(PlanParseError::Missing("time_f"))?),
+                time_b: version.time(self.time_b.ok_or(PlanParseError::Missing("time_b"))?),
+                saved_bytes_per_mb: Bytes::new(
+                    self.saved_bytes
+                        .ok_or(PlanParseError::Missing("saved_bytes"))?,
+                ),
             },
             memory: StageMemory {
-                static_bytes: self
-                    .static_bytes
-                    .ok_or(PlanParseError::Missing("static_bytes"))?,
-                buffer_bytes: self
-                    .buffer_bytes
-                    .ok_or(PlanParseError::Missing("buffer_bytes"))?,
-                intermediate_bytes: self
-                    .intermediate_bytes
-                    .ok_or(PlanParseError::Missing("intermediate_bytes"))?,
+                static_bytes: Bytes::new(
+                    self.static_bytes
+                        .ok_or(PlanParseError::Missing("static_bytes"))?,
+                ),
+                buffer_bytes: Bytes::new(
+                    self.buffer_bytes
+                        .ok_or(PlanParseError::Missing("buffer_bytes"))?,
+                ),
+                intermediate_bytes: Bytes::new(
+                    self.intermediate_bytes
+                        .ok_or(PlanParseError::Missing("intermediate_bytes"))?,
+                ),
             },
         })
     }
@@ -166,16 +240,37 @@ fn parse<T: FromStr>(key: &str, value: &str) -> Result<T, PlanParseError> {
     })
 }
 
-/// Parses a plan from the text format.
+/// Parses a plan from the text format (v2, or legacy v1 with silent
+/// second-to-microsecond conversion).
+///
+/// # Errors
+///
+/// Returns [`PlanParseError`] on malformed input.
+pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
+    from_text_with_warnings(text).map(|(plan, _)| plan)
+}
+
+/// [`from_text`], also reporting non-fatal findings: loading a legacy v1
+/// file yields a warning naming the unit conversion that was applied.
 ///
 /// # Errors
 ///
 /// Returns [`PlanParseError`] on malformed input.
 #[allow(clippy::too_many_lines)]
-pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
+pub fn from_text_with_warnings(text: &str) -> Result<(Plan, Vec<String>), PlanParseError> {
     let mut lines = text.lines();
-    if lines.next().map(str::trim) != Some("adapipe-plan v1") {
-        return Err(PlanParseError::BadHeader);
+    let version = match lines.next().map(str::trim) {
+        Some("adapipe-plan v2") => Version::V2,
+        Some("adapipe-plan v1") => Version::V1,
+        _ => return Err(PlanParseError::BadHeader),
+    };
+    let mut warnings = Vec::new();
+    if version == Version::V1 {
+        warnings.push(
+            "legacy v1 plan: times were stored in seconds and have been converted to \
+             microseconds; re-save the plan to upgrade it to v2"
+                .to_string(),
+        );
     }
 
     let mut method = None;
@@ -199,6 +294,23 @@ pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
         };
         let (key, value) = (key.trim(), value.trim());
         match key {
+            "units.time" | "units.bytes" => {
+                if version == Version::V1 {
+                    return Err(PlanParseError::BadLine(line.to_string()));
+                }
+                let expected = if key == "units.time" {
+                    TIME_UNIT
+                } else {
+                    BYTES_UNIT
+                };
+                if value != expected {
+                    return Err(PlanParseError::UnitMismatch {
+                        key: key.to_string(),
+                        declared: value.to_string(),
+                        expected,
+                    });
+                }
+            }
             "method" => method = Some(value.parse::<Method>()?),
             "tensor" => tensor = Some(parse::<usize>(key, value)?),
             "pipeline" => pipeline = Some(parse::<usize>(key, value)?),
@@ -216,10 +328,10 @@ pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
                     });
                 };
                 predicted = Some(F1bBreakdown {
-                    warmup: parse(key, warmup)?,
-                    steady: parse(key, steady)?,
-                    ending: parse(key, ending)?,
-                    bottleneck: parse(key, bottleneck)?,
+                    warmup: version.time(parse(key, warmup)?),
+                    steady: version.time(parse(key, steady)?),
+                    ending: version.time(parse(key, ending)?),
+                    bottleneck: version.time(parse(key, bottleneck)?),
                 });
             }
             "stage" => {
@@ -296,17 +408,18 @@ pub fn from_text(text: &str) -> Result<Plan, PlanParseError> {
             stages.len()
         )));
     }
-    Ok(Plan {
+    let plan = Plan {
         method,
         parallel,
         train,
         n_microbatches: n_microbatches.ok_or(PlanParseError::Missing("n_microbatches"))?,
         stages: stages
             .into_iter()
-            .map(StageFields::build)
+            .map(|f| f.build(version))
             .collect::<Result<_, _>>()?,
         predicted,
-    })
+    };
+    Ok((plan, warnings))
 }
 
 #[cfg(test)]
@@ -351,13 +464,81 @@ mod tests {
     fn rejects_garbage() {
         assert_eq!(from_text("hello"), Err(PlanParseError::BadHeader));
         assert!(matches!(
-            from_text("adapipe-plan v1\nmethod = AdaPipe\n"),
+            from_text("adapipe-plan v2\nmethod = AdaPipe\n"),
             Err(PlanParseError::Missing(_))
         ));
         assert!(matches!(
-            from_text("adapipe-plan v1\nwat\n"),
+            from_text("adapipe-plan v2\nwat\n"),
             Err(PlanParseError::BadLine(_))
         ));
+    }
+
+    #[test]
+    fn emits_v2_header_with_units_block() {
+        let text = to_text(&sample(Method::DappleFull));
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("adapipe-plan v2"));
+        assert_eq!(lines.next(), Some("units.time = us"));
+        assert_eq!(lines.next(), Some("units.bytes = B"));
+    }
+
+    #[test]
+    fn rejects_contradictory_units() {
+        let text =
+            to_text(&sample(Method::DappleFull)).replace("units.time = us", "units.time = ms");
+        let err = from_text(&text).unwrap_err();
+        assert!(matches!(err, PlanParseError::UnitMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("unit-mismatch"), "{err}");
+
+        let text =
+            to_text(&sample(Method::DappleFull)).replace("units.bytes = B", "units.bytes = KiB");
+        assert!(matches!(
+            from_text(&text),
+            Err(PlanParseError::UnitMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn loads_legacy_v1_seconds_with_a_warning() {
+        let plan = sample(Method::DappleFull);
+        // Re-encode the plan as a v1 artifact: seconds, no units block.
+        let mut v1 = String::from("adapipe-plan v1\n");
+        for line in to_text(&plan).lines().skip(3) {
+            if let Some(rest) = line.strip_prefix("  time_f = ") {
+                let us: f64 = rest.parse().unwrap();
+                v1.push_str(&format!("  time_f = {:?}\n", us * 1e-6));
+            } else if let Some(rest) = line.strip_prefix("  time_b = ") {
+                let us: f64 = rest.parse().unwrap();
+                v1.push_str(&format!("  time_b = {:?}\n", us * 1e-6));
+            } else if let Some(rest) = line.strip_prefix("predicted = ") {
+                let secs: Vec<String> = rest
+                    .split_whitespace()
+                    .map(|v| format!("{:?}", v.parse::<f64>().unwrap() * 1e-6))
+                    .collect();
+                v1.push_str(&format!("predicted = {}\n", secs.join(" ")));
+            } else {
+                v1.push_str(line);
+                v1.push('\n');
+            }
+        }
+        let (back, warnings) = from_text_with_warnings(&v1).unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("v1"), "{warnings:?}");
+        // Times survive the seconds round-trip to float precision.
+        for (a, b) in plan.stages.iter().zip(back.stages.iter()) {
+            let drift = (a.cost.time_f - b.cost.time_f).abs();
+            assert!(drift < MicroSecs::new(1e-9), "{a:?} vs {b:?}");
+        }
+        // And a v1 file must not carry a units block.
+        let bad = v1.replacen("adapipe-plan v1\n", "adapipe-plan v1\nunits.time = us\n", 1);
+        assert!(matches!(from_text(&bad), Err(PlanParseError::BadLine(_))));
+    }
+
+    #[test]
+    fn v2_parses_cleanly_without_warnings() {
+        let plan = sample(Method::DappleFull);
+        let (_, warnings) = from_text_with_warnings(&to_text(&plan)).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

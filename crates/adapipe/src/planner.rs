@@ -10,6 +10,7 @@ use adapipe_partition::{algorithm1, f1b_iteration_time, KnapsackCostProvider, St
 use adapipe_profiler::{ProfileTable, Profiler};
 use adapipe_recompute::{strategy, KnapsackConfig, RecomputeStrategy};
 use adapipe_sim::{schedule, simulate_traced, StageExec};
+use adapipe_units::{Bytes, Flops, FlopsPerSec};
 
 /// The AdaPipe search engine plus baseline planners and the evaluation
 /// harness (§6: "AdaPipe consists of a search engine and an execution
@@ -110,15 +111,15 @@ impl Planner {
         &self.cluster
     }
 
-    /// Usable device memory in bytes (capacity minus the device's
+    /// Usable device memory (capacity minus the device's
     /// driver/communication reservation).
     #[must_use]
-    pub fn capacity(&self) -> u64 {
+    pub fn capacity(&self) -> Bytes {
         self.cluster.device().usable_bytes()
     }
 
-    pub(crate) fn search_capacity(&self) -> u64 {
-        (self.capacity() as f64 * self.search_headroom) as u64
+    pub(crate) fn search_capacity(&self) -> Bytes {
+        Bytes::new((self.capacity().as_f64() * self.search_headroom) as u64)
     }
 
     pub(crate) fn knapsack_config(&self) -> KnapsackConfig {
@@ -368,10 +369,10 @@ impl Planner {
     pub fn throughput(&self, plan: &Plan, eval: &Evaluation) -> Throughput {
         let tokens = plan.train.tokens_per_iteration() as f64;
         let devices = plan.parallel.devices() as f64;
-        let useful_flops = 6.0 * self.model.total_params() as f64 * tokens;
-        let peak = devices * self.cluster.device().peak_flops();
+        let useful_flops = Flops::new(6.0 * self.model.total_params() as f64 * tokens);
+        let peak: FlopsPerSec = self.cluster.device().peak_flops() * devices;
         Throughput {
-            tokens_per_second: tokens / eval.iteration_time,
+            tokens_per_second: tokens / eval.iteration_time.as_secs(),
             mfu: useful_flops / (eval.iteration_time * peak),
         }
     }
@@ -458,18 +459,21 @@ impl Planner {
                 .stages
                 .iter()
                 .map(|st| {
-                    self.model.range_params(&ctx.seq, st.range) * self.model.dtype_bytes() as u64
-                        / plan.parallel.tensor() as u64
+                    Bytes::new(
+                        self.model.range_params(&ctx.seq, st.range)
+                            * self.model.dtype_bytes() as u64
+                            / plan.parallel.tensor() as u64,
+                    )
                 })
                 .max()
-                .unwrap_or(0);
+                .unwrap_or(Bytes::ZERO);
             report.makespan += self
                 .cluster
                 .grad_allreduce_time(grad_bytes, plan.parallel.data());
         }
 
         let capacity = self.capacity();
-        let peaks: Vec<u64> = report
+        let peaks: Vec<Bytes> = report
             .devices
             .iter()
             .enumerate()
@@ -478,17 +482,17 @@ impl Planner {
                 // hosts (one for plain pipelines, v for interleaved;
                 // Chimera's replica pair is already folded into each
                 // stage's static_bytes).
-                let static_bytes: u64 = plan
+                let static_bytes: Bytes = plan
                     .stages
                     .iter()
                     .enumerate()
                     .filter(|(vs, _)| vs % p == dev)
                     .map(|(_, st)| st.memory.static_bytes)
                     .sum();
-                static_bytes + d.peak_dynamic_bytes
+                static_bytes.saturating_add(d.peak_dynamic_bytes)
             })
             .collect();
-        let fits = peaks.iter().all(|&b| b <= capacity);
+        let fits = peaks.iter().all(|&b| b.fits(capacity));
         Evaluation {
             iteration_time: report.makespan,
             peak_bytes_per_device: peaks,
@@ -512,13 +516,14 @@ pub(crate) fn expected_static_bytes(
     method: Method,
     ranges: &[LayerRange],
     s: usize,
-) -> u64 {
+) -> Bytes {
     let range = ranges[s];
     if method.is_chimera() {
         let p = ranges.len();
         let (pg_a, opt_a) = ctx.mem.static_bytes_split(&ctx.seq, range);
         let (pg_b, opt_b) = ctx.mem.static_bytes_split(&ctx.seq, ranges[p - 1 - s]);
-        pg_a + pg_b + (opt_a + opt_b) / 2
+        pg_a.saturating_add(pg_b)
+            .saturating_add(opt_a.saturating_add(opt_b) / 2)
     } else {
         ctx.mem.static_bytes(&ctx.seq, range)
     }
@@ -529,6 +534,7 @@ mod tests {
     use super::*;
     use adapipe_hw::presets as hw;
     use adapipe_model::presets;
+    use adapipe_units::MicroSecs;
 
     fn small() -> Result<(Planner, ParallelConfig, TrainConfig), PlanError> {
         Ok((
@@ -572,8 +578,8 @@ mod tests {
         let even = planner.plan(Method::EvenPartitioning, parallel, train)?;
         for s in 0..4 {
             let b = even.stages[s].cost.time_b;
-            assert!(b <= full.stages[s].cost.time_b + 1e-12);
-            assert!(b >= none.stages[s].cost.time_b - 1e-12);
+            assert!(b <= full.stages[s].cost.time_b + MicroSecs::new(1e-6));
+            assert!(b >= none.stages[s].cost.time_b - MicroSecs::new(1e-6));
         }
         Ok(())
     }

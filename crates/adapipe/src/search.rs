@@ -7,6 +7,7 @@ use crate::evaluate::Evaluation;
 use crate::method::Method;
 use crate::planner::Planner;
 use adapipe_model::{ParallelConfig, TrainConfig};
+use adapipe_units::MicroSecs;
 use std::fmt;
 
 /// Outcome of one `(method, parallel strategy)` cell of Table 3.
@@ -14,14 +15,14 @@ use std::fmt;
 pub struct StrategyOutcome {
     /// The parallel strategy evaluated.
     pub parallel: ParallelConfig,
-    /// Iteration time in seconds, or the reason the cell is empty.
+    /// The evaluation, or the reason the cell is empty.
     pub result: Result<Evaluation, PlanError>,
 }
 
 impl StrategyOutcome {
     /// Iteration time if the strategy both planned and fit in memory.
     #[must_use]
-    pub fn time(&self) -> Option<f64> {
+    pub fn time(&self) -> Option<MicroSecs> {
         match &self.result {
             Ok(e) if e.fits => Some(e.iteration_time),
             _ => None,
@@ -32,7 +33,7 @@ impl StrategyOutcome {
 impl fmt::Display for StrategyOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.time() {
-            Some(t) => write!(f, "{} {t:.3}s", self.parallel),
+            Some(t) => write!(f, "{} {:.3}s", self.parallel, t.as_secs()),
             None => write!(f, "{} OOM", self.parallel),
         }
     }
@@ -71,11 +72,7 @@ pub fn best_outcome(outcomes: &[StrategyOutcome]) -> Option<&StrategyOutcome> {
     outcomes
         .iter()
         .filter(|o| o.time().is_some())
-        .min_by(|a, b| {
-            a.time()
-                .unwrap_or(f64::INFINITY)
-                .total_cmp(&b.time().unwrap_or(f64::INFINITY))
-        })
+        .min_by_key(|o| adapipe_units::Cost::of(o.time().unwrap_or(MicroSecs::new(f64::INFINITY))))
 }
 
 #[cfg(test)]

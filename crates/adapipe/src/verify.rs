@@ -192,8 +192,8 @@ impl Planner {
             let fresh = raw.stage_times(s, r);
             let agree = match (first, fresh) {
                 (Some(a), Some(b)) => {
-                    adapipe_check::approx_eq(a.f, b.f, tol)
-                        && adapipe_check::approx_eq(a.b, b.b, tol)
+                    adapipe_check::approx_eq(a.f.as_micros(), b.f.as_micros(), tol)
+                        && adapipe_check::approx_eq(a.b.as_micros(), b.b.as_micros(), tol)
                 }
                 (None, None) => true,
                 _ => false,

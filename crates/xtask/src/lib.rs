@@ -1,0 +1,11 @@
+//! `xtask` library surface: the source-level lint pass.
+//!
+//! Exposed as a library so the fixture-based self-tests in `tests/`
+//! can drive individual rules against deliberately-violating source
+//! files (see `tests/fixtures/`); the `xtask` binary in `main.rs` is a
+//! thin CLI over [`lint::run`].
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod source;

@@ -13,6 +13,12 @@
 //! | `float-eq`     | `==` / `!=` on floating-point cost/time expressions      |
 //! | `traced-pair`  | a public `*_traced` fn with no non-traced twin           |
 //! | `unsafe-header`| a library crate missing `#![forbid(unsafe_code)]`        |
+//! | `raw-quantity-in-api` | a bare `f64`/`u64` time/byte/flops parameter in a |
+//! |                | public signature of a core cost crate — use an           |
+//! |                | `adapipe-units` newtype                                  |
+//! | `index-confusion` | raw `.0`/tuple-constructor access to the index        |
+//! |                | newtypes outside the designated `::new()`/`.get()`       |
+//! |                | conversion helpers                                       |
 //!
 //! Any rule can be waived at a site with `// lint: allow(rule): reason`
 //! (covers that line and the next) or for a whole file with
@@ -56,6 +62,11 @@ pub fn run(root: &Path) -> Vec<Violation> {
         if let Ok(text) = std::fs::read_to_string(&lib_rs) {
             check_unsafe_header(&rel(root, &lib_rs), &text, &mut violations);
         }
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
         for path in crate_sources(&crate_dir) {
             let Ok(text) = std::fs::read_to_string(&path) else {
                 continue;
@@ -66,6 +77,10 @@ pub fn run(root: &Path) -> Vec<Violation> {
             if kind == CrateKind::Library {
                 check_panic_freedom(&file, &mut violations);
                 check_float_eq(&file, &mut violations);
+                check_index_confusion(&file, &mut violations);
+                if COST_CRATES.contains(&crate_name.as_str()) {
+                    check_raw_quantities(&file, &mut violations);
+                }
             }
         }
     }
@@ -86,10 +101,27 @@ const RULES: &[&str] = &[
     "float-eq",
     "traced-pair",
     "unsafe-header",
+    "raw-quantity-in-api",
+    "index-confusion",
+];
+
+/// The crates whose public APIs must speak `adapipe-units` newtypes.
+/// `adapipe-units` itself is exempt: it defines the raw-value
+/// constructors (`MicroSecs::new(f64)` and friends) everything else
+/// converts through.
+const COST_CRATES: &[&str] = &[
+    "adapipe",
+    "adapipe-hw",
+    "adapipe-profiler",
+    "adapipe-memory",
+    "adapipe-recompute",
+    "adapipe-partition",
+    "adapipe-sim",
+    "adapipe-check",
 ];
 
 /// A waiver must name real rules and carry a justification.
-fn check_waiver_reasons(file: &SourceFile, out: &mut Vec<Violation>) {
+pub fn check_waiver_reasons(file: &SourceFile, out: &mut Vec<Violation>) {
     for w in &file.waivers {
         for rule in &w.rules {
             if !RULES.contains(&rule.as_str()) {
@@ -114,7 +146,7 @@ fn check_waiver_reasons(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 /// `#![forbid(unsafe_code)]` must appear in every library crate root.
-fn check_unsafe_header(path: &Path, lib_rs: &str, out: &mut Vec<Violation>) {
+pub fn check_unsafe_header(path: &Path, lib_rs: &str, out: &mut Vec<Violation>) {
     let has = lib_rs
         .lines()
         .any(|l| l.trim().replace(' ', "") == "#![forbid(unsafe_code)]");
@@ -130,7 +162,7 @@ fn check_unsafe_header(path: &Path, lib_rs: &str, out: &mut Vec<Violation>) {
 
 /// `.unwrap()`, `.expect(`, `panic!`/`todo!`/`unimplemented!`, and
 /// integer-literal indexing in non-test library code.
-fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
+pub fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
     for (i, line) in file.lines.iter().enumerate() {
         if file.test_lines[i] {
             continue;
@@ -213,7 +245,7 @@ fn literal_index_sites(line: &str) -> Vec<usize> {
 /// that names a time/cost quantity. Exact float comparison is almost
 /// always a bug in cost code — use `approx_eq` or compare bit patterns
 /// deliberately (and waive with a reason).
-fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
+pub fn check_float_eq(file: &SourceFile, out: &mut Vec<Violation>) {
     const FLOAT_FIELDS: &[&str] = &[
         ".time",
         ".time_f",
@@ -294,11 +326,167 @@ fn is_float_literal(token: &str) -> bool {
             .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
 }
 
+/// Parameter names that denote a physical quantity: a bare `f64`/`u64`
+/// under one of these names in a public cost-crate signature is almost
+/// certainly a unit bug waiting to happen (seconds vs microseconds,
+/// bytes vs MiB). The fix is an `adapipe-units` newtype; deliberate
+/// raw-scalar APIs carry a justified waiver.
+const QUANTITY_HINTS: &[&str] = &[
+    "time",
+    "secs",
+    "micros",
+    "millis",
+    "latency",
+    "duration",
+    "makespan",
+    "overhead",
+    "p2p",
+    "bytes",
+    "capacity",
+    "budget",
+    "flops",
+    "bandwidth",
+];
+
+/// `raw-quantity-in-api`: public fns in the core cost crates must not
+/// take bare `f64`/`u64` parameters whose names say they are times,
+/// byte counts, FLOP counts or rates — those travel as `adapipe-units`
+/// newtypes so a unit mix-up is a compile error.
+pub fn check_raw_quantities(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (line, name, raw) in public_fns(file) {
+        if file.is_waived("raw-quantity-in-api", line) {
+            continue;
+        }
+        for (pname, ptype) in param_decls(&raw) {
+            if !matches!(ptype.as_str(), "f64" | "u64" | "f32" | "u32") {
+                continue;
+            }
+            let lname = pname.to_lowercase();
+            if QUANTITY_HINTS.iter().any(|h| lname.contains(h)) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: line + 1,
+                    rule: "raw-quantity-in-api",
+                    message: format!(
+                        "public fn `{name}` takes quantity parameter `{pname}: {ptype}` — \
+                         use an adapipe-units newtype (MicroSecs/Bytes/Flops/BytesPerSec/\
+                         FlopsPerSec)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `index-confusion`: the `LayerIdx`/`StageIdx`/`MicrobatchIdx` spaces
+/// convert only through the designated helpers (`::new()`, `.get()`,
+/// `From<usize>`). Raw tuple construction (`LayerIdx(i)`) and raw field
+/// extraction (`some_idx.0`) bypass them and make it easy to do
+/// arithmetic that silently crosses index spaces.
+pub fn check_index_confusion(file: &SourceFile, out: &mut Vec<Violation>) {
+    const IDX_TYPES: &[&str] = &["LayerIdx", "StageIdx", "MicrobatchIdx"];
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("index-confusion", i) {
+            continue;
+        }
+        let chars: Vec<char> = line.chars().collect();
+        for t in IDX_TYPES {
+            for (pos, _) in line.match_indices(&format!("{t}(")) {
+                // A longer identifier (`MyLayerIdx(`) is not this type.
+                if !ident_before(&chars, char_index(line, pos)) {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: i + 1,
+                        rule: "index-confusion",
+                        message: format!(
+                            "raw `{t}(..)` construction — use `{t}::new(..)` (or `.get()` to \
+                             leave the index space)"
+                        ),
+                    });
+                }
+            }
+        }
+        for (pos, _) in line.match_indices(".0") {
+            // Exclude longer numeric tokens: `.05`, `1.0`, `.0f64`, `x.0.1`.
+            let after = line[pos + 2..].chars().next();
+            if after.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                continue;
+            }
+            let lhs = last_token(&line[..pos]);
+            if lhs.to_lowercase().ends_with("idx") {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    rule: "index-confusion",
+                    message: format!(
+                        "raw `.0` extraction from index `{lhs}` — use `.get()`",
+                        lhs = lhs.trim()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Maps a byte offset in `line` to the index of that char in the
+/// line's char vector (the masked source is ASCII-dominated, but doc
+/// prose can hold multi-byte chars).
+fn char_index(line: &str, byte_pos: usize) -> usize {
+    line[..byte_pos].chars().count()
+}
+
+/// Splits a parameter list on top-level commas into `(name, type)`
+/// pairs; receivers (`self` in any flavour) are skipped and the type is
+/// whitespace-normalised like [`param_types`].
+fn param_decls(raw: &str) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut current = String::new();
+    for c in raw.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                params.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        params.push(current);
+    }
+    params
+        .into_iter()
+        .filter_map(|p| {
+            let p = p.trim().to_string();
+            let mut depth = 0i64;
+            for (i, c) in p.char_indices() {
+                match c {
+                    '<' | '(' | '[' => depth += 1,
+                    '>' | ')' | ']' => depth -= 1,
+                    ':' if depth == 0 => {
+                        let name = p[..i].trim().trim_start_matches("mut ").trim().to_string();
+                        let ty = p[i + 1..].split_whitespace().collect::<String>();
+                        return (name != "self").then_some((name, ty));
+                    }
+                    _ => {}
+                }
+            }
+            None // receiver or malformed — nothing to check
+        })
+        .collect()
+}
+
 /// Every `pub fn *_traced(...)` must have a non-traced twin in the same
 /// file whose parameter types equal the traced signature's minus any
 /// `Recorder` parameters — keeping the traced API a strict superset.
-fn check_traced_pairs(file: &SourceFile, out: &mut Vec<Violation>) {
-    let fns = public_fns(file);
+pub fn check_traced_pairs(file: &SourceFile, out: &mut Vec<Violation>) {
+    let fns: Vec<(usize, String, Vec<String>)> = public_fns(file)
+        .into_iter()
+        .map(|(line, name, raw)| (line, name, param_types(&raw)))
+        .collect();
     for (line, name, params) in &fns {
         let Some(base) = name.strip_suffix("_traced") else {
             continue;
@@ -326,10 +514,11 @@ fn check_traced_pairs(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// Extracts `(0-based line, name, param types)` for each public fn in
-/// non-test code. Parameter *types* only — names are stripped so twins
-/// can rename arguments.
-fn public_fns(file: &SourceFile) -> Vec<(usize, String, Vec<String>)> {
+/// Extracts `(0-based line, name, raw parameter list)` for each public
+/// fn in non-test code. Callers split the raw list with
+/// [`param_types`] (types only, so twins can rename arguments) or
+/// [`param_decls`] (name/type pairs).
+fn public_fns(file: &SourceFile) -> Vec<(usize, String, String)> {
     let mut out = Vec::new();
     let text = &file.masked;
     let mut line = 0usize;
@@ -394,7 +583,7 @@ fn public_fns(file: &SourceFile) -> Vec<(usize, String, Vec<String>)> {
                 }
                 let raw: String = bytes[params_start..k.saturating_sub(1)].iter().collect();
                 if !file.test_lines.get(line).copied().unwrap_or(false) && !name.is_empty() {
-                    out.push((line, name, param_types(&raw)));
+                    out.push((line, name, raw));
                 }
                 // Count newlines we skipped over.
                 line += bytes[i..k].iter().filter(|&&c| c == '\n').count();
@@ -584,6 +773,75 @@ mod tests {
         assert!(v.is_empty());
         check_unsafe_header(Path::new("a/lib.rs"), "pub fn f() {}\n", &mut v);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn raw_quantity_flags_bare_scalar_params() {
+        let f = file(
+            "pub fn with_latency(latency: f64) {}\n\
+             pub fn stage_count(n: usize) {}\n\
+             pub fn with_budget(budget: Bytes) {}\n",
+        );
+        let mut v = Vec::new();
+        check_raw_quantities(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(v[0].rule, "raw-quantity-in-api");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn raw_quantity_waiver_suppresses() {
+        let f = file(
+            "// lint: allow(raw-quantity-in-api): wire format is raw microseconds\n\
+             pub fn push_raw(time_us: f64) {}\n",
+        );
+        let mut v = Vec::new();
+        check_raw_quantities(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn index_confusion_flags_raw_construction_and_extraction() {
+        let f = file(
+            "fn a() { let x = LayerIdx(3); }\n\
+             fn b(layer_idx: LayerIdx) -> usize { layer_idx.0 + 1 }\n\
+             fn c() { let ok = StageIdx::new(2).get(); }\n\
+             fn d() { let f = 1.0; let tup = pair.0; }\n",
+        );
+        let mut v = Vec::new();
+        check_index_confusion(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert!(v.iter().all(|v| v.rule == "index-confusion"));
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn index_confusion_waiver_suppresses() {
+        let f = file(
+            "// lint: allow(index-confusion): serializing the raw index\n\
+             fn a(layer_idx: LayerIdx) -> usize { layer_idx.0 }\n",
+        );
+        let mut v = Vec::new();
+        check_index_confusion(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! stays dependency-free and fast, at the cost of only catching the
 //! idioms it was written for.
 
-mod lint;
-mod source;
+use xtask::lint;
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -1,0 +1,4 @@
+pub fn read(x: Option<usize>) -> usize {
+    // lint: allow(expect): invariant upheld by the constructor
+    x.expect("present")
+}

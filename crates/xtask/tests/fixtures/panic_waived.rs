@@ -1,0 +1,6 @@
+pub fn run(flag: bool) {
+    if flag {
+        // lint: allow(panic): unreachable by construction
+        panic!("boom");
+    }
+}

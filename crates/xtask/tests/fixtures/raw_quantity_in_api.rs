@@ -1,0 +1,3 @@
+pub fn matmul_time(flops: f64, bytes: u64) -> f64 {
+    flops + bytes as f64
+}

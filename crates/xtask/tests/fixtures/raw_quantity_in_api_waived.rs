@@ -1,0 +1,4 @@
+// lint: allow(raw-quantity-in-api): FFI boundary speaks raw microseconds
+pub fn matmul_time(flops: f64, bytes: u64) -> f64 {
+    flops + bytes as f64
+}

@@ -1,0 +1,4 @@
+pub fn solve_traced(x: usize, rec: &Recorder) -> f64 {
+    let _ = (x, rec);
+    0.0
+}

@@ -1,0 +1,5 @@
+// lint: allow(traced-pair): the plain variant lives in a sibling module
+pub fn solve_traced(x: usize, rec: &Recorder) -> f64 {
+    let _ = (x, rec);
+    0.0
+}

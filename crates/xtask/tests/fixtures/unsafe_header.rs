@@ -1,0 +1,3 @@
+//! A library crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn f() {}

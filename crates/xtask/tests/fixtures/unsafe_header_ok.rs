@@ -1,0 +1,4 @@
+//! A compliant library crate root.
+#![forbid(unsafe_code)]
+
+pub fn f() {}

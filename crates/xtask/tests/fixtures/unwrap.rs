@@ -1,0 +1,3 @@
+pub fn read(x: Option<usize>) -> usize {
+    x.unwrap()
+}

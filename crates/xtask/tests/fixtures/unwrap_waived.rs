@@ -1,0 +1,4 @@
+pub fn read(x: Option<usize>) -> usize {
+    // lint: allow(unwrap): length checked by the caller
+    x.unwrap()
+}

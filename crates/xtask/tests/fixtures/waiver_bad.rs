@@ -1,0 +1,2 @@
+// lint: allow(frobnicate)
+pub fn f() {}

@@ -17,6 +17,7 @@ use adapipe_memory::{MemoryModel, OptimizerSpec};
 use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
 use adapipe_partition::{algorithm1, KnapsackCostProvider};
 use adapipe_profiler::{ProfileTable, Profiler, UnitProfile};
+use adapipe_units::{Bytes, MicroSecs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = presets::gpt3_175b();
@@ -27,9 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pretend these came from timestamping a real run: quantize to 10 µs
     // timer ticks and add a deterministic per-unit bias.
     let analytic = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
-    let quantize = |t: f64, salt: usize| {
+    let quantize = |t: MicroSecs, salt: usize| {
         let jitter = 1.0 + 0.01 * ((salt % 7) as f64 - 3.0) / 3.0;
-        ((t * jitter) / 1e-5).round() * 1e-5
+        MicroSecs::new(((t * jitter).as_micros() / 10.0).round() * 10.0)
     };
     let per_layer: Vec<Vec<UnitProfile>> = (0..analytic.num_layers())
         .map(|l| {
@@ -49,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The identical downstream pipeline, fed measurements.
     let mem = MemoryModel::new(model.clone(), parallel, OptimizerSpec::adam_fp32());
-    let capacity = (hw::a100_80gb().usable_bytes() as f64 * 0.875) as u64;
+    let capacity = Bytes::new((hw::a100_80gb().usable_bytes().as_f64() * 0.875) as u64);
     let provider = KnapsackCostProvider::new(&seq, &measured, &mem, capacity);
     let plan = algorithm1::solve(&provider, seq.len(), parallel.pipeline(), 32)
         .ok_or("no feasible plan")?;

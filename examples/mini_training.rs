@@ -11,6 +11,7 @@ use adapipe::{Method, Planner};
 use adapipe_hw::{ClusterSpec, DeviceSpec, LinkSpec};
 use adapipe_model::{ParallelConfig, TrainConfig};
 use adapipe_train::{train, TrainerConfig};
+use adapipe_units::{Bytes, BytesPerSec, FlopsPerSec, MicroSecs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The miniature model the training engine runs.
@@ -31,17 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut plan = None;
     for capacity in (32..=256u64).rev().map(|k| k * 1024) {
         let device = DeviceSpec::builder("toy-accelerator")
-            .mem_bytes(capacity)
-            .peak_flops(1e12)
-            .hbm_bandwidth(1e11)
+            .mem_bytes(Bytes::new(capacity))
+            .peak_flops(FlopsPerSec::new(1e12))
+            .hbm_bandwidth(BytesPerSec::new(1e11))
             .build();
         let cluster = ClusterSpec::new(
             "toy-cluster",
             device,
             2,
             1,
-            LinkSpec::new(1e10, 1e-6),
-            LinkSpec::new(1e9, 1e-5),
+            LinkSpec::new(BytesPerSec::new(1e10), MicroSecs::new(1.0)),
+            LinkSpec::new(BytesPerSec::new(1e9), MicroSecs::new(10.0)),
         );
         let planner = Planner::new(spec.clone(), cluster);
         let Ok(candidate) = planner.plan(Method::AdaPipe, parallel, train_cfg) else {

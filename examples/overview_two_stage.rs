@@ -14,6 +14,7 @@
 use adapipe::{Method, Planner};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_units::MicroSecs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A memory-tight scenario so the recomputation trade-off is real:
@@ -24,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel = ParallelConfig::new(8, 2, 8)?;
     let train = TrainConfig::new(1, 8192, 256)?;
 
-    let mut prev: Option<f64> = None;
+    let mut prev: Option<MicroSecs> = None;
     for (step, method, label) in [
         (1, Method::DappleFull, "full recomputation for all stages"),
         (
@@ -43,17 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 stage.layer_count(),
                 stage.saved_units(),
                 stage.strategy.len(),
-                stage.cost.time_f * 1e3,
-                stage.cost.time_b * 1e3,
+                stage.cost.time_f.as_millis(),
+                stage.cost.time_b.as_millis(),
             );
         }
         let delta = prev.map_or(String::new(), |p| {
             format!(
                 "  ({:+.1}% vs previous step)",
-                100.0 * (eval.iteration_time - p) / p
+                100.0 * ((eval.iteration_time - p) / p)
             )
         });
-        println!("  iteration: {:.3}s{delta}\n", eval.iteration_time);
+        println!(
+            "  iteration: {:.3}s{delta}\n",
+            eval.iteration_time.as_secs()
+        );
         prev = Some(eval.iteration_time);
     }
     println!(

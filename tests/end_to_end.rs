@@ -4,6 +4,7 @@
 use adapipe::{Method, PlanError, Planner};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
+use adapipe_units::MicroSecs;
 
 fn small_planner() -> (Planner, ParallelConfig, TrainConfig) {
     (
@@ -21,7 +22,7 @@ fn every_method_plans_or_reports_a_reason() {
             Ok(plan) => {
                 assert_eq!(plan.stages.len(), 4 * method.virtual_chunks(), "{method}");
                 let eval = planner.evaluate(&plan);
-                assert!(eval.iteration_time > 0.0, "{method}");
+                assert!(eval.iteration_time > MicroSecs::ZERO, "{method}");
                 assert_eq!(eval.peak_bytes_per_device.len(), 4, "{method}");
             }
             Err(e) => panic!("{method} failed on a loose configuration: {e}"),
@@ -108,7 +109,10 @@ fn simulated_time_matches_analytic_model_within_p2p_slack() {
             eval.iteration_time
         );
         // The simulator includes P2P transfers, so it is never faster.
-        assert!(eval.iteration_time >= analytic - 1e-9, "{method}");
+        assert!(
+            eval.iteration_time >= analytic - MicroSecs::new(1e-9),
+            "{method}"
+        );
     }
 }
 

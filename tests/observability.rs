@@ -8,8 +8,9 @@ use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
 use adapipe_obs::json::{parse, Value};
 use adapipe_obs::{report, trace};
+use adapipe_units::MicroSecs;
 
-fn planned_recorder() -> (Recorder, f64) {
+fn planned_recorder() -> (Recorder, MicroSecs) {
     let rec = Recorder::new();
     let planner = Planner::new(presets::gpt2_small(), hw::cluster_a()).with_recorder(rec.clone());
     let parallel = ParallelConfig::new(2, 4, 1).unwrap();
@@ -28,7 +29,7 @@ fn recorder_does_not_change_the_plan() {
     let plan = planner.plan(Method::AdaPipe, parallel, train).unwrap();
     let plain_time = planner.evaluate(&plan).iteration_time;
     assert!(
-        (traced_time - plain_time).abs() < 1e-12,
+        (traced_time - plain_time).abs() < MicroSecs::new(1e-12),
         "traced {traced_time} vs plain {plain_time}"
     );
 }

@@ -5,6 +5,7 @@
 use adapipe::{Method, Planner};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_units::{Bytes, MicroSecs};
 
 /// The Table 4 / Figure 8 / Figure 9 configuration.
 fn table4_setup() -> (Planner, ParallelConfig, TrainConfig) {
@@ -21,7 +22,7 @@ fn figure1_memory_imbalance_shape() {
     let parallel = ParallelConfig::new(8, 8, 1).expect("valid");
     let capacity = planner.capacity();
 
-    let peaks = |seq: usize, gbs: usize, method: Method| -> Vec<u64> {
+    let peaks = |seq: usize, gbs: usize, method: Method| -> Vec<Bytes> {
         let train = TrainConfig::new(1, seq, gbs).expect("valid");
         let plan = planner.plan(method, parallel, train).expect("plans");
         planner.evaluate(&plan).peak_bytes_per_device
@@ -35,13 +36,20 @@ fn figure1_memory_imbalance_shape() {
             assert!(w[0] > w[1], "seq {seq}: {non:?}");
         }
         // Imbalance: stage 0 uses much more than the last stage.
-        assert!(non[0] as f64 / non[7] as f64 > 1.2, "seq {seq}: {non:?}");
+        assert!(
+            non[0].as_f64() / non[7].as_f64() > 1.2,
+            "seq {seq}: {non:?}"
+        );
         // Full recomputation is much flatter and far lower everywhere.
         let full = peaks(seq, gbs, Method::DappleFull);
         for (a, b) in non.iter().zip(&full) {
             assert!(a > b, "seq {seq}");
         }
-        let spread = full[1..7].iter().max().unwrap() - full[1..7].iter().min().unwrap();
+        let spread = full[1..7]
+            .iter()
+            .max()
+            .unwrap()
+            .saturating_sub(*full[1..7].iter().min().unwrap());
         assert!(
             spread < capacity / 10,
             "full recompute should be nearly flat"
@@ -91,9 +99,12 @@ fn figure9_microstep_flattening() {
     let (planner, parallel, train) = table4_setup();
     let spread = |m| {
         let plan = planner.plan(m, parallel, train).expect("plans");
-        let steps: Vec<f64> = plan.stages.iter().map(|s| s.micro_step()).collect();
-        steps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            / steps.iter().copied().fold(f64::INFINITY, f64::min)
+        let steps: Vec<MicroSecs> = plan.stages.iter().map(|s| s.micro_step()).collect();
+        steps.iter().copied().fold(MicroSecs::ZERO, MicroSecs::max)
+            / steps
+                .iter()
+                .copied()
+                .fold(MicroSecs::new(f64::INFINITY), MicroSecs::min)
     };
     let even = spread(Method::EvenPartitioning);
     let ada = spread(Method::AdaPipe);
@@ -106,7 +117,7 @@ fn figure9_microstep_flattening() {
     let plan = planner
         .plan(Method::EvenPartitioning, parallel, train)
         .expect("plans");
-    let steps: Vec<f64> = plan.stages.iter().map(|s| s.micro_step()).collect();
+    let steps: Vec<MicroSecs> = plan.stages.iter().map(|s| s.micro_step()).collect();
     assert!(steps[1] > steps[6], "{steps:?}");
 }
 

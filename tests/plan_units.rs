@@ -1,0 +1,76 @@
+//! Units metadata round-trips and rejections for serialized plans.
+//!
+//! The golden plans under `tests/golden/*.plan` are the accepted `v2`
+//! artifacts (microseconds + bytes, declared in the header); the
+//! fixtures under `tests/golden/rejected/` must *fail* to load with
+//! the `unit-mismatch` diagnostic. CI drives the same fixtures through
+//! the `adapipe verify` binary; these tests pin the library behaviour.
+
+use adapipe::plan_io::{self, PlanParseError};
+use std::path::Path;
+
+fn read(rel: &str) -> String {
+    // CARGO_MANIFEST_DIR is crates/adapipe; the shared fixtures live at
+    // the workspace root.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Every checked-in golden plan declares this build's units and loads
+/// without conversion warnings.
+#[test]
+fn golden_plans_are_v2_and_warning_free() {
+    for name in ["gpt2_adapipe", "gpt2_even"] {
+        let text = read(&format!("tests/golden/{name}.plan"));
+        assert!(
+            text.starts_with("adapipe-plan v2"),
+            "{name}: golden plans must be v2"
+        );
+        assert!(
+            text.contains("units.time = us"),
+            "{name}: missing time unit"
+        );
+        assert!(
+            text.contains("units.bytes = B"),
+            "{name}: missing byte unit"
+        );
+        let (plan, warnings) =
+            plan_io::from_text_with_warnings(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(warnings.is_empty(), "{name}: unexpected {warnings:?}");
+        assert!(!plan.stages.is_empty());
+    }
+}
+
+/// A plan declaring a foreign time unit is rejected outright — with
+/// the stable `unit-mismatch` code — instead of being silently
+/// reinterpreted (a ms-vs-µs slip rescales every Eq. (1)–(3) term by
+/// 1000×).
+#[test]
+fn mismatched_units_fixture_is_rejected_with_the_diagnostic_code() {
+    let text = read("tests/golden/rejected/units_ms.plan");
+    let err = plan_io::from_text_with_warnings(&text)
+        .expect_err("ms-declared plan must not load in a µs build");
+    assert!(
+        err.to_string().starts_with("unit-mismatch:"),
+        "diagnostic code missing from message: {err}"
+    );
+    match err {
+        PlanParseError::UnitMismatch {
+            key,
+            declared,
+            expected,
+        } => {
+            assert_eq!(key, "units.time");
+            assert_eq!(declared, "ms");
+            assert_eq!(expected, "us");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // The code is part of the stable diagnostic catalog.
+    assert_eq!(
+        adapipe_check::CheckCode::UnitMismatch.name(),
+        "unit-mismatch"
+    );
+}

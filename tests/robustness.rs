@@ -8,6 +8,7 @@ use adapipe_memory::{MemoryModel, OptimizerSpec};
 use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
 use adapipe_profiler::{NoiseConfig, Profiler};
 use adapipe_recompute::optimize;
+use adapipe_units::{Bytes, MicroSecs};
 
 #[test]
 fn knapsack_is_stable_under_measurement_noise() {
@@ -22,7 +23,7 @@ fn knapsack_is_stable_under_measurement_noise() {
 
     let clean_table = Profiler::new(hw::cluster_a()).profile(&model, &parallel, &train);
     let clean_units = clean_table.units_in(range);
-    let budget = clean_units.iter().map(|u| u.mem_saved).sum::<u64>() * 60 / 100;
+    let budget = clean_units.iter().map(|u| u.mem_saved).sum::<Bytes>() * 60 / 100;
     let clean = optimize(&clean_units, budget).unwrap();
 
     for seed in 0..8 {
@@ -71,7 +72,7 @@ fn memory_budget_monotonicity_in_capacity() {
     // More usable memory never slows the adaptive plan down.
     let parallel = ParallelConfig::new(8, 8, 1).unwrap();
     let train = TrainConfig::new(1, 16384, 32).unwrap();
-    let mut last = f64::INFINITY;
+    let mut last = MicroSecs::new(f64::INFINITY);
     for headroom in [0.6f64, 0.7, 0.8, 0.9, 1.0] {
         let planner =
             Planner::new(presets::gpt3_175b(), hw::cluster_a()).with_search_headroom(headroom);
@@ -102,7 +103,7 @@ fn noisy_profiles_still_produce_feasible_plans() {
                 seed,
             })
             .profile(&model, &parallel, &train);
-        let capacity = (hw::a100_80gb().usable_bytes() as f64 * 0.875) as u64;
+        let capacity = Bytes::new((hw::a100_80gb().usable_bytes().as_f64() * 0.875) as u64);
         let provider = adapipe_partition::KnapsackCostProvider::new(&seq, &table, &mem, capacity);
         let plan = adapipe_partition::algorithm1::solve(&provider, seq.len(), 8, 64)
             .expect("noisy profile still feasible");

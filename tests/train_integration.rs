@@ -6,20 +6,21 @@ use adapipe::{Method, Planner};
 use adapipe_hw::{ClusterSpec, DeviceSpec, LinkSpec};
 use adapipe_model::{ParallelConfig, TrainConfig};
 use adapipe_train::{train, TrainerConfig};
+use adapipe_units::{Bytes, BytesPerSec, FlopsPerSec, MicroSecs};
 
 fn toy_cluster(capacity: u64) -> ClusterSpec {
     let device = DeviceSpec::builder("toy")
-        .mem_bytes(capacity)
-        .peak_flops(1e12)
-        .hbm_bandwidth(1e11)
+        .mem_bytes(Bytes::new(capacity))
+        .peak_flops(FlopsPerSec::new(1e12))
+        .hbm_bandwidth(BytesPerSec::new(1e11))
         .build();
     ClusterSpec::new(
         "toy",
         device,
         2,
         1,
-        LinkSpec::new(1e10, 1e-6),
-        LinkSpec::new(1e9, 1e-5),
+        LinkSpec::new(BytesPerSec::new(1e10), MicroSecs::new(1.0)),
+        LinkSpec::new(BytesPerSec::new(1e9), MicroSecs::new(10.0)),
     )
 }
 

@@ -15,6 +15,7 @@ use adapipe_check::check_task_graph;
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, LayerRange, ParallelConfig, TrainConfig};
 use adapipe_sim::{Discipline, OpKind, TaskGraph, TaskMeta};
+use adapipe_units::{Bytes, MicroSecs};
 use proptest::prelude::*;
 
 type TestResult = Result<(), Box<dyn std::error::Error>>;
@@ -131,7 +132,7 @@ fn corruption_stale_cost_is_rejected() -> TestResult {
     // A cached cost that no longer matches its strategy — the bug class
     // the iso-cache soundness argument (§5.3) exists to prevent.
     let (planner, mut plan) = valid_plan(Method::AdaPipe)?;
-    plan.stages[2].cost.time_f *= 2.0;
+    plan.stages[2].cost.time_f = plan.stages[2].cost.time_f * 2.0;
     let report = planner.verify_with(&plan, VerifyOptions::quick());
     assert!(report.has_errors(), "stale cost accepted:\n{report}");
     assert!(
@@ -173,7 +174,7 @@ fn corruption_stage_count_is_rejected() -> TestResult {
 fn corruption_breakdown_drift_is_rejected() -> TestResult {
     let (planner, mut plan) = valid_plan(Method::AdaPipe)?;
     if let Some(bd) = plan.predicted.as_mut() {
-        bd.warmup *= 3.0;
+        bd.warmup = bd.warmup * 3.0;
     }
     let report = planner.verify_with(&plan, VerifyOptions::quick());
     assert!(report.has_code(CheckCode::BreakdownDrift), "{report}");
@@ -191,9 +192,25 @@ fn corruption_cyclic_dependency_is_rejected() {
         replica: 0,
     };
     let mut g = TaskGraph::new("cyclic", 2, Discipline::GreedyPriority);
-    let a = g.push(0, 1.0, vec![], 0, 0, 0, meta(0, 0));
-    let b = g.push(1, 1.0, vec![(a, 0.0)], 0, 0, 1, meta(0, 1));
-    g.add_dep(a, b, 0.0); // a -> b -> a
+    let a = g.push(
+        0,
+        MicroSecs::new(1.0),
+        vec![],
+        Bytes::ZERO,
+        Bytes::ZERO,
+        0,
+        meta(0, 0),
+    );
+    let b = g.push(
+        1,
+        MicroSecs::new(1.0),
+        vec![(a, MicroSecs::ZERO)],
+        Bytes::ZERO,
+        Bytes::ZERO,
+        1,
+        meta(0, 1),
+    );
+    g.add_dep(a, b, MicroSecs::ZERO); // a -> b -> a
     let diags = check_task_graph(&g);
     assert!(
         diags.iter().any(|d| d.code == CheckCode::CycleDetected),
@@ -204,7 +221,7 @@ fn corruption_cyclic_dependency_is_rejected() {
 #[test]
 fn corrupted_plans_name_the_offending_stage() -> TestResult {
     let (planner, mut plan) = valid_plan(Method::AdaPipe)?;
-    plan.stages[2].cost.time_f *= 2.0;
+    plan.stages[2].cost.time_f = plan.stages[2].cost.time_f * 2.0;
     let report = planner.verify_with(&plan, VerifyOptions::quick());
     let text = report.to_string();
     assert!(
