@@ -1,0 +1,108 @@
+//! Extension: replan latency after a detected straggler, cold vs
+//! warm-started through the §5.3 isomorphism cache.
+//!
+//! AdaPipe's search is offline in the paper; once a straggler is
+//! detected at runtime the re-run of Algorithm 1 sits on the recovery
+//! critical path, so its latency decides how long the pipeline trains
+//! on a stale plan. The iso-cache warm start reuses window costs whose
+//! (shape, budget) signature survives the degradation, cutting the
+//! re-solve cost without changing the chosen plan.
+
+use adapipe::{Planner, ReplanConfig};
+use adapipe_bench::{emit_bench_json, print_table};
+use adapipe_faults::{DegradedCluster, Diagnosis, Fault, FaultPlan};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_obs::Recorder;
+
+fn main() {
+    let rec = Recorder::new();
+    let t0 = std::time::Instant::now();
+    let planner =
+        Planner::new(presets::gpt2_small(), hw::cluster_a_with_nodes(1)).with_recorder(rec.clone());
+    let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+    let train = TrainConfig::new(1, 1024, 32).expect("valid");
+    let stale = planner
+        .plan(adapipe::Method::AdaPipe, parallel, train)
+        .expect("healthy plan");
+
+    let faults = FaultPlan::new(42).with(Fault::Straggler {
+        device: 2,
+        factor: 0.6,
+        from_step: 0,
+    });
+    let degraded = DegradedCluster::new(hw::cluster_a_with_nodes(1), faults);
+    let diagnosis = Diagnosis {
+        transient_stalls: vec![],
+        persistent_stragglers: vec![2],
+        budget_exceeded: vec![],
+    };
+    let mut rows = Vec::new();
+    let mut wall = [0.0f64; 2];
+    let mut texts: Vec<String> = Vec::new();
+    for (i, (label, iso_cache)) in [("cold", false), ("warm (iso-cache)", true)]
+        .into_iter()
+        .enumerate()
+    {
+        const REPS: u32 = 20;
+        let cfg = ReplanConfig {
+            iso_cache,
+            ..ReplanConfig::default()
+        };
+        let mut outcome = None;
+        let start = std::time::Instant::now();
+        for _ in 0..REPS {
+            outcome = Some(
+                planner
+                    .replan(&stale, &degraded, &diagnosis, &cfg)
+                    .expect("replan succeeds"),
+            );
+        }
+        let per_solve_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(REPS);
+        wall[i] = per_solve_ms;
+        let outcome = outcome.expect("ran at least once");
+        let plan = outcome.plan.as_ref().expect("straggler forces a replan");
+        texts.push(adapipe::plan_io::to_text(plan));
+        rows.push(vec![
+            label.to_string(),
+            format!("{per_solve_ms:.2}"),
+            format!("{}", outcome.cache_hits),
+            format!("{}", outcome.cache_misses),
+            format!(
+                "{:.3}",
+                outcome
+                    .replanned_time
+                    .expect("replanned time present")
+                    .as_secs()
+            ),
+        ]);
+        rec.gauge(
+            &format!(
+                "bench.chaos_replan.{}.ms",
+                if iso_cache { "warm" } else { "cold" }
+            ),
+            per_solve_ms,
+        );
+    }
+    assert_eq!(
+        texts[0], texts[1],
+        "warm start must not change the chosen plan"
+    );
+
+    print_table(
+        "Replan latency after a stage-2 straggler (0.6x) — GPT-2, (2,4,1)",
+        &["start", "ms/solve", "iso hits", "iso misses", "T (s)"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the warm start reports nonzero iso-cache hits and is \
+         no slower than the cold re-solve; both emit byte-identical plans."
+    );
+
+    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    emit_bench_json(
+        "chaos_replan",
+        &rec,
+        &[("extension", "fault-recovery"), ("scenario", "straggler")],
+    );
+}

@@ -2,7 +2,8 @@
 
 use crate::args::Args;
 use crate::config::{self, ConfigError};
-use adapipe::{best_outcome, sweep_parallel_strategies, Method, Planner};
+use adapipe::{best_outcome, sweep_parallel_strategies, ChaosConfig, Method, Planner};
+use adapipe_faults::{DegradedCluster, FaultPlan};
 use adapipe_memory::OptimizerSpec;
 use adapipe_obs::Recorder;
 
@@ -219,12 +220,121 @@ pub fn verify(mut args: Args) -> Result<String, ConfigError> {
         planner.cluster().name()
     );
     if report.has_errors() {
-        Err(ConfigError::Domain(format!(
+        Err(ConfigError::Rejected(format!(
             "plan failed verification\n{report}"
         )))
     } else {
         Ok(format!("{header}{report}"))
     }
+}
+
+/// `adapipe sim`: execute a saved plan in the event simulator and check
+/// every device's dynamic high-water mark against its Eq. (1)-(2)
+/// budget. Over-budget devices reject the plan (exit code 1) instead of
+/// silently reporting an infeasible execution as fine.
+pub fn sim(mut args: Args) -> Result<String, ConfigError> {
+    let (plan, warnings) = read_plan(&mut args)?;
+    let planner = build_planner(&mut args)?;
+    args.finish()?;
+    let eval = planner.evaluate(&plan);
+    let budgets: Vec<adapipe_units::Bytes> = plan
+        .stages
+        .iter()
+        .map(|s| planner.capacity().saturating_sub(s.memory.static_bytes))
+        .collect();
+    let mut out = format!(
+        "{warnings}simulated {} plan ({} stages, n={}) on {}:\n  makespan = {:.3}s\n  bubble = {:.3}s ({:.1}% of device-time)\n  peak dynamic = {:.3} GB\n",
+        plan.method,
+        plan.stages.len(),
+        plan.n_microbatches,
+        planner.cluster().name(),
+        eval.report.makespan.as_secs(),
+        eval.report.total_bubble().as_secs(),
+        eval.report.bubble_ratio() * 100.0,
+        eval.report.max_peak_dynamic_bytes().get() as f64 / 1e9,
+    );
+    if let Err(e) = adapipe_sim::validate::check_budgets(&eval.report, &budgets) {
+        return Err(ConfigError::Rejected(format!(
+            "simulation exceeded the memory budget: {e}"
+        )));
+    }
+    if !eval.fits {
+        return Err(ConfigError::Rejected(format!(
+            "plan does not fit device memory: peak {:.3} GB > capacity {:.3} GB",
+            eval.max_peak_gb(),
+            planner.capacity().get() as f64 / 1e9,
+        )));
+    }
+    out.push_str("  budgets: ok on every device\n");
+    Ok(out)
+}
+
+/// `adapipe chaos`: plan, inject a deterministic fault scenario, detect
+/// the degradation, drive the recovery ladder (retry → replan →
+/// full-recompute fallback) and verify the replanned artifact. The
+/// machine-readable report is byte-stable for a given fault file +
+/// seed. An unrecovered run (replan needed but rejected) exits 1.
+pub fn chaos(mut args: Args) -> Result<String, ConfigError> {
+    let faults_path = args.require("faults")?;
+    let seed: Option<u64> = args.take_parsed("seed", "an unsigned integer")?;
+    let steps: Option<usize> = args.take_parsed("steps", "a positive integer")?;
+    let out_file = args.take("out");
+    let replan_out = args.take("replan-out");
+    let sink = ObsSink::from_args(&mut args, false);
+    let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
+    let parallel = config::parallel(&mut args)?;
+    let train = config::workload(&mut args)?;
+    args.finish()?;
+
+    let text = std::fs::read_to_string(&faults_path)
+        .map_err(|e| ConfigError::Domain(format!("cannot read {faults_path}: {e}")))?;
+    let mut faults = FaultPlan::from_text(&text).map_err(|e| ConfigError::Domain(e.to_string()))?;
+    if let Some(seed) = seed {
+        let mut reseeded = FaultPlan::new(seed);
+        for fault in faults.faults() {
+            reseeded.push(fault.clone());
+        }
+        faults = reseeded;
+    }
+    let degraded = DegradedCluster::new(planner.cluster().clone(), faults);
+    let mut cfg = ChaosConfig::default();
+    if let Some(steps) = steps {
+        cfg.steps = steps;
+    }
+    let outcome = planner
+        .chaos_run(parallel, train, &degraded, &cfg)
+        .map_err(|e| ConfigError::Domain(e.to_string()))?;
+
+    let mut out = String::new();
+    match &out_file {
+        Some(path) => {
+            std::fs::write(path, &outcome.report)
+                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            out.push_str(&format!("chaos report written to {path}\n"));
+        }
+        None => out.push_str(&outcome.report),
+    }
+    if let Some(path) = &replan_out {
+        match &outcome.replan.plan {
+            Some(plan) => {
+                std::fs::write(path, adapipe::plan_io::to_text(plan))
+                    .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+                out.push_str(&format!("replanned plan written to {path}\n"));
+            }
+            None => out.push_str("no replan was needed; --replan-out skipped\n"),
+        }
+    }
+    out.push_str(&sink.flush(&[
+        ("command", "chaos"),
+        ("model", planner.model().name()),
+        ("seed", &degraded.plan().seed().to_string()),
+    ])?);
+    if !outcome.accepted() {
+        return Err(ConfigError::Rejected(format!(
+            "{out}chaos run was not recovered: the replanned artifact was rejected"
+        )));
+    }
+    Ok(out)
 }
 
 /// `adapipe sweep`: one method across every (t, p, d) strategy.
@@ -348,7 +458,11 @@ USAGE:
                   [--metrics-out FILE] [--chrome-trace FILE] ...
   adapipe show    --plan FILE [--model M] [--cluster a|b] [--nodes N]
   adapipe verify  --plan FILE [--quick true] [--model M] [--cluster a|b] [--nodes N]
+  adapipe sim     --plan FILE [--model M] [--cluster a|b] [--nodes N]
   adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
+  adapipe chaos   --faults FILE --tensor T --pipeline P --seq S --global-batch G
+                  [--seed N] [--steps N] [--out report.txt] [--replan-out plan.txt]
+                  [--model M] [--cluster a|b] [--nodes N]
   adapipe models
 
 VERIFY:
@@ -356,7 +470,27 @@ VERIFY:
   budgets under the chosen save/recompute sets (Eq. (1)-(2)), contiguous
   full-cover partitioning, an acyclic deadlock-free task DAG, Eq. (3)
   breakdown consistency and iso-cache soundness — without executing it;
-  exits nonzero if any error-severity finding is reported
+  exits 1 if any error-severity finding is reported
+
+SIM:
+  executes a saved plan in the event simulator and checks every device's
+  dynamic-memory high-water mark against its Eq. (1)-(2) budget; an
+  over-budget device rejects the plan with exit code 1
+
+CHAOS:
+  plans, injects the deterministic fault scenario in --faults FILE
+  (straggler / link / mem-shrink / stall lines; see docs/robustness.md),
+  detects the degradation with the watchdog, drives the recovery ladder
+  (bounded retry -> Algorithm 1 replan -> full-recompute fallback) and
+  verifies the replanned artifact; the report is byte-stable for a given
+  fault file + seed (--seed overrides the file's seed); exits 1 when a
+  needed replan is rejected
+
+EXIT CODES:
+  0  success: the command ran and the artifact under test was accepted
+  1  rejected: the artifact failed (verification errors, over-budget
+     simulation, unrecovered chaos run)
+  2  internal error: bad flags, unreadable files, invalid configurations
 
 OBSERVABILITY:
   --metrics-out FILE   write the search engine's metrics (knapsack DP

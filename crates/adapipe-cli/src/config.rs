@@ -23,6 +23,22 @@ pub enum ConfigError {
     },
     /// Domain validation failed (sizes, divisibility, ...).
     Domain(String),
+    /// The command ran, but the artifact under test was rejected
+    /// (failed verification, over-budget simulation, unrecovered chaos
+    /// run). Maps to exit code 1, distinct from internal errors (2).
+    Rejected(String),
+}
+
+impl ConfigError {
+    /// The process exit code this error maps to: 1 for a rejected
+    /// artifact, 2 for everything else (bad flags, IO, domain errors).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ConfigError::Rejected(_) => 1,
+            _ => 2,
+        }
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -37,6 +53,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "--{flag} {value}: expected one of {choices}")
             }
             ConfigError::Domain(msg) => write!(f, "{msg}"),
+            ConfigError::Rejected(msg) => write!(f, "{msg}"),
         }
     }
 }

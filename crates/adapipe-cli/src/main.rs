@@ -4,8 +4,13 @@
 //! adapipe plan --model gpt3 --tensor 8 --pipeline 8 --seq 16384 --global-batch 32
 //! adapipe sweep --model llama2 --nodes 4 --seq 8192 --global-batch 64
 //! adapipe compare --model gpt2 --nodes 1 --tensor 2 --pipeline 4 --seq 1024 --global-batch 32
+//! adapipe chaos --faults faults.txt --tensor 2 --pipeline 4 --seq 1024 --global-batch 32
 //! adapipe models
 //! ```
+//!
+//! Exit codes: `0` ok, `1` artifact rejected (failed verification,
+//! over-budget simulation, unrecovered chaos run), `2` internal error
+//! (bad flags, unreadable files, invalid configurations).
 
 mod args;
 mod commands;
@@ -14,11 +19,15 @@ mod config;
 use args::Args;
 use std::process::ExitCode;
 
+/// Internal/usage errors (exit code 2), as distinct from artifact
+/// rejections (1).
+const EXIT_INTERNAL: u8 = 2;
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(subcommand) = argv.next() else {
         eprint!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_INTERNAL);
     };
     if matches!(subcommand.as_str(), "-h" | "--help" | "help") {
         print!("{}", commands::USAGE);
@@ -30,7 +39,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", commands::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
     let result = match subcommand.as_str() {
@@ -39,12 +48,14 @@ fn main() -> ExitCode {
         "compare" => commands::compare(parsed),
         "show" => commands::show(parsed),
         "verify" => commands::verify(parsed),
+        "sim" => commands::sim(parsed),
+        "chaos" => commands::chaos(parsed),
         "trace" => commands::trace(parsed),
         "models" => commands::models(parsed),
         other => {
             eprintln!("error: unknown subcommand `{other}`\n");
             eprint!("{}", commands::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
     match result {
@@ -54,7 +65,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,200 @@
+//! Pins the CLI's exit-code contract: `0` ok, `1` artifact rejected,
+//! `2` internal error. Downstream automation (the CI chaos job, shell
+//! scripts gating deploys on `verify`) branches on these codes, so they
+//! are part of the public interface and must not drift.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn adapipe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adapipe"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adapipe-exit-codes-{name}"))
+}
+
+const SMALL_WORLD: &[&str] = &["--model", "gpt2", "--cluster", "a", "--nodes", "1"];
+const SMALL_JOB: &[&str] = &[
+    "--tensor",
+    "2",
+    "--pipeline",
+    "4",
+    "--seq",
+    "512",
+    "--global-batch",
+    "16",
+];
+
+/// Writes a small valid plan file and returns its path.
+fn write_plan(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let status = adapipe()
+        .arg("plan")
+        .args(SMALL_WORLD)
+        .args(SMALL_JOB)
+        .args(["--out", path.to_str().unwrap()])
+        .status()
+        .expect("spawn adapipe plan");
+    assert!(status.success(), "plan should exit 0");
+    path
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    let status = adapipe().arg("models").status().unwrap();
+    assert_eq!(status.code(), Some(0), "models");
+
+    let status = adapipe().arg("--help").status().unwrap();
+    assert_eq!(status.code(), Some(0), "--help");
+
+    let plan = write_plan("ok-plan.txt");
+    for sub in ["verify", "sim"] {
+        let status = adapipe()
+            .arg(sub)
+            .args(["--plan", plan.to_str().unwrap()])
+            .args(SMALL_WORLD)
+            .status()
+            .unwrap();
+        assert_eq!(status.code(), Some(0), "{sub} of a valid plan");
+    }
+    let _ = std::fs::remove_file(&plan);
+}
+
+#[test]
+fn rejected_artifacts_exit_one() {
+    let plan = write_plan("bad-plan.txt");
+    // Corrupt one stage's backward time: the stored cost no longer
+    // matches its strategy, an error-severity verification finding.
+    let text = std::fs::read_to_string(&plan).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("time_b ="))
+        .unwrap()
+        .to_string();
+    let corrupted = text.replacen(&line, "  time_b = 999.0", 1);
+    let bad = tmp("bad-plan-corrupted.txt");
+    std::fs::write(&bad, corrupted).unwrap();
+
+    let status = adapipe()
+        .arg("verify")
+        .args(["--plan", bad.to_str().unwrap()])
+        .args(SMALL_WORLD)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1), "verify of a corrupted plan");
+    let _ = std::fs::remove_file(&plan);
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn internal_errors_exit_two() {
+    let status = adapipe().arg("frobnicate").status().unwrap();
+    assert_eq!(status.code(), Some(2), "unknown subcommand");
+
+    let status = adapipe().status().unwrap();
+    assert_eq!(status.code(), Some(2), "no subcommand");
+
+    let status = adapipe()
+        .arg("plan")
+        .args(["--model", "bloom"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2), "unknown model");
+
+    let status = adapipe()
+        .arg("verify")
+        .args(["--plan", "/nonexistent/adapipe-plan.txt"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2), "unreadable plan file");
+
+    let status = adapipe()
+        .arg("chaos")
+        .args(["--faults", "/nonexistent/faults.txt"])
+        .args(SMALL_WORLD)
+        .args(SMALL_JOB)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2), "unreadable fault file");
+}
+
+#[test]
+fn chaos_recovers_a_straggler_and_exits_zero() {
+    let faults = tmp("straggler.txt");
+    std::fs::write(
+        &faults,
+        "adapipe-faults v1\nseed = 42\nstraggler device=2 factor=0.6 from-step=0\n",
+    )
+    .unwrap();
+    let report = tmp("straggler-report.txt");
+    let replanned = tmp("straggler-replan.txt");
+
+    let output = adapipe()
+        .arg("chaos")
+        .args(["--faults", faults.to_str().unwrap()])
+        .args(["--out", report.to_str().unwrap()])
+        .args(["--replan-out", replanned.to_str().unwrap()])
+        .args(SMALL_WORLD)
+        .args(SMALL_JOB)
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "chaos should recover: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert!(report_text.starts_with("adapipe-chaos v1"), "{report_text}");
+    assert!(report_text.contains("action = replan"), "{report_text}");
+
+    // The replanned artifact must be accepted by the static checker.
+    let status = adapipe()
+        .arg("verify")
+        .args(["--plan", replanned.to_str().unwrap()])
+        .args(SMALL_WORLD)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "verify of the replanned artifact");
+
+    let _ = std::fs::remove_file(&faults);
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&replanned);
+}
+
+#[test]
+fn chaos_seed_override_is_deterministic() {
+    let faults = tmp("seed-override.txt");
+    std::fs::write(
+        &faults,
+        "adapipe-faults v1\nseed = 1\nstraggler device=2 factor=0.6 from-step=0\n",
+    )
+    .unwrap();
+    let reports: Vec<String> = (0..2)
+        .map(|i| {
+            let out = tmp(&format!("seed-override-report-{i}.txt"));
+            let output = adapipe()
+                .arg("chaos")
+                .args(["--faults", faults.to_str().unwrap()])
+                .args(["--seed", "7", "--out", out.to_str().unwrap()])
+                .args(SMALL_WORLD)
+                .args(SMALL_JOB)
+                .output()
+                .unwrap();
+            assert_eq!(
+                output.status.code(),
+                Some(0),
+                "{}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            let text = std::fs::read_to_string(&out).unwrap();
+            let _ = std::fs::remove_file(&out);
+            text
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "same fault file + seed, same bytes");
+    assert!(reports[0].contains("seed = 7"), "{}", reports[0]);
+    let _ = std::fs::remove_file(&faults);
+}

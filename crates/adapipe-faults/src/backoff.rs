@@ -1,0 +1,134 @@
+//! The bounded retry/backoff ladder for transient faults.
+
+use adapipe_units::MicroSecs;
+
+/// Bounded exponential backoff: attempt `i` (0-based) waits
+/// `base × multiplier^i` before retrying, up to `max_retries` attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: MicroSecs,
+    /// Backoff growth per attempt.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: MicroSecs::new(100.0),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (0-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> MicroSecs {
+        self.base * self.multiplier.powi(attempt as i32)
+    }
+
+    /// Total backoff spent across `attempts` retries.
+    #[must_use]
+    pub fn total_backoff(&self, attempts: u32) -> MicroSecs {
+        (0..attempts).fold(MicroSecs::ZERO, |acc, i| acc + self.backoff(i))
+    }
+}
+
+/// How a retry ladder ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryOutcome {
+    /// An attempt succeeded.
+    Recovered {
+        /// Retries taken (1-based count of re-executions).
+        attempts: u32,
+        /// Backoff spent before the successful attempt.
+        backoff: MicroSecs,
+    },
+    /// Every retry failed; the caller must escalate (replan).
+    Exhausted {
+        /// Retries taken (= the policy's `max_retries`).
+        attempts: u32,
+        /// Backoff spent in total.
+        backoff: MicroSecs,
+    },
+}
+
+impl RetryOutcome {
+    /// Whether the ladder recovered.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        matches!(self, RetryOutcome::Recovered { .. })
+    }
+}
+
+/// Runs the ladder: calls `attempt(i)` for `i` in `0..max_retries`
+/// until one returns `true`. Deterministic — backoff is *accounted*,
+/// never slept.
+pub fn run_retries(policy: &RetryPolicy, mut attempt: impl FnMut(u32) -> bool) -> RetryOutcome {
+    let mut backoff = MicroSecs::ZERO;
+    for i in 0..policy.max_retries {
+        backoff += policy.backoff(i);
+        if attempt(i) {
+            return RetryOutcome::Recovered {
+                attempts: i + 1,
+                backoff,
+            };
+        }
+    }
+    RetryOutcome::Exhausted {
+        attempts: policy.max_retries,
+        backoff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff(0).as_micros() - 100.0).abs() < 1e-9);
+        assert!((p.backoff(1).as_micros() - 200.0).abs() < 1e-9);
+        assert!((p.backoff(2).as_micros() - 400.0).abs() < 1e-9);
+        assert!((p.total_backoff(3).as_micros() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_success_recovers_with_one_attempt() {
+        let out = run_retries(&RetryPolicy::default(), |_| true);
+        assert_eq!(
+            out,
+            RetryOutcome::Recovered {
+                attempts: 1,
+                backoff: MicroSecs::new(100.0)
+            }
+        );
+        assert!(out.recovered());
+    }
+
+    #[test]
+    fn later_success_accumulates_backoff() {
+        let out = run_retries(&RetryPolicy::default(), |i| i == 1);
+        assert!(matches!(out, RetryOutcome::Recovered { attempts: 2, .. }));
+        if let RetryOutcome::Recovered { backoff, .. } = out {
+            assert!((backoff.as_micros() - 300.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_bounded_by_max_retries() {
+        let mut calls = 0;
+        let out = run_retries(&RetryPolicy::default(), |_| {
+            calls += 1;
+            false
+        });
+        assert_eq!(calls, 3);
+        assert!(matches!(out, RetryOutcome::Exhausted { attempts: 3, .. }));
+        assert!(!out.recovered());
+    }
+}

@@ -1,0 +1,172 @@
+//! The logical fault clock: training steps, never wall time.
+//!
+//! Every fault-scheduling decision is a pure function of the plan seed
+//! and the logical step counter, so a chaos run replays identically no
+//! matter how fast the host machine is.
+
+use crate::plan::{Fault, FaultPlan};
+use adapipe_units::MicroSecs;
+
+/// Mixes `x` into a well-distributed 64-bit value (splitmix64).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A transient stall due to fire at the clock's current step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStall {
+    /// Index of the fault within the plan.
+    pub fault: usize,
+    /// Device the stall hits.
+    pub device: usize,
+    /// Micro-batch the stall hits.
+    pub micro_batch: usize,
+}
+
+/// Logical clock driving a [`FaultPlan`] through a run: counts training
+/// steps, decides *when* each transient stall fires (a seeded draw over
+/// the step horizon), and enforces one-shot semantics.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    step: usize,
+    fired: Vec<bool>,
+}
+
+impl FaultClock {
+    /// A clock at step 0 for `plan`.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultClock {
+            fired: vec![false; plan.faults().len()],
+            plan: plan.clone(),
+            step: 0,
+        }
+    }
+
+    /// The current training step (0-based).
+    #[must_use]
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Advances to the next training step.
+    pub fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    /// The step fault `index` fires on, drawn deterministically from
+    /// the plan seed over a `horizon`-step run. Stable across calls.
+    #[must_use]
+    pub fn fire_step(&self, index: usize, horizon: usize) -> usize {
+        if horizon == 0 {
+            return 0;
+        }
+        (splitmix64(self.plan.seed() ^ (index as u64)) % horizon as u64) as usize
+    }
+
+    /// Compute-speed factor of `device` at the current step.
+    #[must_use]
+    pub fn compute_factor(&self, device: usize) -> f64 {
+        self.plan.compute_factor_at(device, self.step)
+    }
+
+    /// Transient stalls firing at the current step of a `horizon`-step
+    /// run. Each stall fires exactly once across the whole run (the
+    /// one-shot contract): a second call at the same step returns
+    /// nothing new.
+    pub fn take_stalls(&mut self, horizon: usize) -> Vec<(PendingStall, MicroSecs)> {
+        let mut due = Vec::new();
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            let Fault::TransientStall {
+                device,
+                micro_batch,
+                delay,
+            } = *f
+            else {
+                continue;
+            };
+            if self.fired[i] || self.fire_step(i, horizon) != self.step {
+                continue;
+            }
+            self.fired[i] = true;
+            due.push((
+                PendingStall {
+                    fault: i,
+                    device,
+                    micro_batch,
+                },
+                delay,
+            ));
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    fn stall_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with(Fault::TransientStall {
+                device: 1,
+                micro_batch: 3,
+                delay: MicroSecs::new(500.0),
+            })
+            .with(Fault::Straggler {
+                device: 0,
+                factor: 0.5,
+                from_step: 2,
+            })
+    }
+
+    #[test]
+    fn stalls_fire_exactly_once_per_run() {
+        let plan = stall_plan(9);
+        let horizon = 4;
+        let mut clock = FaultClock::new(&plan);
+        let mut fired = 0;
+        for _ in 0..horizon {
+            let due = clock.take_stalls(horizon);
+            fired += due.len();
+            // Idempotent within a step.
+            assert!(clock.take_stalls(horizon).is_empty());
+            clock.advance();
+        }
+        assert_eq!(fired, 1, "one-shot stall must fire exactly once");
+    }
+
+    #[test]
+    fn fire_step_is_deterministic_and_seed_sensitive() {
+        let plan = stall_plan(9);
+        let clock = FaultClock::new(&plan);
+        assert_eq!(clock.fire_step(0, 100), clock.fire_step(0, 100));
+        let other = FaultClock::new(&stall_plan(10));
+        // Different seeds land on different steps for some horizon.
+        let differs = (2..64).any(|h| clock.fire_step(0, h) != other.fire_step(0, h));
+        assert!(differs, "seed must influence the fire step");
+    }
+
+    #[test]
+    fn compute_factor_tracks_the_step() {
+        let plan = stall_plan(9);
+        let mut clock = FaultClock::new(&plan);
+        assert!((clock.compute_factor(0) - 1.0).abs() < 1e-12);
+        clock.advance();
+        clock.advance();
+        assert!((clock.compute_factor(0) - 0.5).abs() < 1e-12);
+        assert!((clock.compute_factor(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_fires_at_step_zero() {
+        let plan = stall_plan(9);
+        let clock = FaultClock::new(&plan);
+        assert_eq!(clock.fire_step(0, 0), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! [`DegradedCluster`]: the persistent faults of a plan presented as a
+//! hardware view, so the profiler, simulator and replanner all see the
+//! same perturbed world.
+
+use crate::plan::FaultPlan;
+use adapipe_hw::{ClusterSpec, LinkSpec};
+use adapipe_units::{Bytes, BytesPerSec, MicroSecs};
+
+/// A [`ClusterSpec`] seen through a [`FaultPlan`]: link bandwidth is
+/// scaled by the combined degradation factor, per-stage activation
+/// budgets shrink under memory pressure, and per-device compute factors
+/// answer "how slow is device `d` at step `k`".
+///
+/// Straggler slowdown is deliberately *not* folded into the effective
+/// [`ClusterSpec`] — a cluster spec describes one device model for all
+/// ranks, while stragglers are per-device. Callers scale stage times
+/// via [`DegradedCluster::compute_factor_at`] (or
+/// [`crate::inject::degraded_stage_execs`]) instead.
+#[derive(Debug, Clone)]
+pub struct DegradedCluster {
+    base: ClusterSpec,
+    plan: FaultPlan,
+}
+
+impl DegradedCluster {
+    /// Views `base` through `plan`.
+    #[must_use]
+    pub fn new(base: ClusterSpec, plan: FaultPlan) -> Self {
+        DegradedCluster { base, plan }
+    }
+
+    /// The healthy cluster.
+    #[must_use]
+    pub fn base(&self) -> &ClusterSpec {
+        &self.base
+    }
+
+    /// The fault plan behind this view.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The cluster with every link's bandwidth scaled by the plan's
+    /// combined degradation factor (latency is unchanged — degradation
+    /// models congestion, not distance).
+    #[must_use]
+    pub fn effective(&self) -> ClusterSpec {
+        let factor = self.plan.bandwidth_factor();
+        let scale = |l: LinkSpec| {
+            LinkSpec::new(BytesPerSec::new(l.bandwidth().get() * factor), l.latency())
+        };
+        ClusterSpec::new(
+            format!("{}+faults", self.base.name()),
+            self.base.device().clone(),
+            self.base.devices_per_node(),
+            self.base.nodes(),
+            scale(self.base.intra_link()),
+            scale(self.base.inter_link()),
+        )
+    }
+
+    /// Stage-boundary transfer time under the degraded links.
+    #[must_use]
+    pub fn p2p_time(&self, bytes: Bytes) -> MicroSecs {
+        self.effective().p2p_time(bytes)
+    }
+
+    /// `capacity` minus the memory pressure charged to `stage`
+    /// (saturating at zero).
+    #[must_use]
+    pub fn shrunk_capacity(&self, capacity: Bytes, stage: usize) -> Bytes {
+        capacity.saturating_sub(self.plan.budget_shrink(stage))
+    }
+
+    /// Compute-speed factor of `device` at step `step` (see
+    /// [`FaultPlan::compute_factor_at`]).
+    #[must_use]
+    pub fn compute_factor_at(&self, device: usize, step: usize) -> f64 {
+        self.plan.compute_factor_at(device, step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+    use adapipe_hw::presets;
+
+    fn degraded() -> DegradedCluster {
+        let plan = FaultPlan::new(3)
+            .with(Fault::LinkDegradation {
+                bandwidth_factor: 0.5,
+            })
+            .with(Fault::MemoryPressure {
+                stage: 2,
+                shrink: Bytes::from_gib(8),
+            })
+            .with(Fault::Straggler {
+                device: 1,
+                factor: 0.6,
+                from_step: 0,
+            });
+        DegradedCluster::new(presets::cluster_a(), plan)
+    }
+
+    #[test]
+    fn link_degradation_slows_p2p_but_not_latency() {
+        let view = degraded();
+        let healthy = view.base().p2p_time(Bytes::from_mib(64));
+        let degraded = view.p2p_time(Bytes::from_mib(64));
+        assert!(degraded > healthy, "{degraded} !> {healthy}");
+        // Latency preserved: a zero-byte transfer costs the same.
+        let eff = view.effective();
+        assert_eq!(
+            eff.inter_link().latency(),
+            view.base().inter_link().latency()
+        );
+        // Bandwidth exactly halved.
+        assert!(
+            (eff.inter_link().bandwidth().get() - view.base().inter_link().bandwidth().get() * 0.5)
+                .abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_identity_on_links() {
+        let view = DegradedCluster::new(presets::cluster_a(), FaultPlan::new(0));
+        let eff = view.effective();
+        assert!(
+            (eff.inter_link().bandwidth().get() - view.base().inter_link().bandwidth().get()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn memory_pressure_shrinks_only_its_stage() {
+        let view = degraded();
+        let cap = Bytes::from_gib(70);
+        assert_eq!(view.shrunk_capacity(cap, 2), Bytes::from_gib(62));
+        assert_eq!(view.shrunk_capacity(cap, 0), cap);
+        // Saturates instead of underflowing.
+        assert_eq!(view.shrunk_capacity(Bytes::from_gib(1), 2), Bytes::ZERO);
+    }
+
+    #[test]
+    fn compute_factor_is_per_device() {
+        let view = degraded();
+        assert!((view.compute_factor_at(1, 0) - 0.6).abs() < 1e-12);
+        assert!((view.compute_factor_at(0, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Typed degradation events: what the watchdogs raise instead of
+//! panicking, and what the replanner consumes.
+
+use adapipe_units::{Bytes, MicroSecs};
+use std::fmt;
+
+/// One detected violation of the plan's promises.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DegradationEvent {
+    /// A pipeline op overran its deadline (α × the planned time).
+    DeadlineMissed {
+        /// Pipeline stage of the late op.
+        stage: usize,
+        /// Micro-batch of the late op.
+        micro_batch: usize,
+        /// Observed duration.
+        observed: MicroSecs,
+        /// The deadline it missed.
+        deadline: MicroSecs,
+    },
+    /// A device's activation high-water mark overran the Eq. 1–2
+    /// budget the plan was solved under.
+    BudgetExceeded {
+        /// Pipeline stage (= device) that overran.
+        stage: usize,
+        /// Observed dynamic-memory high-water mark.
+        high_water: Bytes,
+        /// The budget it overran.
+        budget: Bytes,
+    },
+}
+
+impl DegradationEvent {
+    /// The pipeline stage the event happened on.
+    #[must_use]
+    pub fn stage(&self) -> usize {
+        match self {
+            DegradationEvent::DeadlineMissed { stage, .. }
+            | DegradationEvent::BudgetExceeded { stage, .. } => *stage,
+        }
+    }
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationEvent::DeadlineMissed {
+                stage,
+                micro_batch,
+                observed,
+                deadline,
+            } => write!(
+                f,
+                "deadline missed: stage {stage} micro-batch {micro_batch} took {observed} (deadline {deadline})"
+            ),
+            DegradationEvent::BudgetExceeded {
+                stage,
+                high_water,
+                budget,
+            } => write!(
+                f,
+                "budget exceeded: stage {stage} high-water {high_water} over budget {budget}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_their_stage() {
+        let e = DegradationEvent::DeadlineMissed {
+            stage: 2,
+            micro_batch: 5,
+            observed: MicroSecs::new(30.0),
+            deadline: MicroSecs::new(15.0),
+        };
+        assert_eq!(e.stage(), 2);
+        assert!(e.to_string().contains("stage 2"));
+        let b = DegradationEvent::BudgetExceeded {
+            stage: 1,
+            high_water: Bytes::new(10),
+            budget: Bytes::new(5),
+        };
+        assert_eq!(b.stage(), 1);
+        assert!(b.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # adapipe-faults: deterministic fault injection for the AdaPipe stack
+//!
+//! AdaPipe's planner, simulator and trainer all assume the hardware
+//! profile measured up front holds forever. Real clusters disagree: a
+//! device throttles, a link degrades, a neighbouring job eats memory, a
+//! network hiccup stalls one micro-batch. This crate models those
+//! events as data — a seeded, reproducible [`FaultPlan`] — and provides
+//! the machinery the rest of the workspace uses to *inject* them into a
+//! simulated run, *detect* the resulting violations, and hand typed
+//! [`DegradationEvent`]s to the replanner instead of panicking.
+//!
+//! Everything here is deterministic by construction: fault timing is
+//! driven by the logical [`FaultClock`] (training steps, never wall
+//! clock), and any randomness (the fire step of a transient stall) is
+//! derived from the plan's seed with splitmix64. The same plan text and
+//! seed always reproduce the same perturbed world, byte for byte.
+//!
+//! The four fault archetypes (§ docs/robustness.md):
+//!
+//! * **Straggler** — a device computes at `factor` × its healthy speed
+//!   from step `k` on (persistent).
+//! * **Link degradation** — every inter-stage link moves bytes at
+//!   `bandwidth_factor` × its healthy rate (persistent).
+//! * **Memory pressure** — a stage loses part of its activation budget
+//!   (Eq. 1–2's right-hand side shrinks; persistent).
+//! * **Transient stall** — one micro-batch on one device takes a
+//!   one-shot extra delay, then the world heals (transient).
+//!
+//! [`DegradedCluster`] presents the persistent faults as a view over
+//! `adapipe-hw`, so the profiler, simulator and trainer all see the
+//! same perturbed hardware.
+
+#![forbid(unsafe_code)]
+
+pub mod backoff;
+pub mod clock;
+pub mod degraded;
+pub mod events;
+pub mod inject;
+pub mod plan;
+pub mod watchdog;
+
+pub use backoff::{run_retries, RetryOutcome, RetryPolicy};
+pub use clock::{FaultClock, PendingStall};
+pub use degraded::DegradedCluster;
+pub use events::DegradationEvent;
+pub use inject::{apply_stalls, degraded_stage_execs};
+pub use plan::{Fault, FaultParseError, FaultPlan};
+pub use watchdog::{Diagnosis, Watchdog};

@@ -1,0 +1,613 @@
+//! The fault-plan DSL: a seed plus a list of faults, with a line-based
+//! text format (`adapipe-faults v1`) that round-trips byte for byte.
+
+use adapipe_units::{Bytes, MicroSecs};
+use std::error::Error;
+use std::fmt;
+
+/// Magic first line of the text format.
+pub const HEADER: &str = "adapipe-faults v1";
+
+/// One injected fault. Stage and device indices coincide for the plain
+/// 1F1B pipelines the chaos harness drives (stage `s` runs on device
+/// `s`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Device `device` computes at `factor` × its healthy speed (so
+    /// every kernel takes `1 / factor` × as long) from training step
+    /// `from_step` onwards. Persistent.
+    Straggler {
+        /// Affected device (= pipeline stage under 1F1B).
+        device: usize,
+        /// Remaining compute speed, in `(0, 1]`.
+        factor: f64,
+        /// First training step the slowdown applies to.
+        from_step: usize,
+    },
+    /// Every stage-boundary link moves bytes at `bandwidth_factor` ×
+    /// its healthy bandwidth. Persistent.
+    LinkDegradation {
+        /// Remaining bandwidth, in `(0, 1]`.
+        bandwidth_factor: f64,
+    },
+    /// Stage `stage` loses `shrink` bytes of activation budget — a
+    /// neighbouring job, fragmentation, or a shrunk reservation.
+    /// Persistent.
+    MemoryPressure {
+        /// Affected pipeline stage.
+        stage: usize,
+        /// Bytes removed from the stage's activation budget.
+        shrink: Bytes,
+    },
+    /// Micro-batch `micro_batch` on `device` takes `delay` extra time,
+    /// once, at a fire step drawn deterministically from the plan seed
+    /// by [`FaultClock`](crate::FaultClock). Transient.
+    TransientStall {
+        /// Affected device.
+        device: usize,
+        /// Affected micro-batch.
+        micro_batch: usize,
+        /// One-shot extra delay.
+        delay: MicroSecs,
+    },
+}
+
+/// A seeded, ordered list of faults. The seed drives every
+/// fault-scheduling decision, so equal plans perturb a run identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a healthy cluster) under `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends `fault` to the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault is out of range: a straggler or link factor
+    /// outside `(0, 1]`, or a negative/non-finite stall delay. The text
+    /// parser reports these as [`FaultParseError`]s instead.
+    pub fn push(&mut self, fault: Fault) {
+        match &fault {
+            Fault::Straggler { factor, .. } => {
+                assert!(
+                    *factor > 0.0 && *factor <= 1.0,
+                    "straggler factor must be in (0, 1], got {factor}"
+                );
+            }
+            Fault::LinkDegradation { bandwidth_factor } => {
+                assert!(
+                    *bandwidth_factor > 0.0 && *bandwidth_factor <= 1.0,
+                    "link bandwidth factor must be in (0, 1], got {bandwidth_factor}"
+                );
+            }
+            Fault::MemoryPressure { .. } => {}
+            Fault::TransientStall { delay, .. } => {
+                assert!(
+                    !delay.is_invalid_cost(),
+                    "stall delay must be a finite non-negative time, got {delay}"
+                );
+            }
+        }
+        self.faults.push(fault);
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`FaultPlan::push`].
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.push(fault);
+        self
+    }
+
+    /// The seed every fault-scheduling decision derives from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults, in plan order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing (a healthy cluster).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Combined bandwidth factor of every link-degradation fault
+    /// (product; 1.0 when none).
+    #[must_use]
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::LinkDegradation { bandwidth_factor } => Some(*bandwidth_factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Total activation-budget shrink charged to `stage`.
+    #[must_use]
+    pub fn budget_shrink(&self, stage: usize) -> Bytes {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MemoryPressure { stage: s, shrink } if *s == stage => Some(*shrink),
+                _ => None,
+            })
+            .fold(Bytes::ZERO, Bytes::saturating_add)
+    }
+
+    /// Compute-speed factor of `device` at training step `step`:
+    /// product of every straggler active by then (1.0 when healthy).
+    #[must_use]
+    pub fn compute_factor_at(&self, device: usize, step: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Straggler {
+                    device: d,
+                    factor,
+                    from_step,
+                } if *d == device && *from_step <= step => Some(*factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Whether any straggler or memory-pressure fault exists (the
+    /// persistent classes that warrant a replan once detected).
+    #[must_use]
+    pub fn has_persistent_faults(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::Straggler { .. }
+                    | Fault::MemoryPressure { .. }
+                    | Fault::LinkDegradation { .. }
+            )
+        })
+    }
+
+    /// Serializes the plan in the `adapipe-faults v1` text format. The
+    /// output is canonical: parsing it back yields an equal plan, and
+    /// equal plans serialize to identical bytes.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed = {}\n", self.seed));
+        for f in &self.faults {
+            match f {
+                Fault::Straggler {
+                    device,
+                    factor,
+                    from_step,
+                } => out.push_str(&format!(
+                    "straggler device={device} factor={factor:?} from-step={from_step}\n"
+                )),
+                Fault::LinkDegradation { bandwidth_factor } => {
+                    out.push_str(&format!("link bandwidth-factor={bandwidth_factor:?}\n"))
+                }
+                Fault::MemoryPressure { stage, shrink } => out.push_str(&format!(
+                    "mem-shrink stage={stage} bytes={}\n",
+                    shrink.get()
+                )),
+                Fault::TransientStall {
+                    device,
+                    micro_batch,
+                    delay,
+                } => out.push_str(&format!(
+                    "stall device={device} micro-batch={micro_batch} delay-us={:?}\n",
+                    delay.as_micros()
+                )),
+            }
+        }
+        out
+    }
+
+    /// Parses the `adapipe-faults v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FaultParseError`] naming the offending line.
+    pub fn from_text(text: &str) -> Result<Self, FaultParseError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            other => {
+                return Err(FaultParseError::BadHeader {
+                    found: other.map(|(_, h)| h.to_string()).unwrap_or_default(),
+                })
+            }
+        }
+        let mut seed: Option<u64> = None;
+        let mut faults = Vec::new();
+        for (idx, raw) in lines {
+            let line = idx + 1; // 1-based for humans
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let mut tokens = text.split_whitespace();
+            let Some(head) = tokens.next() else { continue };
+            let fields = Fields::parse(line, tokens.collect())?;
+            match head {
+                "seed" | "seed=" => {
+                    // "seed = N" splits as ["seed", "=", "N"]; Fields
+                    // treats the bare "=" + value pair specially.
+                    seed = Some(fields.bare_assignment(line)?);
+                }
+                "straggler" => {
+                    let factor = fields.f64(line, "factor")?;
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(FaultParseError::OutOfRange {
+                            line,
+                            what: format!("straggler factor {factor} not in (0, 1]"),
+                        });
+                    }
+                    faults.push(Fault::Straggler {
+                        device: fields.usize(line, "device")?,
+                        factor,
+                        from_step: fields.usize_or(line, "from-step", 0)?,
+                    });
+                }
+                "link" => {
+                    let bandwidth_factor = fields.f64(line, "bandwidth-factor")?;
+                    if !(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0) {
+                        return Err(FaultParseError::OutOfRange {
+                            line,
+                            what: format!("link bandwidth factor {bandwidth_factor} not in (0, 1]"),
+                        });
+                    }
+                    faults.push(Fault::LinkDegradation { bandwidth_factor });
+                }
+                "mem-shrink" => faults.push(Fault::MemoryPressure {
+                    stage: fields.usize(line, "stage")?,
+                    shrink: Bytes::new(fields.u64(line, "bytes")?),
+                }),
+                "stall" => {
+                    let delay = fields.f64(line, "delay-us")?;
+                    if !(delay.is_finite() && delay >= 0.0) {
+                        return Err(FaultParseError::OutOfRange {
+                            line,
+                            what: format!("stall delay {delay} must be finite and >= 0"),
+                        });
+                    }
+                    faults.push(Fault::TransientStall {
+                        device: fields.usize(line, "device")?,
+                        micro_batch: fields.usize(line, "micro-batch")?,
+                        delay: MicroSecs::new(delay),
+                    });
+                }
+                other => {
+                    return Err(FaultParseError::UnknownFault {
+                        line,
+                        kind: other.to_string(),
+                    })
+                }
+            }
+        }
+        let seed = seed.ok_or(FaultParseError::MissingSeed)?;
+        let mut plan = FaultPlan::new(seed);
+        // Ranges were validated above, so `push`'s asserts cannot fire.
+        for f in faults {
+            plan.push(f);
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+/// `key=value` fields of one fault line.
+struct Fields {
+    pairs: Vec<(String, String)>,
+}
+
+impl Fields {
+    fn parse(line: usize, tokens: Vec<&str>) -> Result<Self, FaultParseError> {
+        let mut pairs = Vec::new();
+        let mut rest = tokens.into_iter();
+        while let Some(tok) = rest.next() {
+            if tok == "=" {
+                // "seed = N": keep the bare assignment under the "" key.
+                let value = rest.next().unwrap_or("");
+                pairs.push((String::new(), value.to_string()));
+            } else if let Some((k, v)) = tok.split_once('=') {
+                pairs.push((k.to_string(), v.to_string()));
+            } else {
+                return Err(FaultParseError::BadToken {
+                    line,
+                    token: tok.to_string(),
+                });
+            }
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn bare_assignment(&self, line: usize) -> Result<u64, FaultParseError> {
+        let v = self.get("").ok_or(FaultParseError::MissingKey {
+            line,
+            key: "seed".to_string(),
+        })?;
+        v.parse().map_err(|_| FaultParseError::BadValue {
+            line,
+            key: "seed".to_string(),
+            value: v.to_string(),
+        })
+    }
+
+    fn required(&self, line: usize, key: &str) -> Result<&str, FaultParseError> {
+        self.get(key).ok_or_else(|| FaultParseError::MissingKey {
+            line,
+            key: key.to_string(),
+        })
+    }
+
+    fn usize(&self, line: usize, key: &str) -> Result<usize, FaultParseError> {
+        let v = self.required(line, key)?;
+        v.parse().map_err(|_| FaultParseError::BadValue {
+            line,
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    }
+
+    fn usize_or(&self, line: usize, key: &str, default: usize) -> Result<usize, FaultParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| FaultParseError::BadValue {
+                line,
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    fn u64(&self, line: usize, key: &str) -> Result<u64, FaultParseError> {
+        let v = self.required(line, key)?;
+        v.parse().map_err(|_| FaultParseError::BadValue {
+            line,
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    }
+
+    fn f64(&self, line: usize, key: &str) -> Result<f64, FaultParseError> {
+        let v = self.required(line, key)?;
+        v.parse().map_err(|_| FaultParseError::BadValue {
+            line,
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    }
+}
+
+/// Typed error from [`FaultPlan::from_text`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultParseError {
+    /// The first line is not `adapipe-faults v1`.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// No `seed = N` line.
+    MissingSeed,
+    /// A fault line starts with an unknown keyword.
+    UnknownFault {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown keyword.
+        kind: String,
+    },
+    /// A token is not `key=value`.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A required `key=value` field is absent.
+    MissingKey {
+        /// 1-based line number.
+        line: usize,
+        /// The missing key.
+        key: String,
+    },
+    /// A field's value does not parse.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The field's key.
+        key: String,
+        /// The unparseable value.
+        value: String,
+    },
+    /// A value parses but violates its range (factor outside `(0, 1]`,
+    /// negative delay).
+    OutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultParseError::BadHeader { found } => {
+                write!(f, "expected header {HEADER:?}, found {found:?}")
+            }
+            FaultParseError::MissingSeed => write!(f, "missing `seed = <n>` line"),
+            FaultParseError::UnknownFault { line, kind } => {
+                write!(f, "line {line}: unknown fault kind {kind:?}")
+            }
+            FaultParseError::BadToken { line, token } => {
+                write!(f, "line {line}: expected key=value, found {token:?}")
+            }
+            FaultParseError::MissingKey { line, key } => {
+                write!(f, "line {line}: missing field {key}=")
+            }
+            FaultParseError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value for {key}: {value:?}")
+            }
+            FaultParseError::OutOfRange { line, what } => {
+                write!(f, "line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for FaultParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        FaultPlan::new(42)
+            .with(Fault::Straggler {
+                device: 2,
+                factor: 0.6,
+                from_step: 1,
+            })
+            .with(Fault::LinkDegradation {
+                bandwidth_factor: 0.5,
+            })
+            .with(Fault::MemoryPressure {
+                stage: 1,
+                shrink: Bytes::from_gib(4),
+            })
+            .with(Fault::TransientStall {
+                device: 0,
+                micro_batch: 3,
+                delay: MicroSecs::new(5000.0),
+            })
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let plan = sample();
+        let text = plan.to_text();
+        let back = FaultPlan::from_text(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(text, back.to_text(), "canonical form must be stable");
+    }
+
+    #[test]
+    fn parses_comments_blank_lines_and_spaced_seed() {
+        let text = "adapipe-faults v1\n\n# a comment\nseed = 7\nstraggler device=0 factor=0.5\n";
+        let plan = FaultPlan::from_text(text).unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.faults().len(), 1);
+        // from-step defaults to 0.
+        assert!(matches!(
+            plan.faults()[0],
+            Fault::Straggler { from_step: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_missing_seed() {
+        assert!(matches!(
+            FaultPlan::from_text("nope\n"),
+            Err(FaultParseError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::from_text("adapipe-faults v1\nstraggler device=0 factor=0.5\n"),
+            Err(FaultParseError::MissingSeed)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_factors() {
+        for text in [
+            "adapipe-faults v1\nseed = 1\nstraggler device=0 factor=0.0\n",
+            "adapipe-faults v1\nseed = 1\nstraggler device=0 factor=1.5\n",
+            "adapipe-faults v1\nseed = 1\nlink bandwidth-factor=-0.5\n",
+            "adapipe-faults v1\nseed = 1\nstall device=0 micro-batch=0 delay-us=-1\n",
+        ] {
+            assert!(
+                matches!(
+                    FaultPlan::from_text(text),
+                    Err(FaultParseError::OutOfRange { .. })
+                ),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_kinds_and_bad_tokens() {
+        assert!(matches!(
+            FaultPlan::from_text("adapipe-faults v1\nseed = 1\nmeteor strike=1\n"),
+            Err(FaultParseError::UnknownFault { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::from_text("adapipe-faults v1\nseed = 1\nstraggler device\n"),
+            Err(FaultParseError::BadToken { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::from_text("adapipe-faults v1\nseed = 1\nstraggler factor=0.5\n"),
+            Err(FaultParseError::MissingKey { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::from_text("adapipe-faults v1\nseed = 1\nstraggler device=x factor=0.5\n"),
+            Err(FaultParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn derived_views_compose_faults() {
+        let plan = sample();
+        assert!((plan.bandwidth_factor() - 0.5).abs() < 1e-12);
+        assert_eq!(plan.budget_shrink(1), Bytes::from_gib(4));
+        assert_eq!(plan.budget_shrink(0), Bytes::ZERO);
+        // Straggler activates at step 1.
+        assert!((plan.compute_factor_at(2, 0) - 1.0).abs() < 1e-12);
+        assert!((plan.compute_factor_at(2, 1) - 0.6).abs() < 1e-12);
+        assert!((plan.compute_factor_at(0, 5) - 1.0).abs() < 1e-12);
+        assert!(plan.has_persistent_faults());
+        assert!(!FaultPlan::new(1).has_persistent_faults());
+    }
+
+    #[test]
+    fn errors_render_with_line_numbers() {
+        let e = FaultPlan::from_text("adapipe-faults v1\nseed = 1\nbogus x=1\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+}

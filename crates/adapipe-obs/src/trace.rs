@@ -7,6 +7,7 @@
 //! `pid`, `tid` and optional `args` — which both viewers accept
 //! directly.
 
+// lint: allow-file(swallowed-result): fmt::Write into a String cannot fail
 use crate::recorder::Snapshot;
 use crate::report::{escape_json, json_num};
 use std::fmt::Write as _;

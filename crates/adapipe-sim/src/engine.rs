@@ -4,6 +4,7 @@
 // obscure the id arithmetic.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::SimError;
 use crate::report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 use crate::task::{Discipline, TaskGraph};
 use adapipe_obs::Recorder;
@@ -71,6 +72,33 @@ pub fn simulate(graph: &TaskGraph) -> SimReport {
 /// Panics if the graph deadlocks (see [`simulate`]).
 #[must_use]
 pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
+    match try_simulate_traced(graph, rec) {
+        Ok(report) => report,
+        // lint: allow(panic): the panicking entry points keep their
+        // historical contract for callers that treat a deadlock as a
+        // programming bug; recoverable callers use try_simulate*.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`simulate`] returning a typed [`SimError`] instead of panicking on
+/// deadlock — the entry point for fault-injected graphs, where a stuck
+/// schedule is an expected outcome to detect, not a bug.
+///
+/// # Errors
+///
+/// [`SimError::Deadlock`] when some tasks can never run.
+pub fn try_simulate(graph: &TaskGraph) -> Result<SimReport, SimError> {
+    try_simulate_traced(graph, &Recorder::disabled())
+}
+
+/// [`try_simulate`], reporting engine effort to `rec` (see
+/// [`simulate_traced`] for the metrics emitted).
+///
+/// # Errors
+///
+/// [`SimError::Deadlock`] when some tasks can never run.
+pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimReport, SimError> {
     let _span = rec
         .span_cat("sim.run", "sim")
         .with_arg("schedule", &graph.name);
@@ -185,8 +213,7 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
                         }
                     }
                     Discipline::GreedyPriority => {
-                        if let Some(&(prio, id)) = dispatchable[dev].iter().next() {
-                            let _ = prio;
+                        if let Some(&(_prio, id)) = dispatchable[dev].iter().next() {
                             start_task!(id, now);
                         }
                     }
@@ -284,14 +311,12 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
                 ));
             }
         }
-        // lint: allow(panic): a deadlocked schedule is a caller-side logic
-        // bug (cyclic or underspecified task graph); the verifier's
-        // check_task_graph rejects such graphs before simulation.
-        panic!(
-            "schedule deadlocked: {completed}/{n} tasks ran ({}):\n  {}",
-            graph.name,
-            stuck.join("\n  ")
-        );
+        return Err(SimError::Deadlock {
+            schedule: graph.name.clone(),
+            completed,
+            total: n,
+            stuck,
+        });
     }
 
     timeline.sort_by(|a, b| {
@@ -325,13 +350,13 @@ pub fn simulate_traced(graph: &TaskGraph, rec: &Recorder) -> SimReport {
             );
         }
     }
-    SimReport {
+    Ok(SimReport {
         schedule: graph.name.clone(),
         makespan: MicroSecs::new(makespan),
         devices,
         timeline,
         memory_timeline,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -530,6 +555,79 @@ mod tests {
         assert!(snap.gauges.contains_key("sim.device0.busy_us"));
         assert!(snap.gauges.contains_key("sim.device1.bubble_us"));
         assert_eq!(snap.spans.iter().filter(|s| s.name == "sim.run").count(), 1);
+    }
+
+    #[test]
+    fn deadlock_returns_typed_error_from_try_simulate() {
+        let mut g = TaskGraph::new("cycle", 2, Discipline::GreedyPriority);
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        let b = g.push(
+            1,
+            MicroSecs::new(1.0),
+            vec![(a, MicroSecs::ZERO)],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(1),
+        );
+        // Close the cycle: a also waits on b.
+        g.add_dep(a, b, MicroSecs::ZERO);
+        match try_simulate(&g) {
+            Err(SimError::Deadlock {
+                completed,
+                total,
+                schedule,
+                stuck,
+            }) => {
+                assert_eq!((completed, total), (0, 2));
+                assert_eq!(schedule, "cycle");
+                assert!(!stuck.is_empty());
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule deadlocked")]
+    fn deadlock_still_panics_via_simulate() {
+        let mut g = TaskGraph::new("cycle", 1, Discipline::GreedyPriority);
+        let a = g.push(
+            0,
+            MicroSecs::new(1.0),
+            vec![],
+            Bytes::ZERO,
+            Bytes::ZERO,
+            0,
+            meta(0),
+        );
+        g.add_dep(a, a, MicroSecs::ZERO);
+        let _ = simulate(&g);
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_on_healthy_graphs() {
+        let mut g = TaskGraph::new("ok", 1, Discipline::FixedOrder);
+        let a = g.push(
+            0,
+            MicroSecs::new(2.0),
+            vec![],
+            Bytes::new(7),
+            Bytes::new(7),
+            0,
+            meta(0),
+        );
+        let _ = a;
+        let ok = try_simulate(&g).unwrap();
+        let plain = simulate(&g);
+        assert_eq!(ok, plain);
     }
 
     #[test]

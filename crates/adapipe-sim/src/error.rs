@@ -1,0 +1,88 @@
+//! Typed simulator errors: conditions that used to be debug-only
+//! assertions or panics, surfaced so release builds (and chaos
+//! harnesses) can detect and recover from them.
+
+use adapipe_units::Bytes;
+use std::error::Error;
+use std::fmt;
+
+/// A failure the engine or validators detected while (or after)
+/// executing a schedule.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A device's dynamic-memory high-water mark overran its budget.
+    /// Previously only a `debug_assert` caught over-budget stages; the
+    /// typed variant makes release builds detect them too.
+    BudgetExceeded {
+        /// The device (= pipeline stage for plain pipelines).
+        device: usize,
+        /// Observed dynamic high-water mark.
+        high_water: Bytes,
+        /// The budget it overran.
+        budget: Bytes,
+    },
+    /// The schedule deadlocked: some tasks can never run (a cyclic or
+    /// underspecified task graph).
+    Deadlock {
+        /// Schedule name.
+        schedule: String,
+        /// Tasks that did complete.
+        completed: usize,
+        /// Total tasks in the graph.
+        total: usize,
+        /// Up to eight stuck tasks with what they wait on.
+        stuck: Vec<String>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded {
+                device,
+                high_water,
+                budget,
+            } => write!(
+                f,
+                "device {device} exceeded its memory budget: high-water {high_water} over {budget}"
+            ),
+            SimError::Deadlock {
+                schedule,
+                completed,
+                total,
+                stuck,
+            } => write!(
+                f,
+                "schedule deadlocked: {completed}/{total} tasks ran ({schedule}):\n  {}",
+                stuck.join("\n  ")
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_quantities() {
+        let e = SimError::BudgetExceeded {
+            device: 3,
+            high_water: Bytes::new(200),
+            budget: Bytes::new(100),
+        };
+        assert!(e.to_string().contains("device 3"), "{e}");
+        let d = SimError::Deadlock {
+            schedule: "1f1b".into(),
+            completed: 5,
+            total: 8,
+            stuck: vec!["task 6 waits on [5]".into()],
+        };
+        let s = d.to_string();
+        assert!(s.contains("5/8"), "{s}");
+        assert!(s.contains("1f1b"), "{s}");
+    }
+}

@@ -42,12 +42,14 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod error;
 pub mod render;
 mod report;
 pub mod schedule;
 mod task;
 pub mod validate;
 
-pub use engine::{simulate, simulate_traced};
+pub use engine::{simulate, simulate_traced, try_simulate, try_simulate_traced};
+pub use error::SimError;
 pub use report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 pub use task::{Discipline, OpKind, StageExec, TaskGraph, TaskMeta};

@@ -2,6 +2,7 @@
 //! Chrome-trace JSON export (`chrome://tracing` / Perfetto) for
 //! inspecting simulated schedules interactively.
 
+// lint: allow-file(swallowed-result): fmt::Write into a String cannot fail
 use crate::report::SimReport;
 use crate::task::OpKind;
 use adapipe_units::{Bytes, MicroSecs};

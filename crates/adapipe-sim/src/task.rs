@@ -215,6 +215,43 @@ impl TaskGraph {
         id
     }
 
+    /// Lengthens a task by `extra` — fault injectors use this for
+    /// one-shot stalls without rebuilding the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range or `extra` is not a finite
+    /// non-negative time.
+    pub fn delay_task(&mut self, task: usize, extra: MicroSecs) {
+        assert!(task < self.tasks.len(), "task id out of range");
+        assert!(
+            !extra.is_invalid_cost(),
+            "delay must be a finite non-negative time"
+        );
+        self.tasks[task].dur += extra;
+    }
+
+    /// Scales the duration of every task on `device` by `1 / factor` —
+    /// a device computing at `factor` × its healthy speed takes
+    /// `1 / factor` × as long per task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or `factor` is not positive
+    /// and finite.
+    pub fn slow_device(&mut self, device: usize, factor: f64) {
+        assert!(device < self.devices, "device {device} out of range");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "compute factor must be positive and finite, got {factor}"
+        );
+        for t in &mut self.tasks {
+            if t.device == device {
+                t.dur = MicroSecs::new(t.dur.as_micros() / factor);
+            }
+        }
+    }
+
     /// Adds a dependency edge after the fact. Unlike [`TaskGraph::push`],
     /// `dep` may be any task id (forward references allowed); the caller
     /// must keep the graph acyclic — the engine panics on deadlock.

@@ -3,9 +3,10 @@
 //! users plugging in custom schedule generators) to catch generator
 //! bugs that would otherwise surface as silently-wrong timings.
 
+use crate::error::SimError;
 use crate::report::SimReport;
 use crate::task::OpKind;
-use adapipe_units::MicroSecs;
+use adapipe_units::{Bytes, MicroSecs};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -146,6 +147,32 @@ pub fn check(report: &SimReport, forwards_cover: usize) -> Result<(), ScheduleVi
     Ok(())
 }
 
+/// Checks every device's dynamic-memory high-water mark against its
+/// budget (`budgets[d]`; devices beyond `budgets.len()` are
+/// unchecked). An over-budget stage used to be "unreachable" — only a
+/// `debug_assert` in the evaluation path would notice — so release
+/// builds silently reported infeasible executions as fine; this makes
+/// the condition a first-class, typed error.
+///
+/// # Errors
+///
+/// [`SimError::BudgetExceeded`] for the first over-budget device.
+pub fn check_budgets(report: &SimReport, budgets: &[Bytes]) -> Result<(), SimError> {
+    for (device, d) in report.devices.iter().enumerate() {
+        let Some(&budget) = budgets.get(device) else {
+            continue;
+        };
+        if !d.peak_dynamic_bytes.fits(budget) {
+            return Err(SimError::BudgetExceeded {
+                device,
+                high_water: d.peak_dynamic_bytes,
+                budget,
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +255,27 @@ mod tests {
             check(&report, 1),
             Err(ScheduleViolation::UnbalancedPasses { .. })
         ));
+    }
+
+    #[test]
+    fn budget_check_flags_the_overrunning_device() {
+        let report = simulate(&schedule::one_f_one_b(&stages(3), 6, MicroSecs::ZERO));
+        // Stage 0 peaks at p = 3 saved "bytes"; a budget of 2 overruns.
+        match check_budgets(&report, &[Bytes::new(2)]).unwrap_err() {
+            SimError::BudgetExceeded {
+                device,
+                high_water,
+                budget,
+            } => {
+                assert_eq!(device, 0);
+                assert_eq!(budget, Bytes::new(2));
+                assert!(high_water > budget);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        // Generous budgets (and unchecked trailing devices) pass.
+        check_budgets(&report, &[Bytes::new(10), Bytes::new(10)]).unwrap();
+        check_budgets(&report, &[]).unwrap();
     }
 
     #[test]

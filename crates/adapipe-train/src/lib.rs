@@ -47,4 +47,5 @@ pub mod units;
 
 mod trainer;
 
+pub use pipeline::{train_iteration_watched, TrainWatchdog};
 pub use trainer::{train, LrSchedule, RecomputeMode, TrainReport, TrainerConfig};

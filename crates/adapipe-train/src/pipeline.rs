@@ -15,8 +15,39 @@ use crate::stage::{ExecCtx, ForwardCache, StageModule};
 use crate::tape::Tape;
 use crate::tensor::Tensor;
 use crate::units::Optimizer;
+use adapipe_faults::DegradationEvent;
+use adapipe_units::{Bytes, MicroSecs};
 use std::collections::VecDeque;
 use std::sync::mpsc;
+use std::time::Instant;
+
+/// Runtime degradation detection for the threaded trainer: per-stage
+/// saved-activation budgets and an optional per-op wall-clock deadline.
+/// An empty watchdog (the [`Default`]) checks nothing and costs nothing.
+///
+/// The trainer *reports* violations as typed [`DegradationEvent`]s and
+/// finishes the iteration — graceful degradation — rather than
+/// panicking mid-pipeline; the caller decides whether to retry, replan
+/// or abort.
+#[derive(Debug, Clone, Default)]
+pub struct TrainWatchdog {
+    /// Saved-activation high-water budget per stage (stages beyond
+    /// `budgets.len()` are unchecked) — the trainer-side analogue of
+    /// the Eq. (1)-(2) activation budget.
+    pub budgets: Vec<Bytes>,
+    /// Wall-clock deadline per forward/backward op (`None` disables
+    /// timing). The planner-side analogue is α × the planned stage
+    /// time; here the caller supplies the absolute cutoff.
+    pub deadline: Option<MicroSecs>,
+}
+
+impl TrainWatchdog {
+    /// Whether any check is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        !self.budgets.is_empty() || self.deadline.is_some()
+    }
+}
 
 /// Forward or backward slot in the per-stage script.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +106,24 @@ pub fn train_iteration_with(
     opt: Optimizer,
     step: usize,
 ) -> f32 {
+    train_iteration_watched(stages, batches, opt, step, &TrainWatchdog::default()).0
+}
+
+/// [`train_iteration_with`] plus runtime degradation detection: returns
+/// the mean loss and every [`DegradationEvent`] the watchdog raised
+/// (saved-activation high-water over budget, per-op deadline misses),
+/// in stage order. Violations never abort the iteration.
+///
+/// # Panics
+///
+/// As for [`train_iteration_with`].
+pub fn train_iteration_watched(
+    stages: &mut [StageModule],
+    batches: &[(Vec<usize>, Vec<usize>)],
+    opt: Optimizer,
+    step: usize,
+    watch: &TrainWatchdog,
+) -> (f32, Vec<DegradationEvent>) {
     let p = stages.len();
     let n = batches.len();
     assert!(p > 0, "need at least one stage");
@@ -97,6 +146,7 @@ pub fn train_iteration_with(
     bwd_rx.push(None);
 
     let mut loss_sum = 0.0f32;
+    let mut all_events = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (s, stage) in stages.iter_mut().enumerate() {
@@ -106,11 +156,31 @@ pub fn train_iteration_with(
             let bwd_in = bwd_rx[s].take();
             let bwd_out = bwd_tx[s].take();
             let batches = &batches;
+            let budget = watch.budgets.get(s).copied();
+            let deadline = watch.deadline;
             handles.push(scope.spawn(move || {
                 stage.zero_grads();
                 let mut caches: VecDeque<(usize, ForwardCache)> = VecDeque::new();
                 let mut pending_grads: VecDeque<(usize, Tensor)> = VecDeque::new();
                 let mut losses = 0.0f32;
+                let mut events: Vec<DegradationEvent> = Vec::new();
+                let mut live_bytes = 0usize;
+                let mut high_water = 0usize;
+                let check_deadline =
+                    |events: &mut Vec<DegradationEvent>, m: usize, started: Option<Instant>| {
+                        let (Some(deadline), Some(t0)) = (deadline, started) else {
+                            return;
+                        };
+                        let observed = MicroSecs::new(t0.elapsed().as_secs_f64() * 1e6);
+                        if observed > deadline {
+                            events.push(DegradationEvent::DeadlineMissed {
+                                stage: s,
+                                micro_batch: m,
+                                observed,
+                                deadline,
+                            });
+                        }
+                    };
                 let is_first = s == 0;
                 let is_last = s == p - 1;
                 for op in script {
@@ -120,16 +190,26 @@ pub fn train_iteration_with(
                                 step,
                                 micro_batch: m,
                             };
-                            let (cache, out) = if is_first {
-                                stage.forward(None, Some(&batches[m].0), ctx)
+                            // The deadline clocks compute, not the wait
+                            // for the upstream activation.
+                            let (x, started) = if is_first {
+                                (None, deadline.map(|_| Instant::now()))
                             } else {
                                 let x = fwd_in
                                     .as_ref()
                                     .expect("interior stage has input channel")
                                     .recv()
                                     .expect("previous stage alive");
-                                stage.forward(Some(x), None, ctx)
+                                (Some(x), deadline.map(|_| Instant::now()))
                             };
+                            let (cache, out) = if is_first {
+                                stage.forward(None, Some(&batches[m].0), ctx)
+                            } else {
+                                stage.forward(x, None, ctx)
+                            };
+                            check_deadline(&mut events, m, started);
+                            live_bytes += cache.saved_bytes();
+                            high_water = high_water.max(live_bytes);
                             caches.push_back((m, cache));
                             if let Some(tx) = &fwd_out {
                                 tx.send(out).expect("next stage alive");
@@ -158,10 +238,13 @@ pub fn train_iteration_with(
                                     .recv()
                                     .expect("next stage alive")
                             };
+                            let started = deadline.map(|_| Instant::now());
                             let (cm, cache) =
                                 caches.pop_front().expect("forward precedes backward");
                             assert_eq!(cm, m, "1f1b order violated");
                             let g_in = stage.backward(&cache, grad);
+                            check_deadline(&mut events, m, started);
+                            live_bytes = live_bytes.saturating_sub(cache.saved_bytes());
                             if let Some(tx) = &bwd_out {
                                 tx.send(g_in.expect("non-embedding stage has input grad"))
                                     .expect("previous stage alive");
@@ -169,15 +252,27 @@ pub fn train_iteration_with(
                         }
                     }
                 }
+                if let Some(budget) = budget {
+                    let high_water = Bytes::new(high_water as u64);
+                    if !high_water.fits(budget) {
+                        events.push(DegradationEvent::BudgetExceeded {
+                            stage: s,
+                            high_water,
+                            budget,
+                        });
+                    }
+                }
                 stage.optimizer_step(opt, step + 1, n as f32);
-                losses
+                (losses, events)
             }));
         }
         for h in handles {
-            loss_sum += h.join().expect("stage thread panicked");
+            let (losses, events) = h.join().expect("stage thread panicked");
+            loss_sum += losses;
+            all_events.extend(events);
         }
     });
-    loss_sum / n as f32
+    (loss_sum / n as f32, all_events)
 }
 
 #[cfg(test)]
@@ -279,6 +374,84 @@ mod tests {
             let lf = train_iteration(&mut full, &bs, 0.05);
             let ln = train_iteration(&mut none, &bs, 0.05);
             assert_eq!(lf, ln, "losses diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_changes_nothing_and_raises_nothing() {
+        let bs = batches(3, 6);
+        let mut plain = two_stage(true);
+        let mut watched = two_stage(true);
+        let expect = train_iteration(&mut plain, &bs, 0.05);
+        let (loss, events) = train_iteration_watched(
+            &mut watched,
+            &bs,
+            Optimizer::Sgd { lr: 0.05 },
+            0,
+            &TrainWatchdog::default(),
+        );
+        assert_eq!(loss, expect, "watchdog must not perturb the math");
+        assert!(events.is_empty(), "{events:?}");
+        assert!(!TrainWatchdog::default().is_armed());
+    }
+
+    #[test]
+    fn activation_overrun_is_reported_not_fatal() {
+        let mut stages = two_stage(true);
+        let bs = batches(3, 6);
+        // A 1-byte budget on stage 0; stage 1 unchecked.
+        let watch = TrainWatchdog {
+            budgets: vec![adapipe_units::Bytes::new(1)],
+            deadline: None,
+        };
+        let (loss, events) =
+            train_iteration_watched(&mut stages, &bs, Optimizer::Sgd { lr: 0.05 }, 0, &watch);
+        assert!(
+            loss.is_finite(),
+            "iteration must complete despite the overrun"
+        );
+        assert_eq!(events.len(), 1, "{events:?}");
+        match &events[0] {
+            DegradationEvent::BudgetExceeded {
+                stage,
+                high_water,
+                budget,
+            } => {
+                assert_eq!(*stage, 0);
+                assert!(*high_water > *budget);
+            }
+            other => panic!("expected a budget event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_reports_misses_with_op_identity() {
+        let mut stages = two_stage(true);
+        let bs = batches(2, 6);
+        let watch = TrainWatchdog {
+            budgets: Vec::new(),
+            deadline: Some(MicroSecs::new(0.0)),
+        };
+        assert!(watch.is_armed());
+        let (_, events) =
+            train_iteration_watched(&mut stages, &bs, Optimizer::Sgd { lr: 0.05 }, 0, &watch);
+        // Every op takes > 0 µs, so every (stage, micro-batch, pass)
+        // misses: 2 stages × 2 micro-batches × 2 passes.
+        assert_eq!(events.len(), 8, "{events:?}");
+        for e in &events {
+            match e {
+                DegradationEvent::DeadlineMissed {
+                    stage,
+                    micro_batch,
+                    observed,
+                    deadline,
+                } => {
+                    assert!(*stage < 2);
+                    assert!(*micro_batch < 2);
+                    assert!(observed > deadline);
+                }
+                other => panic!("expected deadline misses, got {other:?}"),
+            }
         }
     }
 

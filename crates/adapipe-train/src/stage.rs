@@ -385,7 +385,7 @@ impl StageModule {
     fn backward_layer(
         &mut self,
         first: usize,
-        last: usize,
+        _last: usize,
         layer_input: Option<&Tensor>,
         outs: &[Tensor],
         grad_out: Tensor,
@@ -442,7 +442,6 @@ impl StageModule {
             }
             UnitKind::FfnNorm if self.units[first + 1].kind == UnitKind::FfnGate => {
                 // SwiGLU: [norm, gate, up, act_gated, down].
-                let _ = last;
                 let layer_in = layer_input.expect("ffn needs layer input").clone();
                 let (g_act, g_resid) =
                     self.backprop_residual(first + 4, first, &outs[3], &layer_in, grad_out, ctx);
@@ -470,7 +469,6 @@ impl StageModule {
             }
             UnitKind::FfnNorm => {
                 // GeLU: [norm, fc1, act, fc2].
-                let _ = last;
                 let layer_in = layer_input.expect("ffn needs layer input").clone();
                 let (g_act, g_resid) =
                     self.backprop_residual(first + 3, first, &outs[2], &layer_in, grad_out, ctx);

@@ -375,7 +375,6 @@ fn init(rows: usize, cols: usize, kind: UnitKind, index: usize, rng: &mut StdRng
                 *v = 1.0;
             }
         }
-        let _ = rng;
         t
     } else {
         let std = 0.02f32.max((1.0 / rows as f32).sqrt() * 0.5);

@@ -47,21 +47,27 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 mod error;
 mod evaluate;
 mod method;
 mod plan;
 pub mod plan_io;
 mod planner;
+pub mod replan;
 mod search;
 pub mod verify;
 
+pub use chaos::{ChaosConfig, ChaosOutcome};
 pub use error::PlanError;
 pub use evaluate::{Evaluation, Throughput};
 pub use method::Method;
 pub use plan::{Plan, StagePlan};
 pub use plan_io::PlanParseError;
 pub use planner::Planner;
+pub use replan::{
+    degraded_iteration_time, fits_degraded, ReplanConfig, ReplanOutcome, RetryRecord,
+};
 pub use search::{best_outcome, sweep_parallel_strategies, StrategyOutcome};
 pub use verify::VerifyOptions;
 

@@ -21,6 +21,7 @@
 //!   [`from_text_with_warnings`] reports the conversion so callers can
 //!   nudge users to re-save.
 
+// lint: allow-file(swallowed-result): fmt::Write into a String cannot fail
 use crate::method::Method;
 use crate::plan::{Plan, StagePlan};
 use adapipe_memory::StageMemory;

@@ -19,6 +19,9 @@
 //! | `index-confusion` | raw `.0`/tuple-constructor access to the index        |
 //! |                | newtypes outside the designated `::new()`/`.get()`       |
 //! |                | conversion helpers                                       |
+//! | `swallowed-result` | `let _ = ...` discards in library code — the idiom   |
+//! |                | that silently drops a `Result` (and with it the error    |
+//! |                | path); handle the value or bind it to a named `_x`       |
 //!
 //! Any rule can be waived at a site with `// lint: allow(rule): reason`
 //! (covers that line and the next) or for a whole file with
@@ -78,6 +81,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 check_panic_freedom(&file, &mut violations);
                 check_float_eq(&file, &mut violations);
                 check_index_confusion(&file, &mut violations);
+                check_swallowed_result(&file, &mut violations);
                 if COST_CRATES.contains(&crate_name.as_str()) {
                     check_raw_quantities(&file, &mut violations);
                 }
@@ -103,6 +107,7 @@ const RULES: &[&str] = &[
     "unsafe-header",
     "raw-quantity-in-api",
     "index-confusion",
+    "swallowed-result",
 ];
 
 /// The crates whose public APIs must speak `adapipe-units` newtypes.
@@ -422,6 +427,50 @@ pub fn check_index_confusion(file: &SourceFile, out: &mut Vec<Violation>) {
                         "raw `.0` extraction from index `{lhs}` — use `.get()`",
                         lhs = lhs.trim()
                     ),
+                });
+            }
+        }
+    }
+}
+
+/// `swallowed-result`: a wildcard `let _ = ...;` discard in non-test
+/// library code. The pattern is how `Result`s get silently dropped —
+/// the compiler's `#[must_use]` on `Result` is satisfied, but the error
+/// path vanishes without a trace (the fault-injection work found
+/// exactly such swallowed watchdog plumbing). Handle the value, bind it
+/// to a *named* underscore (`let _ack = ...`, which documents intent
+/// without defeating `#[must_use]` audits), or waive with a reason.
+pub fn check_swallowed_result(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("swallowed-result", i) {
+            continue;
+        }
+        for (pos, _) in line.match_indices("let _") {
+            // `outlet _`-style identifier runs are not the keyword.
+            let prev = line[..pos].chars().next_back();
+            if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            // `let _x = ...` is a named discard and stays legal.
+            let rest = &line[pos + "let _".len()..];
+            if rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            // Require an assignment: `let _ = ...` (not `let _;`).
+            let after = rest.trim_start();
+            if after.starts_with('=') && !after.starts_with("==") {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    rule: "swallowed-result",
+                    message: "`let _ = ...` silently discards the value — and with it any \
+                              `Result` error path; handle it, bind a named `_x`, or waive \
+                              with a reason"
+                        .to_string(),
                 });
             }
         }
@@ -837,6 +886,54 @@ mod tests {
         );
         let mut v = Vec::new();
         check_index_confusion(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn swallowed_result_flags_wildcard_discards_only() {
+        let f = file(
+            "fn a() { let _ = fallible(); }\n\
+             fn b() { let _ack = fallible(); }\n\
+             fn c() { let _span = rec.span(\"x\"); }\n\
+             fn d(x: usize) { if x == 1 { } }\n\
+             #[cfg(test)]\nmod t {\n fn e() { let _ = fallible(); }\n}\n",
+        );
+        let mut v = Vec::new();
+        check_swallowed_result(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            1,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!((v[0].line, v[0].rule), (1, "swallowed-result"));
+    }
+
+    #[test]
+    fn swallowed_result_waivers_suppress_site_and_file() {
+        let site = file(
+            "// lint: allow(swallowed-result): best-effort cache warm-up\n\
+             fn a() { let _ = warm(); }\n",
+        );
+        let mut v = Vec::new();
+        check_swallowed_result(&site, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+
+        let whole = file(
+            "// lint: allow-file(swallowed-result): fmt::Write into a String cannot fail\n\
+             fn a(out: &mut String) { let _ = writeln!(out, \"x\"); }\n\
+             fn b(out: &mut String) { let _ = write!(out, \"y\"); }\n",
+        );
+        let mut v = Vec::new();
+        check_swallowed_result(&whole, &mut v);
         assert!(
             v.is_empty(),
             "{:?}",

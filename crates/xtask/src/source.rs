@@ -275,7 +275,6 @@ fn find_test_regions(masked: &str, n_lines: usize) -> Vec<bool> {
             continue;
         }
         let mut depth = 0i64;
-        let start = j;
         while j < bytes.len() {
             match bytes[j] {
                 '{' => depth += 1,
@@ -294,7 +293,6 @@ fn find_test_regions(masked: &str, n_lines: usize) -> Vec<bool> {
         for t in test.iter_mut().take(last + 1).skip(first) {
             *t = true;
         }
-        let _ = start;
         i = j + 1;
     }
     test

@@ -1,0 +1,3 @@
+pub fn persist(path: &str, text: &str) {
+    let _ = std::fs::write(path, text);
+}

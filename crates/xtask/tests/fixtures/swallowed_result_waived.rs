@@ -1,0 +1,4 @@
+pub fn persist(path: &str, text: &str) {
+    // lint: allow(swallowed-result): best-effort cache persist, cold start is fine
+    let _ = std::fs::write(path, text);
+}

@@ -9,7 +9,8 @@
 use std::path::{Path, PathBuf};
 use xtask::lint::{
     check_float_eq, check_index_confusion, check_panic_freedom, check_raw_quantities,
-    check_traced_pairs, check_unsafe_header, check_waiver_reasons, Violation,
+    check_swallowed_result, check_traced_pairs, check_unsafe_header, check_waiver_reasons,
+    Violation,
 };
 use xtask::source::SourceFile;
 
@@ -52,6 +53,11 @@ fn each_rule_fires_on_its_fixture_and_respects_waivers() {
             "index-confusion",
             "index_confusion.rs",
             check_index_confusion,
+        ),
+        (
+            "swallowed-result",
+            "swallowed_result.rs",
+            check_swallowed_result,
         ),
     ];
     for (rule, file, checker) in cases {

@@ -1,14 +1,19 @@
 //! Robustness and determinism: the search must be stable under
-//! profiling jitter (real measurements are noisy) and byte-for-byte
-//! reproducible across runs.
+//! profiling jitter (real measurements are noisy), byte-for-byte
+//! reproducible across runs, and the fault-injection ladder must
+//! degrade gracefully — typed events and verified replans, never
+//! deadlocks or panics — for *any* seeded fault scenario.
 
-use adapipe::{plan_io, Method, Planner};
+use adapipe::{plan_io, ChaosConfig, Method, Planner};
+use adapipe_faults::{DegradedCluster, Fault, FaultPlan};
 use adapipe_hw::presets as hw;
 use adapipe_memory::{MemoryModel, OptimizerSpec};
 use adapipe_model::{presets, LayerSeq, ParallelConfig, TrainConfig};
 use adapipe_profiler::{NoiseConfig, Profiler};
 use adapipe_recompute::optimize;
 use adapipe_units::{Bytes, MicroSecs};
+use proptest::prelude::*;
+use std::path::Path;
 
 #[test]
 fn knapsack_is_stable_under_measurement_noise() {
@@ -110,4 +115,114 @@ fn noisy_profiles_still_produce_feasible_plans() {
         assert_eq!(plan.ranges.len(), 8);
         assert!(plan.iteration_time().is_finite());
     }
+}
+
+/// A small world the chaos property tests share: gpt2 on one node of
+/// cluster A at (t=2, p=4).
+fn chaos_world() -> (Planner, ParallelConfig, TrainConfig) {
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a_with_nodes(1));
+    let parallel = ParallelConfig::new(2, 4, 1).unwrap();
+    let train = TrainConfig::new(1, 512, 16).unwrap();
+    (planner, parallel, train)
+}
+
+fn read_golden(rel: &str) -> String {
+    // CARGO_MANIFEST_DIR is crates/adapipe; the shared fixtures live at
+    // the workspace root.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+proptest! {
+    // Each case is a full plan → inject → detect → replan cycle;
+    // 16 cases keeps the suite under a few seconds.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seeded fault scenario terminates with typed events — the
+    /// chaos run never deadlocks or panics — and whenever the ladder
+    /// escalates to a replan, the replanned artifact passes the static
+    /// verifier with zero error-severity diagnostics.
+    #[test]
+    fn arbitrary_fault_plans_degrade_gracefully(
+        seed in 0u64..1_000_000,
+        straggler_device in 0usize..8,
+        factor in 0.4f64..1.0,
+        shrink_mib in 0u64..48,
+        stall_device in 0usize..8,
+        stall_micro_batch in 0usize..16,
+        delay_us in 0.0f64..20_000.0,
+    ) {
+        let (planner, parallel, train) = chaos_world();
+        let faults = FaultPlan::new(seed)
+            .with(Fault::Straggler {
+                device: straggler_device,
+                factor,
+                from_step: 0,
+            })
+            .with(Fault::MemoryPressure {
+                stage: straggler_device % 4,
+                shrink: Bytes::from_mib(shrink_mib),
+            })
+            .with(Fault::TransientStall {
+                device: stall_device,
+                micro_batch: stall_micro_batch,
+                delay: MicroSecs::new(delay_us),
+            });
+        let degraded = DegradedCluster::new(hw::cluster_a_with_nodes(1), faults);
+        // Typed result, not a panic or a hang: injection may slow and
+        // stall tasks but must never corrupt the 1F1B DAG.
+        let outcome = planner
+            .chaos_run(parallel, train, &degraded, &ChaosConfig::default())
+            .expect("chaos run must terminate with typed events");
+        if let Some(plan) = &outcome.replan.plan {
+            let report = planner.verify(plan);
+            prop_assert_eq!(
+                report.error_count(), 0,
+                "replanned plan failed verification:\n{}", report
+            );
+        }
+        if let Some(report) = &outcome.verify {
+            prop_assert_eq!(report.error_count(), 0, "chaos verify: {}", report);
+        }
+    }
+}
+
+/// The checked-in chaos scenario (stage-2 straggler at 0.6× compute) is
+/// pinned byte-for-byte: same fault file, same report, same replanned
+/// plan. Any drift in the watchdog, the ladder, or the report format is
+/// a reviewable diff, not a silent behaviour change. Regenerate with:
+/// `cargo run -p adapipe-cli -- chaos --faults tests/golden/chaos/straggler_stage2.faults
+///    --out ... --replan-out ... --model gpt2 --cluster a --nodes 1
+///    --tensor 2 --pipeline 4 --seq 512 --global-batch 16`
+#[test]
+fn golden_chaos_scenario_is_pinned_byte_for_byte() {
+    let faults =
+        FaultPlan::from_text(&read_golden("tests/golden/chaos/straggler_stage2.faults")).unwrap();
+    let (planner, parallel, train) = chaos_world();
+    let degraded = DegradedCluster::new(hw::cluster_a_with_nodes(1), faults);
+    let outcome = planner
+        .chaos_run(parallel, train, &degraded, &ChaosConfig::default())
+        .unwrap();
+
+    let report = read_golden("tests/golden/chaos/straggler_stage2.report");
+    assert_eq!(outcome.report, report, "chaos report drifted");
+    assert!(report.contains("action = replan"), "{report}");
+    assert!(report.contains("improved = true"), "{report}");
+
+    let replanned = outcome
+        .replan
+        .plan
+        .expect("straggler escalates to a replan");
+    let golden = read_golden("tests/golden/chaos/straggler_stage2.replan");
+    assert_eq!(
+        plan_io::to_text(&replanned),
+        golden,
+        "replanned plan drifted"
+    );
+    assert!(
+        golden.starts_with("adapipe-plan v2"),
+        "replanned golden must carry the v2 units header"
+    );
 }
