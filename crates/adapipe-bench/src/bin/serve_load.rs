@@ -1,0 +1,157 @@
+//! Extension: planner-as-a-service throughput — content-addressed
+//! cache hits vs cold plans.
+//!
+//! The paper's workflow (profile once, search in seconds, reuse across
+//! jobs) makes the planner a natural service; what the service adds is
+//! *result reuse*. This load test drives an in-process `adapipe-serve`
+//! daemon over real loopback HTTP and measures the two regimes the
+//! ISSUE pins: cold misses (full §4+§5 search per request) and cache
+//! hits on the golden GPT-2 config (digest lookup + byte-identical
+//! replay). Hits must return in under a millisecond at the median and
+//! sustain at least 10x the miss throughput.
+
+use adapipe_bench::{emit_bench_json, print_table};
+use adapipe_obs::Recorder;
+use adapipe_serve::{client, PlanRequest, ServeConfig, Server};
+use std::time::Instant;
+
+/// The golden config: the same GPT-2 world the checked-in golden plans
+/// and the CI serve job use.
+fn golden() -> PlanRequest {
+    PlanRequest {
+        model: "gpt2".to_string(),
+        cluster: "a".to_string(),
+        nodes: 1,
+        ..PlanRequest::new(2, 4, 1024, 32)
+    }
+}
+
+fn main() {
+    const MISSES: usize = 8;
+    const HIT_THREADS: usize = 4;
+    const HITS_PER_THREAD: usize = 100;
+
+    let rec = Recorder::new();
+    let t0 = Instant::now();
+    let server = Server::bind(
+        ServeConfig {
+            port: 0,
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        rec.clone(),
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Cold regime: distinct digests, every request runs the full
+    // search. Sequential, so the measured rate is per-worker.
+    let miss_start = Instant::now();
+    for i in 0..MISSES {
+        let mut req = golden();
+        req.global_batch = 32 * (i + 2); // gbs 32 itself is the golden entry, seeded below
+        let resp = client::post_plan(&addr, &req.to_wire_text()).expect("daemon reachable");
+        assert_eq!(resp.status, 200, "cold plan failed: {}", resp.body);
+        assert_eq!(resp.header("x-adapipe-cache"), Some("miss"));
+    }
+    let miss_wall = miss_start.elapsed().as_secs_f64();
+    let miss_rps = MISSES as f64 / miss_wall;
+
+    // Seed the golden entry and keep its cold bytes for the identity
+    // check.
+    let cold = client::post_plan(&addr, &golden().to_wire_text()).expect("daemon reachable");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-adapipe-cache"), Some("miss"));
+    let cold_body = cold.body;
+
+    // Hot regime: every thread hammers the one golden digest.
+    let hit_start = Instant::now();
+    let handles: Vec<_> = (0..HIT_THREADS)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = golden().to_wire_text();
+            let expected = cold_body.clone();
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(HITS_PER_THREAD);
+                for _ in 0..HITS_PER_THREAD {
+                    let t = Instant::now();
+                    let resp = client::post_plan(&addr, &body).expect("daemon reachable");
+                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    assert_eq!(resp.header("x-adapipe-cache"), Some("hit"));
+                    assert_eq!(resp.body, expected, "cache hit must be byte-identical");
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("hit thread"))
+        .collect();
+    let hit_wall = hit_start.elapsed().as_secs_f64();
+    let hits = HIT_THREADS * HITS_PER_THREAD;
+    let hit_rps = hits as f64 / hit_wall;
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = latencies_us[latencies_us.len() / 2];
+    let p99 = latencies_us[latencies_us.len() * 99 / 100];
+    let speedup = hit_rps / miss_rps;
+
+    for (key, value) in [
+        ("bench.serve_load.miss.rps", miss_rps),
+        ("bench.serve_load.hit.rps", hit_rps),
+        ("bench.serve_load.hit.p50_us", p50),
+        ("bench.serve_load.hit.p99_us", p99),
+        ("bench.serve_load.hit_over_miss", speedup),
+    ] {
+        rec.gauge(key, value);
+    }
+    for us in &latencies_us {
+        rec.observe("bench.serve_load.hit.us", *us);
+    }
+
+    print_table(
+        "Planner-as-a-service throughput — GPT-2 golden config, 4 workers",
+        &["regime", "requests", "req/s", "p50 (us)"],
+        &[
+            vec![
+                "cold (full search)".to_string(),
+                format!("{MISSES}"),
+                format!("{miss_rps:.1}"),
+                "-".to_string(),
+            ],
+            vec![
+                "hit (digest replay)".to_string(),
+                format!("{hits}"),
+                format!("{hit_rps:.1}"),
+                format!("{p50:.0}"),
+            ],
+        ],
+    );
+    println!(
+        "\nhit/miss throughput = {speedup:.1}x; every hit byte-identical to the cold plan.\n\
+         Expected shape: p50 under 1 ms and at least a 10x throughput gap — the cache\n\
+         turns a full Algorithm 1 search into a digest lookup."
+    );
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.rejected, 0, "no request should have been shed");
+    assert!(
+        p50 < 1_000.0,
+        "cache-hit p50 must be under 1ms, got {p50:.0}us"
+    );
+    assert!(
+        speedup >= 10.0,
+        "cache hits must sustain >= 10x miss throughput, got {speedup:.1}x"
+    );
+
+    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    emit_bench_json(
+        "serve_throughput",
+        &rec,
+        &[
+            ("extension", "planner-as-a-service"),
+            ("config", "gpt2/a/1-node t2 p4 seq1024 gbs32"),
+        ],
+    );
+}

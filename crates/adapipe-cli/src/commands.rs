@@ -1,4 +1,5 @@
-//! The CLI subcommands: `plan`, `sweep`, `compare`, `models`.
+//! The CLI subcommands: `plan`, `sweep`, `compare`, `serve`, `query`,
+//! `models`, and friends.
 
 use crate::args::Args;
 use crate::config::{self, ConfigError};
@@ -6,6 +7,26 @@ use adapipe::{best_outcome, sweep_parallel_strategies, ChaosConfig, Method, Plan
 use adapipe_faults::{DegradedCluster, FaultPlan};
 use adapipe_memory::OptimizerSpec;
 use adapipe_obs::Recorder;
+use adapipe_serve::{client, PlanRequest, ServeConfig, Server};
+use adapipe_units::MicroSecs;
+use std::time::Duration;
+
+/// Writes an output artifact, creating missing parent directories
+/// first so `--out results/deep/file.json` works on a fresh checkout.
+/// Failure is an artifact error (exit code 1): the computation
+/// succeeded but the deliverable was not produced.
+fn write_artifact(path: &str, contents: &str) -> Result<(), ConfigError> {
+    let artifact = |e: std::io::Error| ConfigError::Artifact {
+        path: path.to_string(),
+        message: e.to_string(),
+    };
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(artifact)?;
+        }
+    }
+    std::fs::write(path, contents).map_err(artifact)
+}
 
 /// The observability flags shared by `plan`, `sweep` and `compare`:
 /// `--metrics-out FILE` (JSON metrics report) and `--chrome-trace FILE`
@@ -65,14 +86,12 @@ impl ObsSink {
         let snap = self.rec.snapshot();
         if let Some(path) = &self.metrics_out {
             let json = adapipe_obs::report::metrics_json(&snap, meta);
-            std::fs::write(path, json)
-                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            write_artifact(path, &json)?;
             out.push_str(&format!("metrics written to {path}\n"));
         }
         if let Some(path) = &self.chrome_trace {
             let json = adapipe_obs::trace::chrome_trace_json(&snap);
-            std::fs::write(path, json)
-                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            write_artifact(path, &json)?;
             out.push_str(&format!(
                 "chrome trace written to {path} ({} spans)\n",
                 snap.spans.len()
@@ -127,8 +146,7 @@ pub fn plan(mut args: Args) -> Result<String, ConfigError> {
             let eval = planner.evaluate(&plan);
             let mut out = format!("{plan}\nevaluation: {eval}\n");
             if let Some(path) = out_file {
-                std::fs::write(&path, adapipe::plan_io::to_text(&plan))
-                    .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+                write_artifact(&path, &adapipe::plan_io::to_text(&plan))?;
                 out.push_str(&format!("plan written to {path}\n"));
             }
             out.push_str(&sink.flush(&[
@@ -175,8 +193,7 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
     let json = adapipe_sim::render::to_chrome_trace(&eval.report);
     match out_file {
         Some(path) => {
-            std::fs::write(&path, &json)
-                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            write_artifact(&path, &json)?;
             Ok(format!(
                 "{warnings}{} events written to {path} ({:.3}s makespan)\n",
                 eval.report.timeline.len(),
@@ -308,8 +325,7 @@ pub fn chaos(mut args: Args) -> Result<String, ConfigError> {
     let mut out = String::new();
     match &out_file {
         Some(path) => {
-            std::fs::write(path, &outcome.report)
-                .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+            write_artifact(path, &outcome.report)?;
             out.push_str(&format!("chaos report written to {path}\n"));
         }
         None => out.push_str(&outcome.report),
@@ -317,8 +333,7 @@ pub fn chaos(mut args: Args) -> Result<String, ConfigError> {
     if let Some(path) = &replan_out {
         match &outcome.replan.plan {
             Some(plan) => {
-                std::fs::write(path, adapipe::plan_io::to_text(plan))
-                    .map_err(|e| ConfigError::Domain(format!("cannot write {path}: {e}")))?;
+                write_artifact(path, &adapipe::plan_io::to_text(plan))?;
                 out.push_str(&format!("replanned plan written to {path}\n"));
             }
             None => out.push_str("no replan was needed; --replan-out skipped\n"),
@@ -423,6 +438,176 @@ pub fn compare(mut args: Args) -> Result<String, ConfigError> {
     Ok(out)
 }
 
+/// `adapipe serve`: run the planner daemon until a client posts
+/// `/admin/shutdown`. Prints the bound address immediately (flushed)
+/// so `--port 0` callers can discover the ephemeral port, then blocks
+/// draining requests.
+pub fn serve(mut args: Args) -> Result<String, ConfigError> {
+    let host = args.take("host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = args.take_parsed("port", "a port number")?.unwrap_or(8080);
+    let workers: usize = args
+        .take_parsed("workers", "a positive integer")?
+        .unwrap_or(4);
+    let cache_capacity: usize = args
+        .take_parsed("cache-capacity", "a positive integer")?
+        .unwrap_or(1024);
+    let queue_depth: usize = args
+        .take_parsed("queue-depth", "a positive integer")?
+        .unwrap_or(64);
+    let deadline_ms: Option<f64> = args.take_parsed("deadline-ms", "milliseconds")?;
+    let plan_delay_ms: Option<u64> =
+        args.take_parsed("plan-delay-ms", "milliseconds (testing aid)")?;
+    args.finish()?;
+
+    let cfg = ServeConfig {
+        host: host.clone(),
+        port,
+        workers,
+        cache_capacity,
+        queue_depth,
+        default_deadline: deadline_ms.map(|ms| MicroSecs::new(ms * 1e3)),
+        plan_delay: plan_delay_ms.map(Duration::from_millis),
+    };
+    let server = Server::bind(cfg, Recorder::new())
+        .map_err(|e| ConfigError::Domain(format!("cannot bind {host}:{port}: {e}")))?;
+    println!("adapipe-serve listening on http://{}", server.addr());
+    println!("  workers={workers} cache-capacity={cache_capacity} queue-depth={queue_depth}");
+    use std::io::Write as _;
+    // lint: allow(swallowed-result): stdout flush failure cannot be reported anywhere better
+    let _flushed = std::io::stdout().flush();
+    let summary = server.join();
+    Ok(format!(
+        "drained: {} requests served ({} cache hits, {} misses, {} rejected)\n",
+        summary.requests, summary.cache_hits, summary.cache_misses, summary.rejected
+    ))
+}
+
+/// Builds a [`PlanRequest`] body from `query` flags. Only
+/// `--tensor/--pipeline/--seq/--global-batch` are required; everything
+/// else keeps the same defaults the daemon would materialize.
+fn plan_request_from_args(args: &mut Args) -> Result<PlanRequest, ConfigError> {
+    let tensor = args.require_parsed("tensor", "a positive integer")?;
+    let pipeline = args.require_parsed("pipeline", "a positive integer")?;
+    let seq_len = args.require_parsed("seq", "a positive integer")?;
+    let global_batch = args.require_parsed("global-batch", "a positive integer")?;
+    let mut req = PlanRequest::new(tensor, pipeline, seq_len, global_batch);
+    if let Some(model) = args.take("model") {
+        req.model = model;
+    }
+    if let Some(cluster) = args.take("cluster") {
+        req.nodes = adapipe_serve::names::default_nodes(&cluster).ok_or_else(|| {
+            ConfigError::BadChoice {
+                flag: "cluster",
+                value: cluster.clone(),
+                choices: adapipe_serve::names::CLUSTER_CHOICES,
+            }
+        })?;
+        req.cluster = cluster;
+    }
+    if let Some(nodes) = args.take_parsed("nodes", "a positive integer")? {
+        req.nodes = nodes;
+    }
+    if let Some(data) = args.take_parsed("data", "a positive integer")? {
+        req.data = data;
+    }
+    if let Some(mb) = args.take_parsed("micro-batch", "a positive integer")? {
+        req.micro_batch = mb;
+    }
+    if let Some(method) = args.take("method") {
+        req.method = method;
+    }
+    if let Some(headroom) = args.take_parsed("headroom", "a fraction in (0, 1]")? {
+        req.headroom = headroom;
+    }
+    if let Some(flag) = args.take("fp32-grads") {
+        req.fp32_grads = match flag.as_str() {
+            "true" => true,
+            "false" => false,
+            other => {
+                return Err(ConfigError::BadChoice {
+                    flag: "fp32-grads",
+                    value: other.to_string(),
+                    choices: "true, false",
+                })
+            }
+        };
+    }
+    if let Some(ms) = args.take_parsed::<f64>("deadline-ms", "milliseconds")? {
+        req.deadline = Some(MicroSecs::new(ms * 1e3));
+    }
+    Ok(req)
+}
+
+/// `adapipe query`: drive a running daemon. One of four modes:
+/// `--shutdown true` (graceful drain), `--get PATH` (raw GET, e.g.
+/// `/metrics`), `--digest D` (cache lookup), `--body-file FILE` (POST
+/// a raw request body), or the regular plan flags (POST a canonical
+/// request). A 2xx response exits 0; 4xx/5xx exit 1; network errors
+/// exit 2.
+pub fn query(mut args: Args) -> Result<String, ConfigError> {
+    let addr = args.require("addr")?;
+    let out_file = args.take("out");
+    let shutdown = args.take("shutdown");
+    let get_path = args.take("get");
+    let digest = args.take("digest");
+    let body_file = args.take("body-file");
+
+    let network = |e: std::io::Error| ConfigError::Domain(format!("cannot reach {addr}: {e}"));
+    let resp = if let Some(flag) = shutdown {
+        if flag != "true" {
+            return Err(ConfigError::BadChoice {
+                flag: "shutdown",
+                value: flag,
+                choices: "true",
+            });
+        }
+        args.finish()?;
+        client::request(&addr, "POST", "/admin/shutdown", None).map_err(network)?
+    } else if let Some(path) = get_path {
+        args.finish()?;
+        client::get(&addr, &path).map_err(network)?
+    } else if let Some(digest) = digest {
+        args.finish()?;
+        client::get(&addr, &format!("/v1/plan/{digest}")).map_err(network)?
+    } else if let Some(path) = body_file {
+        args.finish()?;
+        let body = std::fs::read_to_string(&path)
+            .map_err(|e| ConfigError::Domain(format!("cannot read {path}: {e}")))?;
+        client::post_plan(&addr, &body).map_err(network)?
+    } else {
+        let req = plan_request_from_args(&mut args)?;
+        args.finish()?;
+        client::post_plan(&addr, &req.to_wire_text()).map_err(network)?
+    };
+
+    let mut out = String::new();
+    if let Some(path) = &out_file {
+        write_artifact(path, &resp.body)?;
+        out.push_str(&format!("status {}", resp.status));
+        if let Some(cache) = resp.header("x-adapipe-cache") {
+            out.push_str(&format!(", cache {cache}"));
+        }
+        if let Some(digest) = resp.header("x-adapipe-digest") {
+            out.push_str(&format!(", digest {digest}"));
+        }
+        out.push_str(&format!("; body written to {path}\n"));
+    } else {
+        out.push_str(&resp.body);
+        if !resp.body.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    if resp.is_success() {
+        Ok(out)
+    } else {
+        Err(ConfigError::Rejected(format!(
+            "server answered {}: {}",
+            resp.status,
+            resp.body.trim_end()
+        )))
+    }
+}
+
 /// `adapipe models`: list presets.
 pub fn models(args: Args) -> Result<String, ConfigError> {
     args.finish()?;
@@ -463,6 +648,10 @@ USAGE:
   adapipe chaos   --faults FILE --tensor T --pipeline P --seq S --global-batch G
                   [--seed N] [--steps N] [--out report.txt] [--replan-out plan.txt]
                   [--model M] [--cluster a|b] [--nodes N]
+  adapipe serve   [--host H] [--port P] [--workers N] [--cache-capacity N]
+                  [--queue-depth N] [--deadline-ms MS]
+  adapipe query   --addr HOST:PORT (plan flags | --digest D | --get PATH |
+                  --body-file FILE | --shutdown true) [--out FILE]
   adapipe models
 
 VERIFY:
@@ -486,10 +675,26 @@ CHAOS:
   fault file + seed (--seed overrides the file's seed); exits 1 when a
   needed replan is rejected
 
+SERVE:
+  runs the planner as an HTTP/1.1 daemon (see docs/serving.md): POST
+  /v1/plan canonicalizes the request, digests it (SHA-256) and answers
+  from a content-addressed LRU plan cache; misses are planned on a
+  bounded worker pool with explicit backpressure (503 + Retry-After
+  when the queue is full) and every plan is verified before it is
+  served; POST /admin/shutdown drains in-flight work and exits 0
+
+QUERY:
+  drives a running daemon: plan flags POST a canonical request,
+  --digest D looks up a cached plan by content address, --get PATH
+  fetches e.g. /metrics, --body-file FILE posts a raw body and
+  --shutdown true drains the daemon; a 2xx response exits 0, a 4xx/5xx
+  response exits 1, a network failure exits 2
+
 EXIT CODES:
   0  success: the command ran and the artifact under test was accepted
   1  rejected: the artifact failed (verification errors, over-budget
-     simulation, unrecovered chaos run)
+     simulation, unrecovered chaos run, a 4xx/5xx daemon response, an
+     unwritable output artifact)
   2  internal error: bad flags, unreadable files, invalid configurations
 
 OBSERVABILITY:

@@ -1,9 +1,15 @@
 //! Shared flag handling: models, clusters, methods, workloads.
+//!
+//! Name → domain-object resolution is delegated to
+//! [`adapipe_serve::names`], the same tables the daemon uses, so a
+//! config spelled on the command line and one sent over the wire
+//! resolve (and digest) identically.
 
 use crate::args::{Args, ArgsError};
 use adapipe::Method;
-use adapipe_hw::{presets as hw, ClusterSpec};
-use adapipe_model::{presets, ModelSpec, ParallelConfig, TrainConfig};
+use adapipe_hw::ClusterSpec;
+use adapipe_model::{ModelSpec, ParallelConfig, TrainConfig};
+use adapipe_serve::names;
 use std::error::Error;
 use std::fmt;
 
@@ -23,6 +29,15 @@ pub enum ConfigError {
     },
     /// Domain validation failed (sizes, divisibility, ...).
     Domain(String),
+    /// An output artifact could not be written (path + cause).
+    /// Maps to exit code 1: the computation succeeded but the
+    /// deliverable was not produced.
+    Artifact {
+        /// Destination path.
+        path: String,
+        /// Underlying IO error.
+        message: String,
+    },
     /// The command ran, but the artifact under test was rejected
     /// (failed verification, over-budget simulation, unrecovered chaos
     /// run). Maps to exit code 1, distinct from internal errors (2).
@@ -31,11 +46,12 @@ pub enum ConfigError {
 
 impl ConfigError {
     /// The process exit code this error maps to: 1 for a rejected
-    /// artifact, 2 for everything else (bad flags, IO, domain errors).
+    /// artifact or an unwritable one, 2 for everything else (bad
+    /// flags, IO, domain errors).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
-            ConfigError::Rejected(_) => 1,
+            ConfigError::Rejected(_) | ConfigError::Artifact { .. } => 1,
             _ => 2,
         }
     }
@@ -53,6 +69,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "--{flag} {value}: expected one of {choices}")
             }
             ConfigError::Domain(msg) => write!(f, "{msg}"),
+            ConfigError::Artifact { path, message } => {
+                write!(f, "cannot write {path}: {message}")
+            }
             ConfigError::Rejected(msg) => write!(f, "{msg}"),
         }
     }
@@ -67,46 +86,31 @@ impl From<ArgsError> for ConfigError {
 }
 
 /// Known model names, for help output.
-pub const MODEL_CHOICES: &str = "gpt3, gpt3-13b, llama2, llama2-13b, gpt2, bert, tiny";
+pub const MODEL_CHOICES: &str = names::MODEL_CHOICES;
 
 /// Resolves `--model`.
 pub fn model(args: &mut Args) -> Result<ModelSpec, ConfigError> {
     let name = args.take("model").unwrap_or_else(|| "gpt3".to_string());
-    match name.as_str() {
-        "gpt3" => Ok(presets::gpt3_175b()),
-        "gpt3-13b" => Ok(presets::gpt3_13b()),
-        "llama2" => Ok(presets::llama2_70b()),
-        "llama2-13b" => Ok(presets::llama2_13b()),
-        "gpt2" => Ok(presets::gpt2_small()),
-        "bert" => Ok(presets::bert_large()),
-        "tiny" => Ok(presets::tiny_gpt()),
-        other => Err(ConfigError::BadChoice {
-            flag: "model",
-            value: other.to_string(),
-            choices: MODEL_CHOICES,
-        }),
-    }
+    names::model(&name).ok_or_else(|| ConfigError::BadChoice {
+        flag: "model",
+        value: name.clone(),
+        choices: MODEL_CHOICES,
+    })
 }
 
 /// Resolves `--cluster` (+ `--nodes`).
 pub fn cluster(args: &mut Args) -> Result<ClusterSpec, ConfigError> {
     let name = args.take("cluster").unwrap_or_else(|| "a".to_string());
     let nodes: Option<usize> = args.take_parsed("nodes", "a positive integer")?;
-    match name.as_str() {
-        "a" => Ok(hw::cluster_a_with_nodes(nodes.unwrap_or(8))),
-        "b" => Ok(hw::cluster_b_with_nodes(nodes.unwrap_or(32))),
-        other => Err(ConfigError::BadChoice {
-            flag: "cluster",
-            value: other.to_string(),
-            choices: "a (DGX-A100), b (Atlas 800)",
-        }),
-    }
+    names::cluster(&name, nodes).ok_or_else(|| ConfigError::BadChoice {
+        flag: "cluster",
+        value: name.clone(),
+        choices: names::CLUSTER_CHOICES,
+    })
 }
 
 /// Known method names, for help output.
-pub const METHOD_CHOICES: &str = "adapipe, even, dapple-full, dapple-non, dapple-selective, \
-                                  chimera-full, chimera-non, chimerad-full, chimerad-non, \
-                                  gpipe-full, gpipe-non, interleaved-full, interleaved-non";
+pub const METHOD_CHOICES: &str = names::METHOD_CHOICES;
 
 /// Resolves `--method`.
 pub fn method(args: &mut Args) -> Result<Method, ConfigError> {
@@ -116,26 +120,11 @@ pub fn method(args: &mut Args) -> Result<Method, ConfigError> {
 
 /// Parses one method name.
 pub fn parse_method(name: &str) -> Result<Method, ConfigError> {
-    match name {
-        "adapipe" => Ok(Method::AdaPipe),
-        "even" => Ok(Method::EvenPartitioning),
-        "dapple-full" => Ok(Method::DappleFull),
-        "dapple-non" => Ok(Method::DappleNone),
-        "dapple-selective" => Ok(Method::DappleSelective),
-        "chimera-full" => Ok(Method::ChimeraFull),
-        "chimera-non" => Ok(Method::ChimeraNone),
-        "chimerad-full" => Ok(Method::ChimeraDFull),
-        "chimerad-non" => Ok(Method::ChimeraDNone),
-        "gpipe-full" => Ok(Method::GpipeFull),
-        "gpipe-non" => Ok(Method::GpipeNone),
-        "interleaved-full" => Ok(Method::InterleavedFull),
-        "interleaved-non" => Ok(Method::InterleavedNone),
-        other => Err(ConfigError::BadChoice {
-            flag: "method",
-            value: other.to_string(),
-            choices: METHOD_CHOICES,
-        }),
-    }
+    names::method(name).ok_or_else(|| ConfigError::BadChoice {
+        flag: "method",
+        value: name.to_string(),
+        choices: METHOD_CHOICES,
+    })
 }
 
 /// Resolves `--tensor/--pipeline/--data`.
@@ -211,5 +200,15 @@ mod tests {
     fn cluster_nodes_flag_scales() {
         let mut a = args(&["--cluster", "b", "--nodes", "256"]);
         assert_eq!(cluster(&mut a).unwrap().total_devices(), 2048);
+    }
+
+    #[test]
+    fn artifact_errors_map_to_exit_code_one() {
+        let e = ConfigError::Artifact {
+            path: "results/x.json".to_string(),
+            message: "permission denied".to_string(),
+        };
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_string().contains("results/x.json"));
     }
 }

@@ -51,6 +51,8 @@ fn main() -> ExitCode {
         "sim" => commands::sim(parsed),
         "chaos" => commands::chaos(parsed),
         "trace" => commands::trace(parsed),
+        "serve" => commands::serve(parsed),
+        "query" => commands::query(parsed),
         "models" => commands::models(parsed),
         other => {
             eprintln!("error: unknown subcommand `{other}`\n");

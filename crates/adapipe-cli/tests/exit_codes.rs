@@ -120,6 +120,57 @@ fn internal_errors_exit_two() {
 }
 
 #[test]
+fn metrics_out_creates_missing_parent_directories() {
+    let root = tmp("nested-artifacts");
+    let _ = std::fs::remove_dir_all(&root);
+    let metrics = root.join("deep/nested/metrics.json");
+
+    let output = adapipe()
+        .arg("plan")
+        .args(SMALL_WORLD)
+        .args(SMALL_JOB)
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "missing parents must be created: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("adapipe-obs/v1"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unwritable_artifact_exits_one() {
+    // A *file* where a parent directory is needed: create_dir_all
+    // fails, which must surface as an artifact error (exit 1), not an
+    // internal error (2).
+    let blocker = tmp("artifact-blocker");
+    std::fs::write(&blocker, "i am a file, not a directory").unwrap();
+    let metrics = blocker.join("metrics.json");
+
+    let output = adapipe()
+        .arg("plan")
+        .args(SMALL_WORLD)
+        .args(SMALL_JOB)
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "unwritable artifact: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot write"), "{stderr}");
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
 fn chaos_recovers_a_straggler_and_exits_zero() {
     let faults = tmp("straggler.txt");
     std::fs::write(

@@ -1,0 +1,260 @@
+//! End-to-end daemon tests: spawn the real `adapipe serve` binary on
+//! an ephemeral port and drive it with the real `adapipe query`
+//! binary, pinning the ISSUE's operational contract — byte-identical
+//! cache hits, 400 on malformed bodies, 503 + Retry-After under
+//! saturation, and a graceful drain that finishes in-flight work
+//! before the process exits 0.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn adapipe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adapipe"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adapipe-serve-http-{name}"))
+}
+
+/// A running daemon plus the address it printed. Killed on drop so a
+/// failing test does not leak the process.
+struct Daemon {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open for the daemon's later prints.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = adapipe()
+            .arg("serve")
+            .args(["--port", "0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn adapipe serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut first = String::new();
+        reader.read_line(&mut first).expect("readable stdout");
+        let addr = first
+            .strip_prefix("adapipe-serve listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+            .trim()
+            .to_string();
+        Daemon {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+
+    fn query(&self, args: &[&str]) -> std::process::Output {
+        adapipe()
+            .arg("query")
+            .args(["--addr", &self.addr])
+            .args(args)
+            .output()
+            .expect("spawn adapipe query")
+    }
+
+    /// Posts `/admin/shutdown` and waits for the daemon to exit.
+    fn shutdown(mut self) -> std::process::ExitStatus {
+        let out = self.query(&["--shutdown", "true"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "shutdown query: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let status = self.child.wait().expect("daemon exit status");
+        std::mem::forget(self); // skip the kill-on-drop
+        status
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+const SMALL_PLAN: &[&str] = &[
+    "--model",
+    "gpt2",
+    "--cluster",
+    "a",
+    "--nodes",
+    "1",
+    "--tensor",
+    "2",
+    "--pipeline",
+    "4",
+    "--seq",
+    "512",
+    "--global-batch",
+    "16",
+];
+
+#[test]
+fn cold_and_cached_responses_are_byte_identical() {
+    let daemon = Daemon::spawn(&[]);
+    let cold_path = tmp("cold.plan");
+    let hit_path = tmp("hit.plan");
+
+    let cold = daemon.query(&[&["--out", cold_path.to_str().unwrap()], SMALL_PLAN].concat());
+    assert_eq!(
+        cold.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_stdout = String::from_utf8_lossy(&cold.stdout);
+    assert!(cold_stdout.contains("cache miss"), "{cold_stdout}");
+
+    let hit = daemon.query(&[&["--out", hit_path.to_str().unwrap()], SMALL_PLAN].concat());
+    assert_eq!(hit.status.code(), Some(0));
+    let hit_stdout = String::from_utf8_lossy(&hit.stdout);
+    assert!(hit_stdout.contains("cache hit"), "{hit_stdout}");
+
+    let cold_bytes = std::fs::read(&cold_path).unwrap();
+    let hit_bytes = std::fs::read(&hit_path).unwrap();
+    assert!(!cold_bytes.is_empty());
+    assert_eq!(cold_bytes, hit_bytes, "cache hit must be byte-identical");
+
+    // The digest printed by the cold response resolves over GET.
+    let digest = cold_stdout
+        .split("digest ")
+        .nth(1)
+        .and_then(|rest| rest.split(';').next())
+        .expect("digest in query output")
+        .trim()
+        .to_string();
+    let by_digest = daemon.query(&["--digest", &digest]);
+    assert_eq!(by_digest.status.code(), Some(0));
+    assert_eq!(by_digest.stdout, cold_bytes);
+
+    let status = daemon.shutdown();
+    assert_eq!(status.code(), Some(0), "daemon drains and exits 0");
+    let _ = std::fs::remove_file(&cold_path);
+    let _ = std::fs::remove_file(&hit_path);
+}
+
+#[test]
+fn malformed_bodies_and_missing_digests_exit_one() {
+    let daemon = Daemon::spawn(&[]);
+
+    let bogus = tmp("bogus-body.txt");
+    std::fs::write(&bogus, "definitely not a plan request\n").unwrap();
+    let out = daemon.query(&["--body-file", bogus.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "malformed body is a 400");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("400"), "{stderr}");
+
+    let out = daemon.query(&["--digest", "deadbeef"]);
+    assert_eq!(out.status.code(), Some(1), "unknown digest is a 404");
+
+    // /metrics still answers as JSON alongside the failures.
+    let out = daemon.query(&["--get", "/metrics"]);
+    assert_eq!(out.status.code(), Some(0));
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("adapipe-obs/v1"), "{body}");
+
+    assert_eq!(daemon.shutdown().code(), Some(0));
+    let _ = std::fs::remove_file(&bogus);
+}
+
+#[test]
+fn saturated_daemon_answers_503_with_retry_after() {
+    // One worker, a one-deep queue and slow planning: a burst of six
+    // distinct cold requests must produce at least one 503.
+    let daemon = Daemon::spawn(&[
+        "--workers",
+        "1",
+        "--queue-depth",
+        "1",
+        "--plan-delay-ms",
+        "400",
+    ]);
+    let addr = daemon.addr.clone();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let seq = (256 * (i + 1)).to_string();
+                adapipe()
+                    .arg("query")
+                    .args(["--addr", &addr])
+                    .args([
+                        "--model",
+                        "gpt2",
+                        "--cluster",
+                        "a",
+                        "--nodes",
+                        "1",
+                        "--tensor",
+                        "2",
+                        "--pipeline",
+                        "4",
+                        "--seq",
+                        &seq,
+                        "--global-batch",
+                        "16",
+                    ])
+                    .output()
+                    .expect("spawn adapipe query")
+            })
+        })
+        .collect();
+    let outputs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let codes: Vec<_> = outputs.iter().map(|o| o.status.code()).collect();
+    assert!(codes.contains(&Some(0)), "someone got through: {codes:?}");
+    let overloaded: Vec<_> = outputs
+        .iter()
+        .filter(|o| o.status.code() == Some(1))
+        .collect();
+    assert!(!overloaded.is_empty(), "expected a 503: {codes:?}");
+    for o in &overloaded {
+        let stderr = String::from_utf8_lossy(&o.stderr);
+        assert!(stderr.contains("503"), "{stderr}");
+        assert!(stderr.contains("overloaded"), "{stderr}");
+    }
+    assert_eq!(daemon.shutdown().code(), Some(0));
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_request() {
+    let daemon = Daemon::spawn(&["--workers", "1", "--plan-delay-ms", "400"]);
+    let addr = daemon.addr.clone();
+    let slow_path = tmp("drained.plan");
+    let slow = {
+        let out = slow_path.to_str().unwrap().to_string();
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            adapipe()
+                .arg("query")
+                .args(["--addr", &addr, "--out", &out])
+                .args(SMALL_PLAN)
+                .output()
+                .expect("spawn adapipe query")
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(120)); // reach the worker
+    let status = daemon.shutdown();
+    assert_eq!(status.code(), Some(0), "drained daemon exits 0");
+
+    let slow_out = slow.join().unwrap();
+    assert_eq!(
+        slow_out.status.code(),
+        Some(0),
+        "in-flight plan must be served before exit: {}",
+        String::from_utf8_lossy(&slow_out.stderr)
+    );
+    let body = std::fs::read_to_string(&slow_path).unwrap();
+    assert!(body.starts_with("adapipe-plan v2"), "{body}");
+    let _ = std::fs::remove_file(&slow_path);
+}

@@ -1,0 +1,151 @@
+//! Canonical metric-key names shared across the workspace.
+//!
+//! Every consumer of a cross-crate metric (the CLI's `--metrics-out`
+//! report, the `adapipe-serve` `/metrics` endpoint, tests and CI jq
+//! probes) must agree on the key strings. Defining them once here keeps
+//! the producers (`adapipe-partition`, `adapipe-serve`) and the
+//! consumers from drifting apart; a renamed key becomes a compile
+//! error instead of a silently-empty dashboard.
+
+use crate::Recorder;
+
+/// §5.3 isomorphism-cache lookup hits (counter, `adapipe-partition`).
+pub const ISO_CACHE_HITS: &str = "partition.iso_cache.hits";
+
+/// §5.3 isomorphism-cache lookup misses (counter, `adapipe-partition`).
+pub const ISO_CACHE_MISSES: &str = "partition.iso_cache.misses";
+
+/// §5.3 isomorphism-cache hit rate in `[0, 1]` (gauge, derived from the
+/// two counters by [`publish_iso_cache_hit_rate`]).
+pub const ISO_CACHE_HIT_RATE: &str = "partition.iso_cache.hit_rate";
+
+/// Total HTTP requests accepted by `adapipe-serve` (counter).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+
+/// Plan-cache hits in `adapipe-serve` (counter).
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+
+/// Plan-cache misses (cold plans) in `adapipe-serve` (counter).
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+
+/// Plan-cache hit rate in `[0, 1]` (gauge, derived like the iso-cache
+/// rate by [`publish_serve_cache_hit_rate`]).
+pub const SERVE_CACHE_HIT_RATE: &str = "serve.cache.hit_rate";
+
+/// Plan-cache entries evicted by the LRU bound (counter).
+pub const SERVE_CACHE_EVICTIONS: &str = "serve.cache.evictions";
+
+/// Requests rejected with 503 because the worker queue was full
+/// (counter).
+pub const SERVE_REJECTED_BACKPRESSURE: &str = "serve.rejected.backpressure";
+
+/// Requests rejected with 503 because their deadline expired while
+/// queued (counter).
+pub const SERVE_REJECTED_DEADLINE: &str = "serve.rejected.deadline";
+
+/// Requests answered after their deadline had already passed (counter;
+/// the response still ships, the miss is diagnosed by the watchdog).
+pub const SERVE_DEADLINE_MISSED: &str = "serve.deadline.missed";
+
+/// Workers the `adapipe-faults` watchdog currently classifies as
+/// persistent deadline-missers (gauge).
+pub const SERVE_DEADLINE_PERSISTENT: &str = "serve.deadline.persistent_workers";
+
+/// Plans rejected by the `adapipe::verify` gate before leaving the
+/// server (counter; nonzero means a planner bug).
+pub const SERVE_VERIFY_REJECTED: &str = "serve.verify.rejected";
+
+/// End-to-end request handling time in microseconds (histogram).
+pub const SERVE_REQUEST_US: &str = "serve.request.us";
+
+/// Cold-plan (cache-miss) solve time in microseconds (histogram).
+pub const SERVE_PLAN_US: &str = "serve.plan.us";
+
+/// High-water worker-queue depth (gauge, max-tracked).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+
+/// Derives a hit rate from a hit and a miss counter and publishes it
+/// under `rate_key`. Returns `(hits, misses, rate)`, or `None` when no
+/// lookup was recorded (the gauge is left unset so reports distinguish
+/// "no traffic" from "0% hits").
+fn publish_hit_rate(
+    rec: &Recorder,
+    hits_key: &str,
+    misses_key: &str,
+    rate_key: &str,
+) -> Option<(u64, u64, f64)> {
+    let hits = rec.counter(hits_key);
+    let misses = rec.counter(misses_key);
+    let total = hits + misses;
+    if total == 0 {
+        return None;
+    }
+    let rate = hits as f64 / total as f64;
+    rec.gauge(rate_key, rate);
+    Some((hits, misses, rate))
+}
+
+/// Publishes the §5.3 iso-cache hit rate ([`ISO_CACHE_HIT_RATE`]) from
+/// its counters so `/metrics` and `--metrics-out` report it uniformly.
+/// Returns `(hits, misses, rate)` when any lookup was recorded.
+pub fn publish_iso_cache_hit_rate(rec: &Recorder) -> Option<(u64, u64, f64)> {
+    publish_hit_rate(rec, ISO_CACHE_HITS, ISO_CACHE_MISSES, ISO_CACHE_HIT_RATE)
+}
+
+/// Publishes the serve plan-cache hit rate ([`SERVE_CACHE_HIT_RATE`])
+/// from its counters. Returns `(hits, misses, rate)` when any request
+/// was served.
+pub fn publish_serve_cache_hit_rate(rec: &Recorder) -> Option<(u64, u64, f64)> {
+    publish_hit_rate(
+        rec,
+        SERVE_CACHE_HITS,
+        SERVE_CACHE_MISSES,
+        SERVE_CACHE_HIT_RATE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_lookups_publishes_nothing() {
+        let rec = Recorder::new();
+        assert_eq!(publish_iso_cache_hit_rate(&rec), None);
+        assert_eq!(rec.gauge_value(ISO_CACHE_HIT_RATE), None);
+    }
+
+    #[test]
+    fn hit_rate_is_derived_and_published() {
+        let rec = Recorder::new();
+        rec.add(ISO_CACHE_HITS, 3);
+        rec.add(ISO_CACHE_MISSES, 1);
+        let (hits, misses, rate) = publish_iso_cache_hit_rate(&rec).unwrap();
+        assert_eq!((hits, misses), (3, 1));
+        assert!((rate - 0.75).abs() < 1e-12);
+        let gauge = rec.gauge_value(ISO_CACHE_HIT_RATE).unwrap();
+        assert!((gauge - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_cache_rate_uses_its_own_keys() {
+        let rec = Recorder::new();
+        rec.add(SERVE_CACHE_HITS, 9);
+        rec.add(SERVE_CACHE_MISSES, 1);
+        let (_, _, rate) = publish_serve_cache_hit_rate(&rec).unwrap();
+        assert!((rate - 0.9).abs() < 1e-12);
+        assert!(rec.gauge_value(SERVE_CACHE_HIT_RATE).is_some());
+        assert_eq!(rec.gauge_value(ISO_CACHE_HIT_RATE), None);
+    }
+
+    #[test]
+    fn misses_only_still_publishes_a_zero_rate() {
+        let rec = Recorder::new();
+        rec.add(ISO_CACHE_MISSES, 4);
+        let (hits, misses, rate) = publish_iso_cache_hit_rate(&rec).unwrap();
+        assert_eq!((hits, misses), (0, 4));
+        assert!(rate.abs() < 1e-12);
+        let gauge = rec.gauge_value(ISO_CACHE_HIT_RATE).unwrap();
+        assert!(gauge.abs() < 1e-12);
+    }
+}

@@ -49,6 +49,7 @@
 mod recorder;
 
 pub mod json;
+pub mod keys;
 pub mod report;
 pub mod trace;
 

@@ -155,7 +155,7 @@ impl StageCostProvider for KnapsackCostProvider<'_> {
     fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
         if !self.iso_cache {
             self.misses.set(self.misses.get() + 1);
-            self.rec.incr("partition.iso_cache.misses");
+            self.rec.incr(adapipe_obs::keys::ISO_CACHE_MISSES);
             return self.compute(stage, range);
         }
         let key = IsoKey {
@@ -166,11 +166,11 @@ impl StageCostProvider for KnapsackCostProvider<'_> {
         };
         if let Some(cached) = self.cache.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
-            self.rec.incr("partition.iso_cache.hits");
+            self.rec.incr(adapipe_obs::keys::ISO_CACHE_HITS);
             return *cached;
         }
         self.misses.set(self.misses.get() + 1);
-        self.rec.incr("partition.iso_cache.misses");
+        self.rec.incr(adapipe_obs::keys::ISO_CACHE_MISSES);
         let result = self.compute(stage, range);
         self.cache.borrow_mut().insert(key, result);
         result

@@ -1,0 +1,318 @@
+//! Minimal HTTP/1.1 framing over `TcpStream`.
+//!
+//! The daemon speaks just enough of RFC 9112 for its four endpoints:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies only (no chunked encoding), UTF-8 text payloads, and hard
+//! caps on header and body size so a misbehaving client cannot grow
+//! server memory without bound.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on the request body, in bytes. Plan requests are a dozen short
+/// `key = value` lines; a megabyte is already absurdly generous.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded UTF-8 body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed mid-read.
+    Io(std::io::Error),
+    /// The bytes on the wire were not a well-formed request.
+    Malformed(String),
+    /// The head or body exceeded its size cap.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error while reading the request: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(what) => write!(f, "request {what} exceeds the size cap"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_len = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the headers ended".to_string(),
+            ));
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+    };
+
+    let head = String::from_utf8_lossy(buf.get(..head_len).unwrap_or(&[])).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line without a colon: {line}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    let mut body: Vec<u8> = buf.get(head_len + 4..).unwrap_or(&[]).to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the body ended".to_string(),
+            ));
+        }
+        body.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpError::Malformed("body is not valid UTF-8".to_string()))?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, 503, ...).
+    pub status: u16,
+    /// Extra headers beyond the framing set.
+    pub headers: Vec<(String, String)>,
+    /// UTF-8 body.
+    pub body: String,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn new(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            content_type: "application/json",
+            ..Response::new(status, body)
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The reason phrase for `status`.
+    #[must_use]
+    pub fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes and writes the response; the caller owns closing the
+    /// stream (every response carries `Connection: close`).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Response::status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw bytes pushed through a real
+    /// socket pair.
+    fn read_from_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let result = read_request(&mut conn);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            read_from_bytes(b"POST /v1/plan HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/plan");
+        assert_eq!(req.body, "hello");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = read_from_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_from_bytes(b"this is not http\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let err =
+            read_from_bytes(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        let err = read_from_bytes(huge.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn response_round_trips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            Response::new(200, "body text")
+                .with_header("X-Adapipe-Cache", "hit")
+                .write_to(&mut conn)
+                .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("X-Adapipe-Cache: hit"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("body text"), "{text}");
+    }
+}

@@ -1,0 +1,127 @@
+//! The canonical external names of models, clusters and methods.
+//!
+//! The request wire format and the CLI flags share one closed-world
+//! vocabulary, defined here so the daemon and `adapipe-cli` cannot
+//! drift: `gpt2` must resolve to the same preset and `dapple-full` to
+//! the same [`Method`] everywhere, or canonicalized digests would stop
+//! being portable between clients.
+
+use adapipe::Method;
+use adapipe_hw::{presets as hw, ClusterSpec};
+use adapipe_model::{presets, ModelSpec};
+
+/// Known model names, for help/error output.
+pub const MODEL_CHOICES: &str = "gpt3, gpt3-13b, llama2, llama2-13b, gpt2, bert, tiny";
+
+/// Known cluster names, for help/error output.
+pub const CLUSTER_CHOICES: &str = "a (DGX-A100), b (Atlas 800)";
+
+/// Every `(external name, method)` pair, in the CLI's documented order.
+pub const METHODS: [(&str, Method); 13] = [
+    ("adapipe", Method::AdaPipe),
+    ("even", Method::EvenPartitioning),
+    ("dapple-full", Method::DappleFull),
+    ("dapple-non", Method::DappleNone),
+    ("dapple-selective", Method::DappleSelective),
+    ("chimera-full", Method::ChimeraFull),
+    ("chimera-non", Method::ChimeraNone),
+    ("chimerad-full", Method::ChimeraDFull),
+    ("chimerad-non", Method::ChimeraDNone),
+    ("gpipe-full", Method::GpipeFull),
+    ("gpipe-non", Method::GpipeNone),
+    ("interleaved-full", Method::InterleavedFull),
+    ("interleaved-non", Method::InterleavedNone),
+];
+
+/// Known method names, for help/error output.
+pub const METHOD_CHOICES: &str = "adapipe, even, dapple-full, dapple-non, dapple-selective, \
+                                  chimera-full, chimera-non, chimerad-full, chimerad-non, \
+                                  gpipe-full, gpipe-non, interleaved-full, interleaved-non";
+
+/// Resolves a model name to its preset.
+#[must_use]
+pub fn model(name: &str) -> Option<ModelSpec> {
+    match name {
+        "gpt3" => Some(presets::gpt3_175b()),
+        "gpt3-13b" => Some(presets::gpt3_13b()),
+        "llama2" => Some(presets::llama2_70b()),
+        "llama2-13b" => Some(presets::llama2_13b()),
+        "gpt2" => Some(presets::gpt2_small()),
+        "bert" => Some(presets::bert_large()),
+        "tiny" => Some(presets::tiny_gpt()),
+        _ => None,
+    }
+}
+
+/// The node count a cluster defaults to when the caller names none.
+#[must_use]
+pub fn default_nodes(cluster: &str) -> Option<usize> {
+    match cluster {
+        "a" => Some(8),
+        "b" => Some(32),
+        _ => None,
+    }
+}
+
+/// Resolves a cluster name (+ optional node count) to its spec.
+#[must_use]
+pub fn cluster(name: &str, nodes: Option<usize>) -> Option<ClusterSpec> {
+    let nodes = nodes.or_else(|| default_nodes(name))?;
+    match name {
+        "a" => Some(hw::cluster_a_with_nodes(nodes)),
+        "b" => Some(hw::cluster_b_with_nodes(nodes)),
+        _ => None,
+    }
+}
+
+/// Resolves an external method name.
+#[must_use]
+pub fn method(name: &str) -> Option<Method> {
+    METHODS.iter().find(|(n, _)| *n == name).map(|&(_, m)| m)
+}
+
+/// The external name of a method — the inverse of [`method`].
+#[must_use]
+pub fn method_name(m: Method) -> &'static str {
+    METHODS
+        .iter()
+        .find(|&&(_, candidate)| candidate == m)
+        .map_or("adapipe", |&(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_documented_method_round_trips() {
+        for name in METHOD_CHOICES.split(", ") {
+            let name = name.trim();
+            let m = method(name).unwrap_or_else(|| panic!("{name} did not resolve"));
+            assert_eq!(method_name(m), name);
+        }
+    }
+
+    #[test]
+    fn every_method_variant_has_a_name() {
+        for m in Method::all() {
+            let name = method_name(m);
+            assert_eq!(method(name), Some(m), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_documented_model_resolves() {
+        for name in MODEL_CHOICES.split(", ") {
+            assert!(model(name.trim()).is_some(), "{name}");
+        }
+        assert!(model("bloom").is_none());
+    }
+
+    #[test]
+    fn clusters_resolve_with_defaults_and_overrides() {
+        assert!(cluster("a", None).is_some());
+        assert_eq!(cluster("b", Some(4)).map(|c| c.total_devices()), Some(32));
+        assert!(cluster("z", None).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! A fixed-depth MPMC queue with explicit rejection.
+//!
+//! The worker pool pulls jobs from this queue; the acceptor pushes
+//! with [`BoundedQueue::try_push`], which **fails fast** when the queue
+//! is at capacity instead of blocking — the server turns that failure
+//! into `503 + Retry-After` so saturation is visible to clients rather
+//! than an accept-then-hang. Closing the queue wakes every blocked
+//! worker; they drain the remaining items and then observe the close,
+//! which is what makes graceful shutdown finish in-flight work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard depth bound.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (floored at 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        // Recover from a poisoned lock: a panicking worker must not
+        // wedge the queue for the rest of the pool.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The depth bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Enqueues without blocking. Returns the new depth, or the item
+    /// back inside the error when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is both closed
+    /// and drained (`None`). Items enqueued before a close are still
+    /// delivered — close means *drain*, not *discard*.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked poppers drain the
+    /// backlog and then return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_drains_the_backlog_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let poppers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        for p in poppers {
+            assert_eq!(p.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+}

@@ -1,0 +1,482 @@
+//! The daemon: an acceptor thread feeding a bounded worker pool.
+//!
+//! ```text
+//!            ┌──────────┐  try_push   ┌───────────────┐
+//!  TCP ────▶ │ acceptor │ ──────────▶ │ BoundedQueue  │ ──▶ workers (N)
+//!            └──────────┘   (full →   └───────────────┘       │
+//!                            503 +                            ▼
+//!                            Retry-After)              parse → digest →
+//!                                                      cache hit? ──▶ 200
+//!                                                      miss → plan →
+//!                                                      verify → insert
+//! ```
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **Never accept-then-hang.** A connection the pool cannot absorb
+//!    is answered `503` with `Retry-After` by the acceptor itself.
+//! 2. **Every served plan verifies.** The cold path runs
+//!    `adapipe::verify` (full [`VerifyOptions`]) before the plan enters
+//!    the cache or leaves the process.
+//! 3. **Cache hits are byte-identical** to the cold response: the cache
+//!    stores the exact body string the cold path rendered.
+//! 4. **Shutdown drains.** [`Server::request_shutdown`] (or
+//!    `POST /admin/shutdown`) stops the acceptor, then workers finish
+//!    everything already queued before exiting. Rust's std cannot catch
+//!    SIGTERM without a dependency, so process supervisors use the
+//!    admin endpoint; `kill -9` remains safe because no response is
+//!    ever half-served from the cache.
+
+use crate::cache::PlanCache;
+use crate::http::{self, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{PlanRequest, RequestError};
+use adapipe::VerifyOptions;
+use adapipe_faults::{DegradationEvent, Diagnosis, Watchdog};
+use adapipe_obs::{keys, report, Recorder};
+use adapipe_units::MicroSecs;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many deadline-miss events the watchdog log retains (a bounded
+/// ring; older events age out first).
+const DEADLINE_LOG_CAP: usize = 1024;
+
+/// Socket read/write timeout: a stalled client cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind host.
+    pub host: String,
+    /// Bind port (0 picks a free port; see [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads planning cold requests.
+    pub workers: usize,
+    /// Plan-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Worker-queue depth; connections beyond it get `503`.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline: Option<MicroSecs>,
+    /// Extra latency injected into every cold plan — a testing aid that
+    /// makes backpressure and drain scenarios deterministic.
+    pub plan_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 8080,
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            default_deadline: None,
+            plan_delay: None,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, reported by [`Server::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub requests: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (cold plans).
+    pub cache_misses: u64,
+    /// Connections rejected with `503` (backpressure + expired
+    /// deadlines).
+    pub rejected: u64,
+}
+
+struct Job {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    cache: PlanCache,
+    queue: BoundedQueue<Job>,
+    rec: Recorder,
+    watchdog: Watchdog,
+    deadline_log: Mutex<VecDeque<DegradationEvent>>,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of `accept` with a no-op connection; if
+        // the connect fails the acceptor is already gone.
+        // lint: allow(swallowed-result): best-effort wake of the acceptor
+        let _wake = TcpStream::connect(self.addr);
+    }
+
+    fn record_deadline_miss(
+        &self,
+        worker: usize,
+        seq: usize,
+        observed: MicroSecs,
+        deadline: MicroSecs,
+    ) {
+        let mut log = self.deadline_log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() >= DEADLINE_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(DegradationEvent::DeadlineMissed {
+            stage: worker,
+            micro_batch: seq,
+            observed,
+            deadline,
+        });
+    }
+
+    /// Classifies the logged deadline misses with the `adapipe-faults`
+    /// watchdog: a worker missing persistently is a straggler worth
+    /// operator attention, a one-off is load noise.
+    fn deadline_diagnosis(&self) -> Diagnosis {
+        let events: Vec<DegradationEvent> = self
+            .deadline_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect();
+        self.watchdog.diagnose(&events)
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown_and_join`] (or hit `POST /admin/shutdown`).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Metrics flow into `rec` (pass
+    /// [`Recorder::disabled`] to opt out).
+    pub fn bind(cfg: ServeConfig, rec: Recorder) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: PlanCache::new(cfg.cache_capacity),
+            queue: BoundedQueue::new(cfg.queue_depth),
+            rec,
+            watchdog: Watchdog::default(),
+            deadline_log: Mutex::new(VecDeque::with_capacity(DEADLINE_LOG_CAP)),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, id))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || accept_loop(&shared, &listener)))
+        };
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The recorder metrics flow into.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.rec
+    }
+
+    /// Starts a graceful drain: stop accepting, finish queued and
+    /// in-flight requests. Returns immediately; [`Server::join`] waits.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the acceptor and every worker to exit (i.e. for a
+    /// requested shutdown to finish draining) and reports totals.
+    pub fn join(mut self) -> ServeSummary {
+        if let Some(acceptor) = self.acceptor.take() {
+            // A panicked acceptor already detached its listener; the
+            // summary below still reflects everything that was served.
+            // lint: allow(swallowed-result): thread panics surface via metrics, not propagation
+            let _joined = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            // lint: allow(swallowed-result): thread panics surface via metrics, not propagation
+            let _joined = worker.join();
+        }
+        let rec = &self.shared.rec;
+        ServeSummary {
+            requests: rec.counter(keys::SERVE_REQUESTS),
+            cache_hits: rec.counter(keys::SERVE_CACHE_HITS),
+            cache_misses: rec.counter(keys::SERVE_CACHE_MISSES),
+            rejected: rec.counter(keys::SERVE_REJECTED_BACKPRESSURE)
+                + rec.counter(keys::SERVE_REJECTED_DEADLINE),
+        }
+    }
+
+    /// [`Server::request_shutdown`] followed by [`Server::join`].
+    pub fn shutdown_and_join(self) -> ServeSummary {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.rec.incr(keys::SERVE_REQUESTS);
+        let job = Job {
+            stream,
+            enqueued: Instant::now(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(depth) => shared.rec.gauge_max(keys::SERVE_QUEUE_DEPTH, depth as f64),
+            Err(PushError::Full(job) | PushError::Closed(job)) => {
+                shared.rec.incr(keys::SERVE_REJECTED_BACKPRESSURE);
+                respond_overloaded(job.stream, "worker queue is full");
+            }
+        }
+    }
+    shared.queue.close();
+}
+
+/// Writes the backpressure rejection directly from the acceptor — the
+/// one response that must never wait for a worker.
+fn respond_overloaded(mut stream: TcpStream, why: &str) {
+    // lint: allow(swallowed-result): the socket may already be gone; rejection is best-effort
+    let _sent = Response::new(503, format!("overloaded: {why}\n"))
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream);
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seq = 0usize;
+    while let Some(job) = shared.queue.pop() {
+        seq += 1;
+        handle_job(shared, worker, seq, job);
+    }
+}
+
+fn handle_job(shared: &Shared, worker: usize, seq: usize, mut job: Job) {
+    let t0 = Instant::now();
+    // lint: allow(swallowed-result): timeouts are best-effort hardening
+    let _rt = job.stream.set_read_timeout(Some(IO_TIMEOUT));
+    // lint: allow(swallowed-result): timeouts are best-effort hardening
+    let _wt = job.stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match http::read_request(&mut job.stream) {
+        Ok(request) => route(shared, worker, seq, &request, job.enqueued),
+        Err(e) => Response::new(400, format!("bad request: {e}\n")),
+    };
+    let class = match response.status {
+        200..=299 => "serve.http.2xx",
+        400..=499 => "serve.http.4xx",
+        _ => "serve.http.5xx",
+    };
+    shared.rec.incr(class);
+    shared
+        .rec
+        .observe(keys::SERVE_REQUEST_US, t0.elapsed().as_secs_f64() * 1e6);
+    // lint: allow(swallowed-result): the client may have hung up; nothing to salvage
+    let _sent = response.write_to(&mut job.stream);
+}
+
+fn route(
+    shared: &Shared,
+    worker: usize,
+    seq: usize,
+    request: &Request,
+    enqueued: Instant,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::new(200, "ok\n"),
+        ("GET", "/metrics") => metrics_response(shared),
+        ("GET", path) => match path.strip_prefix("/v1/plan/") {
+            Some(digest) => lookup_response(shared, digest),
+            None => Response::new(404, "not found\n"),
+        },
+        ("POST", "/v1/plan") => plan_response(shared, worker, seq, request, enqueued),
+        ("POST", "/admin/shutdown") => {
+            shared.begin_shutdown();
+            Response::new(
+                200,
+                "draining: new connections refused, in-flight work completes\n",
+            )
+        }
+        ("POST", _) => Response::new(404, "not found\n"),
+        _ => Response::new(405, "method not allowed\n"),
+    }
+}
+
+fn lookup_response(shared: &Shared, digest: &str) -> Response {
+    match shared.cache.get(digest) {
+        Some(body) => {
+            shared.rec.incr(keys::SERVE_CACHE_HITS);
+            plan_ok(digest, &body, "hit")
+        }
+        None => Response::new(404, format!("no cached plan for digest {digest}\n")),
+    }
+}
+
+fn plan_ok(digest: &str, body: &str, cache_state: &str) -> Response {
+    Response::new(200, body)
+        .with_header("X-Adapipe-Digest", digest)
+        .with_header("X-Adapipe-Cache", cache_state)
+}
+
+fn request_error_response(e: &RequestError) -> Response {
+    Response::new(400, format!("invalid plan request: {e}\n"))
+}
+
+fn plan_response(
+    shared: &Shared,
+    worker: usize,
+    seq: usize,
+    request: &Request,
+    enqueued: Instant,
+) -> Response {
+    let preq = match PlanRequest::parse(&request.body) {
+        Ok(p) => p,
+        Err(e) => return request_error_response(&e),
+    };
+    let digest = preq.digest();
+
+    if let Some(body) = shared.cache.get(&digest) {
+        shared.rec.incr(keys::SERVE_CACHE_HITS);
+        return plan_ok(&digest, &body, "hit");
+    }
+
+    // A request whose deadline already expired while it sat in the
+    // queue is not worth planning: reject with backpressure semantics
+    // so the caller retries against a hopefully-warmer cache.
+    let deadline = preq.deadline.or(shared.cfg.default_deadline);
+    let waited = MicroSecs::new(enqueued.elapsed().as_secs_f64() * 1e6);
+    if let Some(limit) = deadline {
+        if waited > limit {
+            shared.rec.incr(keys::SERVE_REJECTED_DEADLINE);
+            return Response::new(
+                503,
+                format!(
+                    "deadline expired in queue: waited {:.0}us of a {:.0}us budget\n",
+                    waited.as_micros(),
+                    limit.as_micros()
+                ),
+            )
+            .with_header("Retry-After", "1");
+        }
+    }
+
+    shared.rec.incr(keys::SERVE_CACHE_MISSES);
+    if let Some(delay) = shared.cfg.plan_delay {
+        std::thread::sleep(delay);
+    }
+
+    let planner = match preq.planner() {
+        Ok(p) => p.with_recorder(shared.rec.clone()),
+        Err(e) => return request_error_response(&e),
+    };
+    let (method, parallel, train) = match (preq.method_enum(), preq.parallel(), preq.train()) {
+        (Ok(m), Ok(p), Ok(t)) => (m, p, t),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return request_error_response(&e),
+    };
+
+    let t_plan = Instant::now();
+    let plan = match planner.plan(method, parallel, train) {
+        Ok(plan) => plan,
+        Err(e) => return Response::new(422, format!("{method} cannot run at {parallel}: {e}\n")),
+    };
+    // The verification gate: nothing leaves the process unverified.
+    let check = planner.verify_with(&plan, VerifyOptions::default());
+    if check.has_errors() {
+        shared.rec.incr(keys::SERVE_VERIFY_REJECTED);
+        return Response::new(
+            500,
+            format!("planned artifact failed verification\n{check}"),
+        );
+    }
+    shared
+        .rec
+        .observe(keys::SERVE_PLAN_US, t_plan.elapsed().as_secs_f64() * 1e6);
+
+    let body: Arc<str> = Arc::from(adapipe::plan_io::to_text(&plan));
+    let evicted = shared.cache.insert(&digest, Arc::clone(&body));
+    if evicted > 0 {
+        shared.rec.add(keys::SERVE_CACHE_EVICTIONS, evicted);
+    }
+
+    let mut response = plan_ok(&digest, &body, "miss");
+    if let Some(limit) = deadline {
+        let total = MicroSecs::new(enqueued.elapsed().as_secs_f64() * 1e6);
+        if total > limit {
+            // Too late but not wasted: serve the plan, record the miss
+            // for the watchdog to classify.
+            shared.rec.incr(keys::SERVE_DEADLINE_MISSED);
+            shared.record_deadline_miss(worker, seq, total, limit);
+            response = response.with_header("X-Adapipe-Deadline", "missed");
+        }
+    }
+    response
+}
+
+fn metrics_response(shared: &Shared) -> Response {
+    // lint: allow(swallowed-result): None only means "no traffic yet"
+    let _iso = keys::publish_iso_cache_hit_rate(&shared.rec);
+    // lint: allow(swallowed-result): None only means "no traffic yet"
+    let _hit = keys::publish_serve_cache_hit_rate(&shared.rec);
+    let diagnosis = shared.deadline_diagnosis();
+    shared.rec.gauge(
+        keys::SERVE_DEADLINE_PERSISTENT,
+        diagnosis.persistent_stragglers.len() as f64,
+    );
+    let workers = shared.cfg.workers.to_string();
+    let cache_capacity = shared.cache.capacity().to_string();
+    let queue_depth = shared.queue.capacity().to_string();
+    let snapshot = shared.rec.snapshot();
+    let json = report::metrics_json(
+        &snapshot,
+        &[
+            ("component", "adapipe-serve"),
+            ("workers", &workers),
+            ("cache_capacity", &cache_capacity),
+            ("queue_depth", &queue_depth),
+        ],
+    );
+    Response::json(200, json)
+}

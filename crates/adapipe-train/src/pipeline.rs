@@ -129,16 +129,19 @@ pub fn train_iteration_watched(
     assert!(p > 0, "need at least one stage");
     assert!(n > 0, "need at least one micro-batch");
 
-    // Channels between neighbours.
-    let mut fwd_tx: Vec<Option<mpsc::Sender<Tensor>>> = Vec::new();
+    // Channels between neighbours. Bounded at `n`: each direction
+    // carries exactly one tensor per micro-batch per iteration, so the
+    // senders never block, but a scheduling bug that over-produces now
+    // deadlocks loudly instead of buffering without limit.
+    let mut fwd_tx: Vec<Option<mpsc::SyncSender<Tensor>>> = Vec::new();
     let mut fwd_rx: Vec<Option<mpsc::Receiver<Tensor>>> = vec![None];
-    let mut bwd_tx: Vec<Option<mpsc::Sender<Tensor>>> = vec![None];
+    let mut bwd_tx: Vec<Option<mpsc::SyncSender<Tensor>>> = vec![None];
     let mut bwd_rx: Vec<Option<mpsc::Receiver<Tensor>>> = Vec::new();
     for _ in 0..p - 1 {
-        let (ftx, frx) = mpsc::channel();
+        let (ftx, frx) = mpsc::sync_channel(n);
         fwd_tx.push(Some(ftx));
         fwd_rx.push(Some(frx));
-        let (btx, brx) = mpsc::channel();
+        let (btx, brx) = mpsc::sync_channel(n);
         bwd_tx.push(Some(btx));
         bwd_rx.push(Some(brx));
     }
@@ -160,8 +163,12 @@ pub fn train_iteration_watched(
             let deadline = watch.deadline;
             handles.push(scope.spawn(move || {
                 stage.zero_grads();
-                let mut caches: VecDeque<(usize, ForwardCache)> = VecDeque::new();
-                let mut pending_grads: VecDeque<(usize, Tensor)> = VecDeque::new();
+                // Both queues are bounded by the in-flight micro-batch
+                // count: 1F1B holds at most `n` forward caches (and in
+                // practice at most the warmup depth) before the
+                // matching backward drains them.
+                let mut caches: VecDeque<(usize, ForwardCache)> = VecDeque::with_capacity(n);
+                let mut pending_grads: VecDeque<(usize, Tensor)> = VecDeque::with_capacity(n);
                 let mut losses = 0.0f32;
                 let mut events: Vec<DegradationEvent> = Vec::new();
                 let mut live_bytes = 0usize;

@@ -22,6 +22,10 @@
 //! | `swallowed-result` | `let _ = ...` discards in library code — the idiom   |
 //! |                | that silently drops a `Result` (and with it the error    |
 //! |                | path); handle the value or bind it to a named `_x`       |
+//! | `bounded-channel` | an unbounded queue (`mpsc::channel()`,                |
+//! |                | `VecDeque::new()`/`default()`) in the serving/training   |
+//! |                | crates — queues there are backpressure boundaries and    |
+//! |                | must carry an explicit capacity                          |
 //!
 //! Any rule can be waived at a site with `// lint: allow(rule): reason`
 //! (covers that line and the next) or for a whole file with
@@ -85,6 +89,9 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 if COST_CRATES.contains(&crate_name.as_str()) {
                     check_raw_quantities(&file, &mut violations);
                 }
+                if QUEUE_CRATES.contains(&crate_name.as_str()) {
+                    check_bounded_channel(&file, &mut violations);
+                }
             }
         }
     }
@@ -108,6 +115,7 @@ const RULES: &[&str] = &[
     "raw-quantity-in-api",
     "index-confusion",
     "swallowed-result",
+    "bounded-channel",
 ];
 
 /// The crates whose public APIs must speak `adapipe-units` newtypes.
@@ -124,6 +132,49 @@ const COST_CRATES: &[&str] = &[
     "adapipe-sim",
     "adapipe-check",
 ];
+
+/// The crates where queues are load-bearing backpressure boundaries:
+/// the serving daemon (accept queue) and the training pipeline
+/// (inter-stage activation channels). An unbounded queue there turns
+/// overload into silent memory growth instead of an explicit rejection.
+const QUEUE_CRATES: &[&str] = &["adapipe-serve", "adapipe-train"];
+
+/// `bounded-channel`: no unbounded queues in the queue crates.
+/// `mpsc::channel()` buffers without limit (use
+/// `mpsc::sync_channel(n)`); `VecDeque::new()`/`VecDeque::default()`
+/// start life unbounded and invite push-without-cap growth (use
+/// `VecDeque::with_capacity(n)` next to an explicit depth check, or a
+/// purpose-built bounded queue).
+pub fn check_bounded_channel(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("bounded-channel", i) {
+            continue;
+        }
+        if line.contains("mpsc::channel(") {
+            out.push(Violation {
+                path: file.path.clone(),
+                line: i + 1,
+                rule: "bounded-channel",
+                message: "unbounded `mpsc::channel()` — use `mpsc::sync_channel(n)` so \
+                          saturation blocks (or rejects) instead of buffering without limit"
+                    .to_string(),
+            });
+        }
+        for ctor in ["VecDeque::new()", "VecDeque::default()"] {
+            if line.contains(ctor) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    rule: "bounded-channel",
+                    message: format!(
+                        "`{ctor}` creates an unbounded queue — use \
+                         `VecDeque::with_capacity(n)` beside an explicit depth bound"
+                    ),
+                });
+            }
+        }
+    }
+}
 
 /// A waiver must name real rules and carry a justification.
 pub fn check_waiver_reasons(file: &SourceFile, out: &mut Vec<Violation>) {
@@ -934,6 +985,43 @@ mod tests {
         );
         let mut v = Vec::new();
         check_swallowed_result(&whole, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounded_channel_flags_unbounded_ctors_only() {
+        let f = file(
+            "fn a() { let (tx, rx) = mpsc::channel(); }\n\
+             fn b() { let (tx, rx) = mpsc::sync_channel(4); }\n\
+             fn c() { let q: VecDeque<u32> = VecDeque::new(); }\n\
+             fn d() { let q: VecDeque<u32> = VecDeque::with_capacity(8); }\n\
+             fn e() { let q: VecDeque<u32> = VecDeque::default(); }\n\
+             #[cfg(test)]\nmod t {\n fn f() { let q: VecDeque<u32> = VecDeque::new(); }\n}\n",
+        );
+        let mut v = Vec::new();
+        check_bounded_channel(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            3,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert!(v.iter().all(|v| v.rule == "bounded-channel"));
+        assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn bounded_channel_waiver_suppresses() {
+        let f = file(
+            "// lint: allow(bounded-channel): drained synchronously before the next push\n\
+             fn a() { let q: VecDeque<u32> = VecDeque::new(); }\n",
+        );
+        let mut v = Vec::new();
+        check_bounded_channel(&f, &mut v);
         assert!(
             v.is_empty(),
             "{:?}",

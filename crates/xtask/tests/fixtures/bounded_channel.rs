@@ -1,0 +1,15 @@
+//! Fixture: unbounded queues in a queue crate must fire
+//! `bounded-channel`.
+
+pub fn spawn_workers() {
+    let (tx, rx) = mpsc::channel();
+    let backlog: VecDeque<Job> = VecDeque::new();
+    let spare: VecDeque<Job> = VecDeque::default();
+    drop((tx, rx, backlog, spare));
+}
+
+pub fn bounded_is_fine() {
+    let (tx, rx) = mpsc::sync_channel(8);
+    let backlog: VecDeque<Job> = VecDeque::with_capacity(8);
+    drop((tx, rx, backlog));
+}

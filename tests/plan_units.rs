@@ -43,6 +43,49 @@ fn golden_plans_are_v2_and_warning_free() {
     }
 }
 
+/// A checked-in legacy v1 artifact (times in seconds, no units block)
+/// loads with the conversion warning, and re-emitting it produces a
+/// clean v2 plan that passes the full static verifier.
+#[test]
+fn legacy_v1_fixture_converts_with_a_warning_and_reverifies() {
+    let text = read("tests/golden/legacy_v1.plan");
+    assert!(text.starts_with("adapipe-plan v1"), "fixture must be v1");
+    assert!(!text.contains("units."), "v1 must carry no units block");
+
+    let (plan, warnings) = plan_io::from_text_with_warnings(&text).expect("v1 fixture loads");
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(
+        warnings[0].contains("legacy v1 plan")
+            && warnings[0].contains("seconds")
+            && warnings[0].contains("microseconds"),
+        "conversion warning must say what was rescaled: {warnings:?}"
+    );
+
+    // Re-emit: the upgraded artifact is v2 and loads warning-free.
+    let upgraded = plan_io::to_text(&plan);
+    assert!(upgraded.starts_with("adapipe-plan v2"), "{upgraded}");
+    assert!(upgraded.contains("units.time = us"), "{upgraded}");
+    let (back, clean) = plan_io::from_text_with_warnings(&upgraded).expect("v2 re-load");
+    assert!(
+        clean.is_empty(),
+        "upgraded plan must be warning-free: {clean:?}"
+    );
+    assert_eq!(plan, back, "upgrade round-trip must preserve the plan");
+
+    // The converted plan is not just parseable — it still satisfies
+    // every invariant of the world it was planned for (the gpt2 golden
+    // config: cluster a, one node).
+    let planner = adapipe::Planner::new(
+        adapipe_model::presets::gpt2_small(),
+        adapipe_hw::presets::cluster_a_with_nodes(1),
+    );
+    let report = planner.verify_with(&back, adapipe::VerifyOptions::default());
+    assert!(
+        !report.has_errors(),
+        "upgraded v1 plan failed verification:\n{report}"
+    );
+}
+
 /// A plan declaring a foreign time unit is rejected outright — with
 /// the stable `unit-mismatch` code — instead of being silently
 /// reinterpreted (a ms-vs-µs slip rescales every Eq. (1)–(3) term by
