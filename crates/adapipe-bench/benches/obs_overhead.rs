@@ -3,7 +3,7 @@
 //! inner loop, the simulator event loop) stay free when no sink is
 //! attached. The enabled recorder is benchmarked alongside for scale.
 
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -16,7 +16,7 @@ fn bench_obs(c: &mut Criterion) {
     group.bench_function("disabled_10k_ops", |b| {
         b.iter(|| {
             for i in 0..OPS {
-                disabled.add(black_box("recompute.knapsack.cells"), i as u64);
+                disabled.add(black_box(keys::KNAPSACK_CELLS), i as u64);
             }
         });
     });
@@ -25,7 +25,7 @@ fn bench_obs(c: &mut Criterion) {
     group.bench_function("enabled_10k_ops", |b| {
         b.iter(|| {
             for i in 0..OPS {
-                enabled.add(black_box("recompute.knapsack.cells"), i as u64);
+                enabled.add(black_box(keys::KNAPSACK_CELLS), i as u64);
             }
         });
     });

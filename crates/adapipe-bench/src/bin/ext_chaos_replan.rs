@@ -13,7 +13,7 @@ use adapipe_bench::{emit_bench_json, print_table};
 use adapipe_faults::{DegradedCluster, Diagnosis, Fault, FaultPlan};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 
 fn main() {
     let rec = Recorder::new();
@@ -99,7 +99,7 @@ fn main() {
          no slower than the cold re-solve; both emit byte-identical plans."
     );
 
-    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());
     emit_bench_json(
         "chaos_replan",
         &rec,

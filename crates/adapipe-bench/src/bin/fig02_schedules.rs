@@ -3,7 +3,7 @@
 //! bubble and peak-memory comparison the figure illustrates.
 
 use adapipe_bench::emit_bench_json;
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_sim::{render, schedule, simulate_traced, SimReport, StageExec};
 use adapipe_units::{Bytes, MicroSecs};
 
@@ -55,6 +55,6 @@ fn main() {
     assert!((gp.makespan - f1b.makespan).abs() < MicroSecs::new(1e-9));
     assert!(f1b.max_peak_dynamic_bytes() < gp.max_peak_dynamic_bytes());
 
-    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());
     emit_bench_json("fig02_schedules", &rec, &[("figure", "2")]);
 }

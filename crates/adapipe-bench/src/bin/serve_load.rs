@@ -11,7 +11,7 @@
 //! sustain at least 10x the miss throughput.
 
 use adapipe_bench::{emit_bench_json, print_table};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_serve::{client, PlanRequest, ServeConfig, Server};
 use std::time::Instant;
 
@@ -107,7 +107,7 @@ fn main() {
         rec.gauge(key, value);
     }
     for us in &latencies_us {
-        rec.observe("bench.serve_load.hit.us", *us);
+        rec.observe(keys::BENCH_SERVE_LOAD_HIT_US, *us);
     }
 
     print_table(
@@ -145,7 +145,7 @@ fn main() {
         "cache hits must sustain >= 10x miss throughput, got {speedup:.1}x"
     );
 
-    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());
     emit_bench_json(
         "serve_throughput",
         &rec,

@@ -6,7 +6,7 @@ use adapipe::{Method, Planner};
 use adapipe_bench::{emit_bench_json, print_table};
 use adapipe_hw::presets as hw;
 use adapipe_model::{presets, ParallelConfig, TrainConfig};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 
 fn main() {
     let rec = Recorder::new();
@@ -44,6 +44,6 @@ fn main() {
          (paper: 23, 23, 23, 24, 25, 25, 25, 26)."
     );
 
-    rec.gauge("bench.wall_s", t0.elapsed().as_secs_f64());
+    rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());
     emit_bench_json("tab04_strategy_dump", &rec, &[("table", "4")]);
 }

@@ -54,13 +54,49 @@ pub fn emit_bench_json(name: &str, rec: &Recorder, meta: &[(&str, &str)]) -> Opt
         eprintln!("note: no results/ directory found; skipping BENCH_{name}.json");
         return None;
     };
-    let mut all_meta = vec![("bench", name)];
+    let commit = git_commit();
+    let config = bench_config_name();
+    let mut all_meta = vec![
+        ("bench", name),
+        ("schema_version", "adapipe-bench/v1"),
+        ("commit", commit.as_str()),
+    ];
+    if !meta.iter().any(|(k, _)| *k == "config") {
+        all_meta.push(("config", config.as_str()));
+    }
     all_meta.extend_from_slice(meta);
     let json = adapipe_obs::report::metrics_json(&rec.snapshot(), &all_meta);
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     println!("bench metrics written to {}", path.display());
     Some(path)
+}
+
+/// The commit this run was produced at: `$ADAPIPE_GIT_COMMIT` if set
+/// (CI knows best), else `git rev-parse --short HEAD`, else `unknown`.
+/// Stamped into every `BENCH_*.json` so `bench-diff` can tell which
+/// runs are comparable.
+#[must_use]
+pub fn git_commit() -> String {
+    if let Ok(commit) = std::env::var("ADAPIPE_GIT_COMMIT") {
+        return commit;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The named configuration of this run (`$ADAPIPE_BENCH_CONFIG`,
+/// default `default`); callers that pass their own `config` meta pair
+/// win over the environment.
+#[must_use]
+pub fn bench_config_name() -> String {
+    std::env::var("ADAPIPE_BENCH_CONFIG").unwrap_or_else(|_| "default".to_string())
 }
 
 /// Pretty-prints a fixed-width table.

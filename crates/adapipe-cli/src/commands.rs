@@ -6,7 +6,7 @@ use crate::config::{self, ConfigError};
 use adapipe::{best_outcome, sweep_parallel_strategies, ChaosConfig, Method, Planner};
 use adapipe_faults::{DegradedCluster, FaultPlan};
 use adapipe_memory::OptimizerSpec;
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_serve::{client, PlanRequest, ServeConfig, Server};
 use adapipe_units::MicroSecs;
 use std::time::Duration;
@@ -81,7 +81,7 @@ impl ObsSink {
             return Ok(out);
         }
         if let Some((_, _, rate)) = self.iso_cache_stats() {
-            self.rec.gauge("partition.iso_cache.hit_rate", rate);
+            self.rec.gauge(keys::ISO_CACHE_HIT_RATE, rate);
         }
         let snap = self.rec.snapshot();
         if let Some(path) = &self.metrics_out {
@@ -297,6 +297,7 @@ pub fn chaos(mut args: Args) -> Result<String, ConfigError> {
     let steps: Option<usize> = args.take_parsed("steps", "a positive integer")?;
     let out_file = args.take("out");
     let replan_out = args.take("replan-out");
+    let flight_out = args.take("flight-out");
     let sink = ObsSink::from_args(&mut args, false);
     let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
     let parallel = config::parallel(&mut args)?;
@@ -344,6 +345,33 @@ pub fn chaos(mut args: Args) -> Result<String, ConfigError> {
         ("model", planner.model().name()),
         ("seed", &degraded.plan().seed().to_string()),
     ])?);
+    // Flight dump on an unrecovered run: the watchdog events replayed
+    // into a flight ring plus the terminal failure, in the same
+    // `adapipe-flight/v1` schema the serving daemon dumps on 503s.
+    if let Some(path) = &flight_out {
+        if outcome.accepted() {
+            out.push_str("chaos run recovered; no flight dump written\n");
+        } else {
+            let flight = adapipe_obs::FlightRecorder::new(adapipe_obs::flight::DEFAULT_CAPACITY);
+            for (step, events) in outcome.events.iter().enumerate() {
+                for event in events {
+                    flight.note(keys::FLIGHT_WATCHDOG, format!("step {step}: {event}"));
+                }
+            }
+            flight.note(
+                keys::FLIGHT_CHAOS_FAILURE,
+                "recovery ladder exhausted: the replanned artifact was rejected",
+            );
+            let seed = degraded.plan().seed().to_string();
+            let json = adapipe_obs::flight::flight_json(
+                &flight.snapshot(),
+                keys::FLIGHT_CHAOS_FAILURE,
+                &[("command", "chaos"), ("seed", &seed)],
+            );
+            write_artifact(path, &json)?;
+            out.push_str(&format!("flight dump written to {path}\n"));
+        }
+    }
     if !outcome.accepted() {
         return Err(ConfigError::Rejected(format!(
             "{out}chaos run was not recovered: the replanned artifact was rejected"
@@ -457,8 +485,11 @@ pub fn serve(mut args: Args) -> Result<String, ConfigError> {
     let deadline_ms: Option<f64> = args.take_parsed("deadline-ms", "milliseconds")?;
     let plan_delay_ms: Option<u64> =
         args.take_parsed("plan-delay-ms", "milliseconds (testing aid)")?;
+    let trace_capacity: Option<usize> = args.take_parsed("trace-capacity", "a positive integer")?;
+    let flight_dir = args.take("flight-dir").map(std::path::PathBuf::from);
     args.finish()?;
 
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         host: host.clone(),
         port,
@@ -467,6 +498,9 @@ pub fn serve(mut args: Args) -> Result<String, ConfigError> {
         queue_depth,
         default_deadline: deadline_ms.map(|ms| MicroSecs::new(ms * 1e3)),
         plan_delay: plan_delay_ms.map(Duration::from_millis),
+        trace_capacity: trace_capacity.unwrap_or(defaults.trace_capacity),
+        flight_dir,
+        ..defaults
     };
     let server = Server::bind(cfg, Recorder::new())
         .map_err(|e| ConfigError::Domain(format!("cannot bind {host}:{port}: {e}")))?;
@@ -587,6 +621,9 @@ pub fn query(mut args: Args) -> Result<String, ConfigError> {
         if let Some(cache) = resp.header("x-adapipe-cache") {
             out.push_str(&format!(", cache {cache}"));
         }
+        if let Some(trace) = resp.header("x-adapipe-trace") {
+            out.push_str(&format!(", trace {trace}"));
+        }
         if let Some(digest) = resp.header("x-adapipe-digest") {
             out.push_str(&format!(", digest {digest}"));
         }
@@ -606,6 +643,72 @@ pub fn query(mut args: Args) -> Result<String, ConfigError> {
             resp.body.trim_end()
         )))
     }
+}
+
+/// `adapipe report`: renders collected metrics/trace/flight artifacts
+/// into one self-contained HTML file (inline SVG, no JavaScript).
+/// Inputs come from `--dir DIR` (every `*.json` under it, classified
+/// by shape; unknown shapes are skipped with a note) and/or `--files
+/// a.json,b.json`.
+pub fn report(mut args: Args) -> Result<String, ConfigError> {
+    let out_path = args.require("out")?;
+    let dir = args.take("dir");
+    let files_csv = args.take("files");
+    let title = args
+        .take("title")
+        .unwrap_or_else(|| "AdaPipe observability report".to_string());
+    args.finish()?;
+
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    if let Some(dir) = &dir {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| ConfigError::Domain(format!("cannot read --dir {dir}: {e}")))?;
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+    }
+    if let Some(csv) = &files_csv {
+        paths.extend(csv.split(',').filter(|s| !s.is_empty()).map(Into::into));
+    }
+    if paths.is_empty() {
+        return Err(ConfigError::Domain(
+            "report needs --dir DIR and/or --files a.json,b.json".to_string(),
+        ));
+    }
+
+    let mut out = String::new();
+    let mut artifacts = Vec::new();
+    for path in &paths {
+        let display = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::Domain(format!("cannot read {display}: {e}")))?;
+        let doc = match adapipe_obs::json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                out.push_str(&format!("skipped {display}: {e}\n"));
+                continue;
+            }
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(&display);
+        match crate::report_html::classify(name, doc) {
+            Some(a) => artifacts.push(a),
+            None => out.push_str(&format!("skipped {display}: not a known artifact schema\n")),
+        }
+    }
+    let html = crate::report_html::render(&title, &artifacts);
+    write_artifact(&out_path, &html)?;
+    out.push_str(&format!(
+        "report written to {out_path} ({} artifact(s) rendered)\n",
+        artifacts.len()
+    ));
+    Ok(out)
 }
 
 /// `adapipe models`: list presets.
@@ -647,11 +750,14 @@ USAGE:
   adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
   adapipe chaos   --faults FILE --tensor T --pipeline P --seq S --global-batch G
                   [--seed N] [--steps N] [--out report.txt] [--replan-out plan.txt]
-                  [--model M] [--cluster a|b] [--nodes N]
+                  [--flight-out flight.json] [--model M] [--cluster a|b] [--nodes N]
   adapipe serve   [--host H] [--port P] [--workers N] [--cache-capacity N]
-                  [--queue-depth N] [--deadline-ms MS]
+                  [--queue-depth N] [--deadline-ms MS] [--trace-capacity N]
+                  [--flight-dir DIR]
   adapipe query   --addr HOST:PORT (plan flags | --digest D | --get PATH |
                   --body-file FILE | --shutdown true) [--out FILE]
+  adapipe report  --out report.html [--dir DIR] [--files a.json,b.json]
+                  [--title TEXT]
   adapipe models
 
 VERIFY:
@@ -681,7 +787,12 @@ SERVE:
   from a content-addressed LRU plan cache; misses are planned on a
   bounded worker pool with explicit backpressure (503 + Retry-After
   when the queue is full) and every plan is verified before it is
-  served; POST /admin/shutdown drains in-flight work and exits 0
+  served; POST /admin/shutdown drains in-flight work and exits 0; every
+  POST /v1/plan response carries an X-Adapipe-Trace id whose span
+  timeline is retrievable via GET /v1/trace/{id}; --flight-dir DIR
+  makes the daemon dump its flight-recorder ring (adapipe-flight/v1
+  JSON) there on backpressure, deadline violations and watchdog
+  events, and POST /admin/dump returns the same dump on demand
 
 QUERY:
   drives a running daemon: plan flags POST a canonical request,
@@ -689,6 +800,15 @@ QUERY:
   fetches e.g. /metrics, --body-file FILE posts a raw body and
   --shutdown true drains the daemon; a 2xx response exits 0, a 4xx/5xx
   response exits 1, a network failure exits 2
+
+REPORT:
+  renders collected observability artifacts into one self-contained
+  HTML file (inline SVG charts, no JavaScript): serve latency
+  histograms and the planner phase breakdown from adapipe-obs/v1
+  metrics reports, schedule timelines from Chrome-trace dumps, bench
+  mean-latency bars from BENCH_*.json summaries and flight-recorder
+  incident tables; inputs are classified by shape, unknown files are
+  skipped with a note (see docs/observability.md)
 
 EXIT CODES:
   0  success: the command ran and the artifact under test was accepted

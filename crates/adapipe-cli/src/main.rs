@@ -15,6 +15,7 @@
 mod args;
 mod commands;
 mod config;
+mod report_html;
 
 use args::Args;
 use std::process::ExitCode;
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "chaos" => commands::chaos(parsed),
         "trace" => commands::trace(parsed),
         "serve" => commands::serve(parsed),
+        "report" => commands::report(parsed),
         "query" => commands::query(parsed),
         "models" => commands::models(parsed),
         other => {

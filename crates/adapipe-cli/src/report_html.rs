@@ -1,0 +1,505 @@
+//! `adapipe report` rendering: one self-contained HTML file with
+//! inline SVG charts and **no JavaScript**, so the artifact can be
+//! archived in CI, attached to an issue, or opened from `file://`
+//! years later without a toolchain.
+//!
+//! Input is the machine-readable artifacts the rest of the workspace
+//! already emits, classified by shape (see [`classify`]):
+//!
+//! * `adapipe-obs/v1` metrics reports (`/metrics`, `--metrics-out`,
+//!   `BENCH_*.json` from the figure regenerators) — serve latency
+//!   histograms and the planner phase breakdown;
+//! * Chrome Trace Event Format span dumps (`--chrome-trace`,
+//!   `GET /v1/trace/{id}`) — the schedule timeline;
+//! * Criterion-shim bench summaries — mean-latency bars;
+//! * `adapipe-flight/v1` flight-recorder dumps — incident event tables.
+
+use adapipe_obs::json::Value;
+use std::fmt::Write as _;
+
+/// One classified input artifact.
+pub enum Artifact {
+    /// `adapipe-obs/v1` metrics report.
+    Metrics { name: String, doc: Value },
+    /// Criterion-shim bench summary (`{"results": [...]}`).
+    Bench { name: String, doc: Value },
+    /// Chrome Trace Event Format array.
+    Trace { name: String, doc: Value },
+    /// `adapipe-flight/v1` flight-recorder dump.
+    Flight { name: String, doc: Value },
+}
+
+impl Artifact {
+    fn kind(&self) -> &'static str {
+        match self {
+            Artifact::Metrics { .. } => "metrics",
+            Artifact::Bench { .. } => "bench",
+            Artifact::Trace { .. } => "trace",
+            Artifact::Flight { .. } => "flight",
+        }
+    }
+}
+
+/// Classifies a parsed JSON artifact by its shape; `None` means the
+/// document is none of the four known schemas.
+pub fn classify(name: &str, doc: Value) -> Option<Artifact> {
+    let name = name.to_string();
+    match &doc {
+        Value::Array(_) => Some(Artifact::Trace { name, doc }),
+        Value::Object(_) => {
+            if doc.get("schema").and_then(Value::as_str) == Some("adapipe-flight/v1") {
+                Some(Artifact::Flight { name, doc })
+            } else if doc.get("counters").is_some() || doc.get("histograms").is_some() {
+                Some(Artifact::Metrics { name, doc })
+            } else if doc.get("results").is_some() {
+                Some(Artifact::Bench { name, doc })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Renders the full report document.
+pub fn render(title: &str, artifacts: &[Artifact]) -> String {
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "<h1>{}</h1>\n<p class=\"meta\">{} artifact(s): {}</p>\n",
+        esc(title),
+        artifacts.len(),
+        esc(&artifacts
+            .iter()
+            .map(|a| format!("{} ({})", artifact_name(a), a.kind()))
+            .collect::<Vec<_>>()
+            .join(", "))
+    );
+    body.push_str(&histogram_section(artifacts));
+    body.push_str(&phase_section(artifacts));
+    body.push_str(&timeline_section(artifacts));
+    body.push_str(&bench_section(artifacts));
+    body.push_str(&flight_section(artifacts));
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{}</title>\n<style>{STYLE}</style>\n</head>\n<body>\n{body}</body>\n</html>\n",
+        esc(title)
+    )
+}
+
+const STYLE: &str = "\
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:64rem;color:#1a1a2e}\
+h1{border-bottom:2px solid #1a1a2e}h2{margin-top:2rem}\
+.meta{color:#667}table{border-collapse:collapse;width:100%}\
+td,th{border:1px solid #ccd;padding:2px 8px;text-align:left;font-size:13px}\
+th{background:#eef}svg{display:block;margin:.5rem 0}\
+.empty{color:#889;font-style:italic}";
+
+fn artifact_name(a: &Artifact) -> &str {
+    match a {
+        Artifact::Metrics { name, .. }
+        | Artifact::Bench { name, .. }
+        | Artifact::Trace { name, .. }
+        | Artifact::Flight { name, .. } => name,
+    }
+}
+
+/// Serve/planner latency histograms: one quantile bar group per
+/// histogram key found in any metrics artifact.
+fn histogram_section(artifacts: &[Artifact]) -> String {
+    let mut rows: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for a in artifacts {
+        let Artifact::Metrics { name, doc } = a else {
+            continue;
+        };
+        let Some(Value::Object(hists)) = doc.get("histograms") else {
+            continue;
+        };
+        for (key, h) in hists {
+            let mut bars = Vec::new();
+            for q in ["p50", "p95", "p99", "max"] {
+                if let Some(v) = h.get(q).and_then(Value::as_f64) {
+                    bars.push((q.to_string(), v));
+                }
+            }
+            let count = h.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+            if !bars.is_empty() {
+                rows.push((format!("{key} (n={count}, {name})"), bars));
+            }
+        }
+    }
+    let mut out = String::from("<h2>Latency histograms</h2>\n");
+    if rows.is_empty() {
+        out.push_str("<p class=\"empty\">no histograms in the collected metrics</p>\n");
+        return out;
+    }
+    for (title, bars) in rows {
+        let _ = write!(out, "<h3>{}</h3>\n{}", esc(&title), svg_hbars(&bars));
+    }
+    out
+}
+
+/// Planner phase breakdown: total span time per phase, from the
+/// `spans` aggregation of each metrics artifact.
+fn phase_section(artifacts: &[Artifact]) -> String {
+    let mut out = String::from("<h2>Planner phase breakdown</h2>\n");
+    let mut any = false;
+    for a in artifacts {
+        let Artifact::Metrics { name, doc } = a else {
+            continue;
+        };
+        let Some(Value::Object(spans)) = doc.get("spans") else {
+            continue;
+        };
+        let mut rows: Vec<(String, f64)> = spans
+            .iter()
+            .filter_map(|(k, v)| {
+                let total = v.get("total_us").and_then(Value::as_f64)?;
+                let count = v.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+                Some((format!("{k} (x{count})"), total))
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        any = true;
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let _ = write!(
+            out,
+            "<h3>{} — total span time (µs)</h3>\n{}",
+            esc(name),
+            svg_hbars(&rows)
+        );
+    }
+    if !any {
+        out.push_str("<p class=\"empty\">no span aggregates in the collected metrics</p>\n");
+    }
+    out
+}
+
+/// Schedule timeline: one Gantt lane per tid, from Chrome-trace
+/// complete events.
+fn timeline_section(artifacts: &[Artifact]) -> String {
+    let mut out = String::from("<h2>Schedule timeline</h2>\n");
+    let mut any = false;
+    for a in artifacts {
+        let Artifact::Trace { name, doc } = a else {
+            continue;
+        };
+        let Some(events) = doc.as_array() else {
+            continue;
+        };
+        let spans: Vec<(String, String, f64, f64, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .filter_map(|e| {
+                Some((
+                    e.get("name").and_then(Value::as_str)?.to_string(),
+                    e.get("cat")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    e.get("ts").and_then(Value::as_f64)?,
+                    e.get("dur").and_then(Value::as_f64)?,
+                    e.get("tid").and_then(Value::as_f64).unwrap_or(0.0),
+                ))
+            })
+            .collect();
+        if spans.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = write!(out, "<h3>{}</h3>\n{}", esc(name), svg_timeline(&spans));
+    }
+    if !any {
+        out.push_str("<p class=\"empty\">no Chrome-trace artifacts collected</p>\n");
+    }
+    out
+}
+
+/// Criterion-shim results: mean latency per bench id.
+fn bench_section(artifacts: &[Artifact]) -> String {
+    let mut out = String::from("<h2>Bench results</h2>\n");
+    let mut any = false;
+    for a in artifacts {
+        let Artifact::Bench { name, doc } = a else {
+            continue;
+        };
+        let Some(results) = doc.get("results").and_then(Value::as_array) else {
+            continue;
+        };
+        let rows: Vec<(String, f64)> = results
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("id").and_then(Value::as_str)?.to_string(),
+                    r.get("mean_ns").and_then(Value::as_f64)?,
+                ))
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        any = true;
+        let commit = doc.get("commit").and_then(Value::as_str).unwrap_or("?");
+        let config = doc.get("config").and_then(Value::as_str).unwrap_or("?");
+        let _ = write!(
+            out,
+            "<h3>{} — mean ns (commit {}, config {})</h3>\n{}",
+            esc(name),
+            esc(commit),
+            esc(config),
+            svg_hbars(&rows)
+        );
+    }
+    if !any {
+        out.push_str("<p class=\"empty\">no bench summaries collected</p>\n");
+    }
+    out
+}
+
+/// Flight-recorder dumps: the incident events, verbatim.
+fn flight_section(artifacts: &[Artifact]) -> String {
+    let mut out = String::from("<h2>Flight-recorder incidents</h2>\n");
+    let mut any = false;
+    for a in artifacts {
+        let Artifact::Flight { name, doc } = a else {
+            continue;
+        };
+        any = true;
+        let reason = doc.get("reason").and_then(Value::as_str).unwrap_or("?");
+        let dropped = doc.get("dropped").and_then(Value::as_f64).unwrap_or(0.0);
+        let _ = write!(
+            out,
+            "<h3>{} — reason {}, {} event(s) dropped</h3>\n\
+             <table><tr><th>t (µs)</th><th>kind</th><th>detail</th><th>trace</th></tr>\n",
+            esc(name),
+            esc(reason),
+            dropped
+        );
+        for ev in doc
+            .get("events")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                ev.get("t_us").and_then(Value::as_f64).unwrap_or(0.0),
+                esc(ev.get("kind").and_then(Value::as_str).unwrap_or("")),
+                esc(ev.get("detail").and_then(Value::as_str).unwrap_or("")),
+                esc(ev.get("trace_id").and_then(Value::as_str).unwrap_or("—")),
+            );
+        }
+        out.push_str("</table>\n");
+    }
+    if !any {
+        out.push_str("<p class=\"empty\">no flight dumps collected — no incidents</p>\n");
+    }
+    out
+}
+
+/// A horizontal bar chart: label gutter on the left, bars scaled to
+/// the maximum value, value printed after each bar.
+fn svg_hbars(rows: &[(String, f64)]) -> String {
+    const W: f64 = 840.0;
+    const GUTTER: f64 = 300.0;
+    const BAR_H: f64 = 16.0;
+    const GAP: f64 = 6.0;
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let height = rows.len() as f64 * (BAR_H + GAP) + GAP;
+    let mut out = format!(
+        "<svg viewBox=\"0 0 {W} {height}\" width=\"{W}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    );
+    for (i, (label, value)) in rows.iter().enumerate() {
+        let y = GAP + i as f64 * (BAR_H + GAP);
+        let w = if max > 0.0 {
+            (value / max) * (W - GUTTER - 120.0)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"12\">{}</text>\
+             <rect x=\"{GUTTER}\" y=\"{y}\" width=\"{}\" height=\"{BAR_H}\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"#445\">{}</text>",
+            GUTTER - 8.0,
+            y + BAR_H - 4.0,
+            esc(label),
+            w.max(1.0),
+            color_for(label),
+            GUTTER + w.max(1.0) + 6.0,
+            y + BAR_H - 4.0,
+            fmt_num(*value),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A Gantt timeline: one lane per tid, boxes at their span interval,
+/// colored by span name.
+fn svg_timeline(spans: &[(String, String, f64, f64, f64)]) -> String {
+    const W: f64 = 840.0;
+    const GUTTER: f64 = 70.0;
+    const LANE_H: f64 = 22.0;
+    let t0 = spans.iter().map(|s| s.2).fold(f64::INFINITY, f64::min);
+    let t1 = spans
+        .iter()
+        .map(|s| s.2 + s.3)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let range = (t1 - t0).max(1e-9);
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.4 as u64).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let lane_of = |tid: f64| tids.iter().position(|t| *t == tid as u64).unwrap_or(0);
+    let height = tids.len() as f64 * LANE_H + 24.0;
+    let mut out = format!(
+        "<svg viewBox=\"0 0 {W} {height}\" width=\"{W}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    );
+    for (i, tid) in tids.iter().enumerate() {
+        let y = i as f64 * LANE_H;
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{}\" font-size=\"11\" fill=\"#445\">tid {tid}</text>\
+             <line x1=\"{GUTTER}\" y1=\"{}\" x2=\"{W}\" y2=\"{}\" stroke=\"#dde\"/>",
+            y + LANE_H - 7.0,
+            y + LANE_H,
+            y + LANE_H,
+        );
+    }
+    for (name, _cat, ts, dur, tid) in spans {
+        let x = GUTTER + (ts - t0) / range * (W - GUTTER - 4.0);
+        let w = (dur / range * (W - GUTTER - 4.0)).max(1.5);
+        let y = lane_of(*tid) as f64 * LANE_H + 3.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{}\" fill=\"{}\">\
+             <title>{} [{} µs, dur {} µs]</title></rect>",
+            LANE_H - 6.0,
+            color_for(name),
+            esc(name),
+            fmt_num(*ts),
+            fmt_num(*dur),
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{GUTTER}\" y=\"{}\" font-size=\"11\" fill=\"#445\">0</text>\
+         <text x=\"{W}\" y=\"{}\" text-anchor=\"end\" font-size=\"11\" fill=\"#445\">\
+         {} µs</text>\n</svg>\n",
+        height - 6.0,
+        height - 6.0,
+        fmt_num(range),
+    );
+    out
+}
+
+/// A stable color per label (hash into a fixed palette) so the same
+/// phase gets the same color across charts.
+fn color_for(label: &str) -> &'static str {
+    const PALETTE: &[&str] = &[
+        "#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3", "#937860", "#da8bc3", "#8c8c8c",
+        "#ccb974", "#64b5cd",
+    ];
+    let h: usize = label.bytes().map(usize::from).sum();
+    PALETTE[h % PALETTE.len()]
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract().abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_obs::json;
+
+    fn doc(text: &str) -> Value {
+        json::parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn classify_recognizes_all_four_schemas() {
+        let cases = [
+            (r#"{"schema": "adapipe-obs/v1", "counters": {}}"#, "metrics"),
+            (r#"{"bench": "x", "results": []}"#, "bench"),
+            (r#"[{"ph": "M"}]"#, "trace"),
+            (r#"{"schema": "adapipe-flight/v1", "events": []}"#, "flight"),
+        ];
+        for (text, kind) in cases {
+            let a = classify("f.json", doc(text)).expect("classified");
+            assert_eq!(a.kind(), kind, "{text}");
+        }
+        assert!(classify("f.json", doc("{\"other\": 1}")).is_none());
+        assert!(classify("f.json", doc("42")).is_none());
+    }
+
+    #[test]
+    fn render_is_self_contained_and_js_free() {
+        let artifacts = vec![
+            classify(
+                "m.json",
+                doc(r#"{"schema": "adapipe-obs/v1", "counters": {"a": 1},
+                        "histograms": {"serve.request.us":
+                          {"count": 9, "sum": 90, "p50": 8, "p95": 19, "p99": 20, "max": 21}},
+                        "spans": {"plan": {"count": 2, "total_us": 100.5}}}"#),
+            )
+            .expect("metrics"),
+            classify(
+                "t.json",
+                doc(r#"[{"name": "process_name", "ph": "M", "pid": 0, "tid": 0},
+                        {"name": "plan", "cat": "planner", "ph": "X",
+                         "ts": 0, "dur": 50, "pid": 0, "tid": 1}]"#),
+            )
+            .expect("trace"),
+        ];
+        let html = render("test report", &artifacts);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"), "has inline SVG");
+        assert!(html.contains("serve.request.us"));
+        assert!(html.contains("plan (x2)"));
+        assert!(html.contains("tid 1"));
+        assert!(!html.contains("<script"), "no JavaScript");
+        assert!(
+            !html.contains("<link") && !html.contains("<img"),
+            "no external fetches"
+        );
+    }
+
+    #[test]
+    fn html_escapes_hostile_labels() {
+        let html = render("<script>alert(1)</script>", &[]);
+        assert!(!html.contains("<script>alert"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn empty_sections_say_so() {
+        let html = render("empty", &[]);
+        for hint in [
+            "no histograms",
+            "no span aggregates",
+            "no Chrome-trace",
+            "no bench summaries",
+            "no flight dumps",
+        ] {
+            assert!(html.contains(hint), "{hint}");
+        }
+    }
+}

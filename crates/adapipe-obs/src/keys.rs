@@ -61,8 +61,138 @@ pub const SERVE_REQUEST_US: &str = "serve.request.us";
 /// Cold-plan (cache-miss) solve time in microseconds (histogram).
 pub const SERVE_PLAN_US: &str = "serve.plan.us";
 
-/// High-water worker-queue depth (gauge, max-tracked).
+/// Current worker-queue depth (gauge, sampled on every push/pop
+/// transition).
 pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+
+/// High-water worker-queue depth (gauge, max-tracked).
+pub const SERVE_QUEUE_DEPTH_MAX: &str = "serve.queue.depth.max";
+
+/// Workers currently executing a request (gauge, sampled on every
+/// request transition).
+pub const SERVE_WORKERS_BUSY: &str = "serve.workers.busy";
+
+/// Responses by status class (counters).
+pub const SERVE_HTTP_2XX: &str = "serve.http.2xx";
+/// Responses with client-error status (counter).
+pub const SERVE_HTTP_4XX: &str = "serve.http.4xx";
+/// Responses with server-error status (counter).
+pub const SERVE_HTTP_5XX: &str = "serve.http.5xx";
+
+// ---- planner / search-engine names ---------------------------------
+// The taxonomy in docs/observability.md; producers reference these
+// constants so the `stringly-metric` xtask lint can keep free-floating
+// name literals out of lib crates.
+
+/// Knapsack optimizations run (counter, `adapipe-recompute`).
+pub const KNAPSACK_CALLS: &str = "recompute.knapsack.calls";
+/// DP cells evaluated; 0 under the everything-fits shortcut (counter).
+pub const KNAPSACK_CELLS: &str = "recompute.knapsack.cells";
+/// Extra scale doublings past the GCD when the cell cap binds (counter).
+pub const KNAPSACK_REBUCKETS: &str = "recompute.knapsack.rebuckets";
+/// Largest §5.3 memory-axis scale factor used (gauge, max-tracked).
+pub const KNAPSACK_GCD_SCALE: &str = "recompute.knapsack.gcd_scale";
+/// Wall-clock µs per knapsack call (histogram).
+pub const KNAPSACK_US: &str = "recompute.knapsack.us";
+
+/// Cache misses that ran a real knapsack (counter, `adapipe-partition`).
+pub const PARTITION_LEAF_EVALS: &str = "partition.leaf_evals";
+/// Wall-clock µs per leaf-cost evaluation (histogram).
+pub const PARTITION_LEAF_US: &str = "partition.leaf.us";
+/// Algorithm 1 DP states filled (counter).
+pub const ALG1_STATES: &str = "partition.alg1.states";
+/// Split points scored across all states (counter).
+pub const ALG1_CANDIDATES: &str = "partition.alg1.candidates";
+
+/// Simulator events processed (counter, `adapipe-sim`).
+pub const SIM_EVENTS: &str = "sim.events";
+/// Simulator tasks executed (counter).
+pub const SIM_TASKS: &str = "sim.tasks";
+/// Dispatchable-set high-water mark (gauge, max-tracked).
+pub const SIM_READY_QUEUE_PEAK: &str = "sim.ready_queue.peak";
+
+/// Per-device busy-time gauge name: `sim.device<i>.busy_us`.
+#[must_use]
+pub fn sim_device_busy_us(device: usize) -> String {
+    format!("sim.device{device}.busy_us")
+}
+
+/// Per-device bubble-time gauge name: `sim.device<i>.bubble_us`.
+#[must_use]
+pub fn sim_device_bubble_us(device: usize) -> String {
+    format!("sim.device{device}.bubble_us")
+}
+
+/// Degradation-aware replans that retried a tighter solve (counter,
+/// `adapipe`).
+pub const REPLAN_RETRIES: &str = "replan.retries";
+/// Replans that fell back to a full recompute (counter).
+pub const REPLAN_FALLBACK_FULL_RECOMPUTE: &str = "replan.fallback.full_recompute";
+/// Iso-cache hits observed during a replan (histogram).
+pub const REPLAN_ISO_HITS: &str = "replan.iso_cache.hits";
+/// Iso-cache misses observed during a replan (histogram).
+pub const REPLAN_ISO_MISSES: &str = "replan.iso_cache.misses";
+/// Wall-clock µs per replan solve (histogram).
+pub const REPLAN_SOLVE_US: &str = "replan.solve.us";
+
+/// Bench regenerator wall-clock gauge (seconds).
+pub const BENCH_WALL_S: &str = "bench.wall_s";
+/// Serve-load bench per-hit latency (histogram, µs).
+pub const BENCH_SERVE_LOAD_HIT_US: &str = "bench.serve_load.hit.us";
+
+// ---- span names ----------------------------------------------------
+
+/// Root planner span (args carry the method).
+pub const SPAN_PLAN: &str = "plan";
+/// Cost-profiling phase.
+pub const SPAN_PLAN_PROFILE: &str = "plan.profile";
+/// §5 partition-search phase (wraps [`SPAN_PARTITION_ALG1`]).
+pub const SPAN_PLAN_PARTITION: &str = "plan.partition";
+/// Plan-materialization phase.
+pub const SPAN_PLAN_MATERIALIZE: &str = "plan.materialize";
+/// Plan evaluation (wraps [`SPAN_EVALUATE_SIMULATE`]).
+pub const SPAN_EVALUATE: &str = "evaluate";
+/// The simulation inside an evaluation.
+pub const SPAN_EVALUATE_SIMULATE: &str = "evaluate.simulate";
+/// One discrete-event simulator run.
+pub const SPAN_SIM_RUN: &str = "sim.run";
+/// One Algorithm 1 DP solve.
+pub const SPAN_PARTITION_ALG1: &str = "partition.alg1";
+/// A whole chaos-harness run.
+pub const SPAN_CHAOS: &str = "chaos";
+/// One injected-fault step inside a chaos run.
+pub const SPAN_CHAOS_STEP: &str = "chaos.step";
+/// A degradation-aware replan.
+pub const SPAN_REPLAN: &str = "replan";
+/// The partition re-solve inside a replan.
+pub const SPAN_REPLAN_PARTITION: &str = "replan.partition";
+
+/// Time a request spent queued before a worker picked it up
+/// (serve-request trace span; starts at enqueue).
+pub const SPAN_SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+/// Request parsing/validation (serve-request trace span).
+pub const SPAN_SERVE_PARSE: &str = "serve.parse";
+/// The `adapipe::verify` gate on a cold plan (serve-request trace span).
+pub const SPAN_SERVE_VERIFY: &str = "serve.verify";
+/// Plan-cache insertion of a cold plan (serve-request trace span).
+pub const SPAN_SERVE_CACHE_INSERT: &str = "serve.cache_insert";
+
+// ---- flight-recorder event kinds -----------------------------------
+// The `kind` vocabulary of `adapipe-flight/v1` dumps (see
+// `crate::flight`); `reason` fields reuse the same constants.
+
+/// A request was rejected with 503 because the queue was full.
+pub const FLIGHT_BACKPRESSURE: &str = "flight.backpressure";
+/// A request was rejected or answered late against its deadline.
+pub const FLIGHT_DEADLINE: &str = "flight.deadline";
+/// The watchdog emitted a `DegradationEvent`.
+pub const FLIGHT_WATCHDOG: &str = "flight.watchdog";
+/// A chaos-harness run ended in a non-accepted outcome.
+pub const FLIGHT_CHAOS_FAILURE: &str = "flight.chaos.failure";
+/// A plan failed the verify gate.
+pub const FLIGHT_VERIFY_REJECTED: &str = "flight.verify.rejected";
+/// An operator requested a dump via `POST /admin/dump`.
+pub const FLIGHT_MANUAL: &str = "flight.manual";
 
 /// Derives a hit rate from a hit and a miss counter and publishes it
 /// under `rate_key`. Returns `(hits, misses, rate)`, or `None` when no

@@ -6,9 +6,13 @@
 //! makes that machinery observable without perturbing it:
 //!
 //! - a thread-safe **metrics registry** ([`Recorder`]) with monotonic
-//!   counters, gauges and timing histograms (p50/p95/max);
+//!   counters, gauges and bounded timing histograms (p50/p95/p99/max,
+//!   O(buckets) memory via [`hist::StreamingHistogram`]);
 //! - a structured **span API** ([`Recorder::span`], [`span!`]) recording
 //!   nested begin/end events with wall-clock durations;
+//! - a **flight recorder** ([`flight::FlightRecorder`]): a bounded,
+//!   overwrite-oldest ring of structured incident events, dumped to an
+//!   artifact when something goes wrong;
 //! - **exporters**: [`report::metrics_json`] renders a run's metrics as
 //!   a JSON report, [`trace::chrome_trace_json`] renders its spans in
 //!   Chrome Trace Event Format (loadable in `chrome://tracing` or
@@ -48,9 +52,13 @@
 
 mod recorder;
 
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod keys;
 pub mod report;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightRecorder, FlightSnapshot};
+pub use hist::StreamingHistogram;
 pub use recorder::{HistogramSummary, Recorder, Snapshot, SpanEvent, SpanGuard};

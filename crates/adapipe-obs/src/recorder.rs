@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::hist::StreamingHistogram;
+
 /// One completed span: a named, timed section of work.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanEvent {
@@ -23,6 +25,10 @@ pub struct SpanEvent {
 }
 
 /// Summary statistics of one timing/value histogram.
+///
+/// `count`/`sum`/`max` are exact; the quantiles come from the bounded
+/// [`StreamingHistogram`] backend and carry its documented bucket error
+/// (see [`crate::hist::quantile_error_bound`], ≈ 4.4 %).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
@@ -33,6 +39,8 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
     /// Largest observation.
     pub max: f64,
 }
@@ -54,7 +62,7 @@ pub struct Snapshot {
 struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, StreamingHistogram>,
     spans: Vec<SpanEvent>,
     threads: Vec<std::thread::ThreadId>,
 }
@@ -149,9 +157,16 @@ impl Recorder {
         });
     }
 
-    /// Records one observation into the histogram `key`.
+    /// Records one observation into the histogram `key`. Histograms are
+    /// log-bucketed [`StreamingHistogram`]s: memory stays O(buckets) no
+    /// matter how many values are observed.
     pub fn observe(&self, key: &str, value: f64) {
-        self.with_state(|s| s.histograms.entry(key.to_string()).or_default().push(value));
+        self.with_state(|s| {
+            s.histograms
+                .entry(key.to_string())
+                .or_default()
+                .record(value);
+        });
     }
 
     /// Opens a span named `name` with category `adapipe`; it records
@@ -198,7 +213,7 @@ impl Recorder {
     }
 
     /// Snapshots everything recorded so far. Histograms are summarized
-    /// (count/sum/p50/p95/max); spans come out in completion order.
+    /// (count/sum/p50/p95/p99/max); spans come out in completion order.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         self.with_state(|s| Snapshot {
@@ -207,30 +222,66 @@ impl Recorder {
             histograms: s
                 .histograms
                 .iter()
-                .map(|(k, v)| (k.clone(), summarize(v)))
+                .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
             spans: s.spans.clone(),
         })
         .unwrap_or_default()
     }
-}
 
-fn summarize(values: &[f64]) -> HistogramSummary {
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if sorted.is_empty() {
-            return 0.0;
-        }
-        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
-    };
-    HistogramSummary {
-        count: sorted.len() as u64,
-        sum: sorted.iter().sum(),
-        p50: pct(0.50),
-        p95: pct(0.95),
-        max: sorted.last().copied().unwrap_or(0.0),
+    /// Folds another recorder's metrics into this one: counters add,
+    /// gauges max-fold (the registry-wide value is the worst/peak seen
+    /// by any contributor), histograms merge bucket-wise. Spans are
+    /// deliberately **not** absorbed — per-request spans belong to the
+    /// request's own trace, not the long-lived registry (which would
+    /// otherwise grow without bound under sustained traffic).
+    ///
+    /// A disabled handle on either side makes this a no-op.
+    pub fn absorb(&self, other: &Recorder) {
+        // Clone out of `other` first, then fold into `self`: the two
+        // locks are never held at once, so two threads absorbing in
+        // opposite directions cannot deadlock.
+        let Some(parts) =
+            other.with_state(|s| (s.counters.clone(), s.gauges.clone(), s.histograms.clone()))
+        else {
+            return;
+        };
+        let (counters, gauges, histograms) = parts;
+        self.with_state(|s| {
+            for (k, v) in counters {
+                *s.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, v) in gauges {
+                let g = s.gauges.entry(k).or_insert(f64::NEG_INFINITY);
+                if v > *g {
+                    *g = v;
+                }
+            }
+            for (k, h) in histograms {
+                s.histograms.entry(k).or_default().merge(&h);
+            }
+        });
+    }
+
+    /// Records an already-measured span from explicit instants — for
+    /// phases whose start predates any recorder call, like a request's
+    /// queue wait (the span starts when the request is enqueued but can
+    /// only be recorded once a worker picks it up). Instants before the
+    /// recorder's epoch clamp to 0.
+    pub fn record_span(&self, name: &str, cat: &str, start: Instant, end: Instant) {
+        let Some(inner) = &self.inner else { return };
+        let start_us = start.saturating_duration_since(inner.epoch).as_secs_f64() * 1e6;
+        let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+        let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let tid = state.tid();
+        state.spans.push(SpanEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_us,
+            dur_us,
+            tid,
+            args: Vec::new(),
+        });
     }
 }
 
@@ -406,6 +457,70 @@ mod tests {
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].name, "work");
         assert!(snap.spans[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn absorb_merges_metrics_but_not_spans() {
+        let registry = Recorder::new();
+        registry.add("c", 1);
+        registry.gauge("depth", 2.0);
+        registry.observe("lat", 10.0);
+
+        let request = Recorder::new();
+        request.add("c", 2);
+        request.gauge("depth", 5.0);
+        request.observe("lat", 40.0);
+        request.time("request-span", || {});
+
+        registry.absorb(&request);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["c"], 3);
+        assert_eq!(snap.gauges["depth"], 5.0, "gauges max-fold");
+        let h = snap.histograms["lat"];
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 50.0).abs() < 1e-9);
+        assert_eq!(h.max, 40.0);
+        assert!(snap.spans.is_empty(), "spans stay with the request");
+        // The donor is untouched.
+        assert_eq!(request.counter("c"), 2);
+    }
+
+    #[test]
+    fn absorb_with_disabled_sides_is_a_noop() {
+        let enabled = Recorder::new();
+        enabled.incr("c");
+        Recorder::disabled().absorb(&enabled);
+        enabled.absorb(&Recorder::disabled());
+        assert_eq!(enabled.counter("c"), 1);
+    }
+
+    #[test]
+    fn record_span_injects_explicit_intervals() {
+        let rec = Recorder::new();
+        let start = Instant::now();
+        let end = start + std::time::Duration::from_micros(1500);
+        rec.record_span("queue.wait", "serve", start, end);
+        // Pre-epoch starts clamp to 0 rather than going negative.
+        let before_epoch = start - std::time::Duration::from_secs(3600);
+        rec.record_span("clamped", "serve", before_epoch, start);
+        let snap = rec.snapshot();
+        let q = snap.spans.iter().find(|s| s.name == "queue.wait").unwrap();
+        assert_eq!(q.cat, "serve");
+        assert!((q.dur_us - 1500.0).abs() < 1.0);
+        let c = snap.spans.iter().find(|s| s.name == "clamped").unwrap();
+        assert_eq!(c.start_us, 0.0);
+    }
+
+    #[test]
+    fn summary_quantiles_are_monotone_through_p99() {
+        let rec = Recorder::new();
+        for i in 1..=1000 {
+            rec.observe("h", f64::from(i));
+        }
+        let h = rec.snapshot().histograms["h"];
+        assert_eq!(h.count, 1000);
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+        assert_eq!(h.max, 1000.0);
     }
 
     #[test]

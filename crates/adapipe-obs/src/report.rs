@@ -48,9 +48,9 @@ pub fn json_num(v: f64) -> String {
 ///
 /// `meta` key/value pairs land under `"meta"` (model name, method,
 /// command line — whatever identifies the run). Histograms are exported
-/// as `{count, sum, p50, p95, max}` objects; spans are aggregated per
-/// name into `{count, total_us}` (the full per-event stream belongs to
-/// the Chrome trace, not the metrics report).
+/// as `{count, sum, p50, p95, p99, max}` objects; spans are aggregated
+/// per name into `{count, total_us}` (the full per-event stream belongs
+/// to the Chrome trace, not the metrics report).
 #[must_use]
 pub fn metrics_json(snapshot: &Snapshot, meta: &[(&str, &str)]) -> String {
     let mut out = String::from("{\n  \"schema\": \"adapipe-obs/v1\",\n");
@@ -97,12 +97,13 @@ pub fn metrics_json(snapshot: &Snapshot, meta: &[(&str, &str)]) -> String {
         }
         let _ = write!(
             out,
-            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}}",
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
             escape_json(k),
             h.count,
             json_num(h.sum),
             json_num(h.p50),
             json_num(h.p95),
+            json_num(h.p99),
             json_num(h.max)
         );
     }

@@ -16,7 +16,7 @@
 use crate::cost::{F1bBreakdown, StageTimes};
 use crate::provider::StageCostProvider;
 use adapipe_model::LayerRange;
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_units::{Cost, MicroSecs};
 use serde::{Deserialize, Serialize};
 
@@ -93,7 +93,7 @@ pub fn solve_traced(
     n: usize,
     rec: &Recorder,
 ) -> Option<PartitionPlan> {
-    let _span = rec.span_cat("partition.alg1", "partition");
+    let _span = rec.span_cat(keys::SPAN_PARTITION_ALG1, "partition");
     let mut states: u64 = 0;
     let mut candidates: u64 = 0;
     assert!(p > 0, "pipeline size must be positive");
@@ -163,8 +163,8 @@ pub fn solve_traced(
         }
     }
 
-    rec.add("partition.alg1.states", states);
-    rec.add("partition.alg1.candidates", candidates);
+    rec.add(keys::ALG1_STATES, states);
+    rec.add(keys::ALG1_CANDIDATES, candidates);
 
     // Reconstruct the winning partition from P[0, 0].
     let mut ranges = Vec::with_capacity(p);

@@ -4,7 +4,7 @@
 use crate::cost::StageTimes;
 use adapipe_memory::MemoryModel;
 use adapipe_model::{LayerKind, LayerRange, LayerSeq};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_profiler::ProfileTable;
 use adapipe_recompute::{optimize_traced, KnapsackConfig, OptimizedStage, StrategyError};
 use adapipe_units::Bytes;
@@ -136,12 +136,12 @@ impl<'a> KnapsackCostProvider<'a> {
     }
 
     fn compute(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
-        self.rec.incr("partition.leaf_evals");
+        self.rec.incr(keys::PARTITION_LEAF_EVALS);
         let started = self.rec.is_enabled().then(std::time::Instant::now);
         let opt = self.optimize_stage(stage, range).ok();
         if let Some(t0) = started {
             self.rec
-                .observe("partition.leaf.us", t0.elapsed().as_secs_f64() * 1e6);
+                .observe(keys::PARTITION_LEAF_US, t0.elapsed().as_secs_f64() * 1e6);
         }
         let opt = opt?;
         Some(StageTimes {

@@ -3,7 +3,7 @@
 
 use crate::error::StrategyError;
 use crate::strategy::{cost_of, RecomputeStrategy, StageCost};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_profiler::UnitProfile;
 use adapipe_units::{Bytes, Cost};
 use serde::{Deserialize, Serialize};
@@ -99,7 +99,7 @@ pub fn optimize_traced(
     rec: &Recorder,
 ) -> Result<OptimizedStage, StrategyError> {
     let started = rec.is_enabled().then(Instant::now);
-    rec.incr("recompute.knapsack.calls");
+    rec.incr(keys::KNAPSACK_CALLS);
     let pinned_bytes: Bytes = units
         .iter()
         .filter(|u| u.is_pinned())
@@ -137,7 +137,7 @@ pub fn optimize_traced(
     let strategy = RecomputeStrategy::from_flags(units, saved);
     let cost = cost_of(units, &strategy);
     if let Some(t0) = started {
-        rec.observe("recompute.knapsack.us", t0.elapsed().as_secs_f64() * 1e6);
+        rec.observe(keys::KNAPSACK_US, t0.elapsed().as_secs_f64() * 1e6);
     }
     // Rescaling audit: the DP must never over-commit the real budget
     // (weights round *up*, capacity rounds *down* — see `solve`).
@@ -199,16 +199,13 @@ fn solve(
     while capacity > config.max_capacity_cells {
         scale *= 2;
         capacity = (budget.get() / scale) as usize;
-        rec.incr("recompute.knapsack.rebuckets");
+        rec.incr(keys::KNAPSACK_REBUCKETS);
     }
     // `scale == g` means both roundings below are exact and the DP is
     // optimal; the flag is recomputed by the bench ablations.
     let _exact = scale == g;
-    rec.gauge_max("recompute.knapsack.gcd_scale", scale as f64);
-    rec.add(
-        "recompute.knapsack.cells",
-        ((capacity + 1) * free.len()) as u64,
-    );
+    rec.gauge_max(keys::KNAPSACK_GCD_SCALE, scale as f64);
+    rec.add(keys::KNAPSACK_CELLS, ((capacity + 1) * free.len()) as u64);
 
     // Weights round UP: never pretend a unit is smaller than it is.
     // (With `scale == g` both roundings are exact and the DP is optimal.)

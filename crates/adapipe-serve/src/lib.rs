@@ -14,9 +14,17 @@
 //! |--------------------------|--------------------------------------------------|
 //! | `POST /v1/plan`          | canonicalize → digest → cache hit or cold plan   |
 //! | `GET /v1/plan/{digest}`  | cache lookup by content address (200 / 404)      |
+//! | `GET /v1/trace/{id}`     | Chrome-trace JSON of a recent request (200 / 404)|
 //! | `GET /healthz`           | liveness                                         |
 //! | `GET /metrics`           | `adapipe-obs/v1` JSON metrics report             |
+//! | `POST /admin/dump`       | `adapipe-flight/v1` flight-recorder dump         |
 //! | `POST /admin/shutdown`   | graceful drain (std cannot catch SIGTERM)        |
+//!
+//! Every `POST /v1/plan` response carries a deterministic trace id in
+//! `X-Adapipe-Trace` (digest prefix + sequence, no wall-clock); its
+//! span timeline — queue wait, parse, the planner's phases, verify,
+//! cache insert — is retrievable from a bounded in-memory store via
+//! `GET /v1/trace/{id}`.
 //!
 //! ## The pipeline
 //!
@@ -58,6 +66,7 @@ pub mod queue;
 pub mod request;
 mod server;
 pub mod sha;
+pub mod trace_store;
 
 pub use request::{PlanRequest, RequestError, DEFAULT_HEADROOM, REQUEST_HEADER};
 pub use server::{ServeConfig, ServeSummary, Server};

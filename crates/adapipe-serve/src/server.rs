@@ -26,18 +26,43 @@
 //!    SIGTERM without a dependency, so process supervisors use the
 //!    admin endpoint; `kill -9` remains safe because no response is
 //!    ever half-served from the cache.
+//!
+//! ## Request-scoped tracing
+//!
+//! Every accepted connection carries its own request [`Recorder`] whose
+//! epoch is the accept instant. The worker injects a queue-wait span at
+//! pickup, the request phases (`serve.parse`, the planner's own span
+//! tree, `serve.verify`, `serve.cache_insert`) record into the same
+//! recorder, and `POST /v1/plan` responses return a deterministic trace
+//! id in `X-Adapipe-Trace` — `<digest prefix>-<sequence>`, no
+//! wall-clock — whose Chrome-trace JSON is retrievable from a bounded
+//! [`TraceStore`] via `GET /v1/trace/{id}`. Metrics (not spans) from
+//! the request recorder are folded into the shared registry via
+//! [`Recorder::absorb`], so `/metrics` aggregates while span storage
+//! stays bounded per request.
+//!
+//! ## Flight recorder
+//!
+//! A bounded [`FlightRecorder`] ring notes every incident (backpressure
+//! 503s, deadline rejections and misses, watchdog degradation events,
+//! verify failures). Each incident also dumps the ring to
+//! `flight-<reason>.json` under [`ServeConfig::flight_dir`] (when set),
+//! and `POST /admin/dump` returns the ring as `adapipe-flight/v1` JSON
+//! on demand.
 
 use crate::cache::PlanCache;
 use crate::http::{self, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{PlanRequest, RequestError};
+use crate::trace_store::TraceStore;
 use adapipe::VerifyOptions;
 use adapipe_faults::{DegradationEvent, Diagnosis, Watchdog};
-use adapipe_obs::{keys, report, Recorder};
+use adapipe_obs::{flight, keys, report, trace, FlightRecorder, Recorder};
 use adapipe_units::MicroSecs;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,6 +73,9 @@ const DEADLINE_LOG_CAP: usize = 1024;
 
 /// Socket read/write timeout: a stalled client cannot pin a worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Response header carrying the request's trace id.
+const TRACE_HEADER: &str = "X-Adapipe-Trace";
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +95,15 @@ pub struct ServeConfig {
     /// Extra latency injected into every cold plan — a testing aid that
     /// makes backpressure and drain scenarios deterministic.
     pub plan_delay: Option<Duration>,
+    /// How many request traces `GET /v1/trace/{id}` retains (oldest
+    /// evicted first).
+    pub trace_capacity: usize,
+    /// Flight-recorder ring capacity (events retained for dumps).
+    pub flight_capacity: usize,
+    /// Directory flight dumps are written into (`flight-<reason>.json`)
+    /// on incidents and `POST /admin/dump`; `None` disables artifacts
+    /// (the in-memory ring still records).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +116,9 @@ impl Default for ServeConfig {
             queue_depth: 64,
             default_deadline: None,
             plan_delay: None,
+            trace_capacity: 64,
+            flight_capacity: flight::DEFAULT_CAPACITY,
+            flight_dir: None,
         }
     }
 }
@@ -100,6 +140,9 @@ pub struct ServeSummary {
 struct Job {
     stream: TcpStream,
     enqueued: Instant,
+    /// Request-scoped recorder; epoch is the accept instant, so the
+    /// queue-wait span starts at ~0 and the phase spans nest after it.
+    rec: Recorder,
 }
 
 struct Shared {
@@ -108,6 +151,10 @@ struct Shared {
     cache: PlanCache,
     queue: BoundedQueue<Job>,
     rec: Recorder,
+    traces: TraceStore,
+    flight: FlightRecorder,
+    trace_seq: AtomicU64,
+    busy: AtomicUsize,
     watchdog: Watchdog,
     deadline_log: Mutex<VecDeque<DegradationEvent>>,
     shutting_down: AtomicBool,
@@ -130,17 +177,24 @@ impl Shared {
         seq: usize,
         observed: MicroSecs,
         deadline: MicroSecs,
+        trace_id: &str,
     ) {
-        let mut log = self.deadline_log.lock().unwrap_or_else(|e| e.into_inner());
-        if log.len() >= DEADLINE_LOG_CAP {
-            log.pop_front();
-        }
-        log.push_back(DegradationEvent::DeadlineMissed {
+        let event = DegradationEvent::DeadlineMissed {
             stage: worker,
             micro_batch: seq,
             observed,
             deadline,
-        });
+        };
+        // A watchdog-grade event is flight-recorder material: note it
+        // with its trace id and dump the ring.
+        self.flight
+            .note_traced(keys::FLIGHT_WATCHDOG, event.to_string(), trace_id);
+        self.dump_flight(keys::FLIGHT_WATCHDOG);
+        let mut log = self.deadline_log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() >= DEADLINE_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(event);
     }
 
     /// Classifies the logged deadline misses with the `adapipe-faults`
@@ -155,6 +209,42 @@ impl Shared {
             .cloned()
             .collect();
         self.watchdog.diagnose(&events)
+    }
+
+    /// Writes the flight ring to `flight-<reason>.json` under the
+    /// configured dump directory; a no-op when none is configured.
+    fn dump_flight(&self, reason: &str) {
+        let Some(dir) = &self.cfg.flight_dir else {
+            return;
+        };
+        // lint: allow(swallowed-result): artifact dumps are best-effort
+        let _made = std::fs::create_dir_all(dir);
+        let json = flight::flight_json(
+            &self.flight.snapshot(),
+            reason,
+            &[("component", "adapipe-serve")],
+        );
+        let path = dir.join(format!("flight-{reason}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write flight dump {}: {e}", path.display());
+        }
+    }
+
+    /// The deterministic trace id for a request: the first 16 hex chars
+    /// of its content digest plus a process-lifetime sequence number.
+    /// No wall-clock component — two runs replaying the same request
+    /// stream mint the same ids.
+    fn next_trace_id(&self, digest: &str) -> String {
+        let n = self.trace_seq.fetch_add(1, Ordering::SeqCst);
+        let prefix = digest.get(..16).unwrap_or(digest);
+        format!("{prefix}-{n}")
+    }
+
+    /// Renders the request recorder's spans as Chrome-trace JSON and
+    /// parks them in the bounded trace store.
+    fn store_trace(&self, rec: &Recorder, trace_id: &str) {
+        let text = trace::chrome_trace_json(&rec.snapshot());
+        self.traces.insert(trace_id, Arc::from(text.as_str()));
     }
 }
 
@@ -176,6 +266,10 @@ impl Server {
             cache: PlanCache::new(cfg.cache_capacity),
             queue: BoundedQueue::new(cfg.queue_depth),
             rec,
+            traces: TraceStore::new(cfg.trace_capacity),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            trace_seq: AtomicU64::new(1),
+            busy: AtomicUsize::new(0),
             watchdog: Watchdog::default(),
             deadline_log: Mutex::new(VecDeque::with_capacity(DEADLINE_LOG_CAP)),
             shutting_down: AtomicBool::new(false),
@@ -209,6 +303,12 @@ impl Server {
     #[must_use]
     pub fn recorder(&self) -> &Recorder {
         &self.shared.rec
+    }
+
+    /// The daemon's flight recorder (incident ring buffer).
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
     }
 
     /// Starts a graceful drain: stop accepting, finish queued and
@@ -266,11 +366,25 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         let job = Job {
             stream,
             enqueued: Instant::now(),
+            rec: Recorder::new(),
         };
         match shared.queue.try_push(job) {
-            Ok(depth) => shared.rec.gauge_max(keys::SERVE_QUEUE_DEPTH, depth as f64),
+            Ok(depth) => {
+                shared.rec.gauge(keys::SERVE_QUEUE_DEPTH, depth as f64);
+                shared
+                    .rec
+                    .gauge_max(keys::SERVE_QUEUE_DEPTH_MAX, depth as f64);
+            }
             Err(PushError::Full(job) | PushError::Closed(job)) => {
                 shared.rec.incr(keys::SERVE_REJECTED_BACKPRESSURE);
+                shared.flight.note(
+                    keys::FLIGHT_BACKPRESSURE,
+                    format!(
+                        "503: worker queue full (capacity {})",
+                        shared.queue.capacity()
+                    ),
+                );
+                shared.dump_flight(keys::FLIGHT_BACKPRESSURE);
                 respond_overloaded(job.stream, "worker queue is full");
             }
         }
@@ -290,6 +404,9 @@ fn respond_overloaded(mut stream: TcpStream, why: &str) {
 fn worker_loop(shared: &Shared, worker: usize) {
     let mut seq = 0usize;
     while let Some(job) = shared.queue.pop() {
+        shared
+            .rec
+            .gauge(keys::SERVE_QUEUE_DEPTH, shared.queue.len() as f64);
         seq += 1;
         handle_job(shared, worker, seq, job);
     }
@@ -297,25 +414,38 @@ fn worker_loop(shared: &Shared, worker: usize) {
 
 fn handle_job(shared: &Shared, worker: usize, seq: usize, mut job: Job) {
     let t0 = Instant::now();
+    let busy = shared.busy.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.rec.gauge(keys::SERVE_WORKERS_BUSY, busy as f64);
+    // The time between accept and pickup, injected as the trace's first
+    // span (its start predates every recorder call on this request).
+    job.rec
+        .record_span(keys::SPAN_SERVE_QUEUE_WAIT, "serve", job.enqueued, t0);
     // lint: allow(swallowed-result): timeouts are best-effort hardening
     let _rt = job.stream.set_read_timeout(Some(IO_TIMEOUT));
     // lint: allow(swallowed-result): timeouts are best-effort hardening
     let _wt = job.stream.set_write_timeout(Some(IO_TIMEOUT));
     let response = match http::read_request(&mut job.stream) {
-        Ok(request) => route(shared, worker, seq, &request, job.enqueued),
+        Ok(request) => route(shared, worker, seq, &request, job.enqueued, &job.rec),
         Err(e) => Response::new(400, format!("bad request: {e}\n")),
     };
     let class = match response.status {
-        200..=299 => "serve.http.2xx",
-        400..=499 => "serve.http.4xx",
-        _ => "serve.http.5xx",
+        200..=299 => keys::SERVE_HTTP_2XX,
+        400..=499 => keys::SERVE_HTTP_4XX,
+        _ => keys::SERVE_HTTP_5XX,
     };
     shared.rec.incr(class);
     shared
         .rec
         .observe(keys::SERVE_REQUEST_US, t0.elapsed().as_secs_f64() * 1e6);
+    // Fold the request's metrics (planner counters, histograms) into
+    // the shared registry before the client sees the response, so a
+    // follow-up `GET /metrics` cannot race past them. Spans stay with
+    // the request (already parked in the trace store when traced).
+    shared.rec.absorb(&job.rec);
     // lint: allow(swallowed-result): the client may have hung up; nothing to salvage
     let _sent = response.write_to(&mut job.stream);
+    let busy = shared.busy.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+    shared.rec.gauge(keys::SERVE_WORKERS_BUSY, busy as f64);
 }
 
 fn route(
@@ -324,15 +454,22 @@ fn route(
     seq: usize,
     request: &Request,
     enqueued: Instant,
+    rec: &Recorder,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::new(200, "ok\n"),
         ("GET", "/metrics") => metrics_response(shared),
-        ("GET", path) => match path.strip_prefix("/v1/plan/") {
-            Some(digest) => lookup_response(shared, digest),
-            None => Response::new(404, "not found\n"),
-        },
-        ("POST", "/v1/plan") => plan_response(shared, worker, seq, request, enqueued),
+        ("GET", path) => {
+            if let Some(digest) = path.strip_prefix("/v1/plan/") {
+                lookup_response(shared, digest)
+            } else if let Some(id) = path.strip_prefix("/v1/trace/") {
+                trace_response(shared, id)
+            } else {
+                Response::new(404, "not found\n")
+            }
+        }
+        ("POST", "/v1/plan") => plan_response(shared, worker, seq, request, enqueued, rec),
+        ("POST", "/admin/dump") => dump_response(shared),
         ("POST", "/admin/shutdown") => {
             shared.begin_shutdown();
             Response::new(
@@ -355,6 +492,29 @@ fn lookup_response(shared: &Shared, digest: &str) -> Response {
     }
 }
 
+fn trace_response(shared: &Shared, id: &str) -> Response {
+    match shared.traces.get(id) {
+        Some(trace_json) => Response::json(200, trace_json.to_string()),
+        None => Response::new(
+            404,
+            format!(
+                "no trace {id} (store retains the last {})\n",
+                shared.traces.capacity()
+            ),
+        ),
+    }
+}
+
+fn dump_response(shared: &Shared) -> Response {
+    let json = flight::flight_json(
+        &shared.flight.snapshot(),
+        keys::FLIGHT_MANUAL,
+        &[("component", "adapipe-serve")],
+    );
+    shared.dump_flight(keys::FLIGHT_MANUAL);
+    Response::json(200, json)
+}
+
 fn plan_ok(digest: &str, body: &str, cache_state: &str) -> Response {
     Response::new(200, body)
         .with_header("X-Adapipe-Digest", digest)
@@ -371,16 +531,23 @@ fn plan_response(
     seq: usize,
     request: &Request,
     enqueued: Instant,
+    rec: &Recorder,
 ) -> Response {
-    let preq = match PlanRequest::parse(&request.body) {
-        Ok(p) => p,
-        Err(e) => return request_error_response(&e),
+    let preq = {
+        let _parse = rec.span_cat(keys::SPAN_SERVE_PARSE, "serve");
+        match PlanRequest::parse(&request.body) {
+            Ok(p) => p,
+            Err(e) => return request_error_response(&e),
+        }
     };
     let digest = preq.digest();
+    let trace_id = shared.next_trace_id(&digest);
 
     if let Some(body) = shared.cache.get(&digest) {
         shared.rec.incr(keys::SERVE_CACHE_HITS);
-        return plan_ok(&digest, &body, "hit");
+        let response = plan_ok(&digest, &body, "hit").with_header(TRACE_HEADER, &trace_id);
+        shared.store_trace(rec, &trace_id);
+        return response;
     }
 
     // A request whose deadline already expired while it sat in the
@@ -391,6 +558,17 @@ fn plan_response(
     if let Some(limit) = deadline {
         if waited > limit {
             shared.rec.incr(keys::SERVE_REJECTED_DEADLINE);
+            shared.flight.note_traced(
+                keys::FLIGHT_DEADLINE,
+                format!(
+                    "503: deadline expired in queue ({:.0}us waited, {:.0}us budget)",
+                    waited.as_micros(),
+                    limit.as_micros()
+                ),
+                &trace_id,
+            );
+            shared.dump_flight(keys::FLIGHT_DEADLINE);
+            shared.store_trace(rec, &trace_id);
             return Response::new(
                 503,
                 format!(
@@ -399,7 +577,8 @@ fn plan_response(
                     limit.as_micros()
                 ),
             )
-            .with_header("Retry-After", "1");
+            .with_header("Retry-After", "1")
+            .with_header(TRACE_HEADER, &trace_id);
         }
     }
 
@@ -408,8 +587,11 @@ fn plan_response(
         std::thread::sleep(delay);
     }
 
+    // The planner records into the *request* recorder: its span tree
+    // lands in this request's trace, its metrics are absorbed into the
+    // shared registry when the request completes.
     let planner = match preq.planner() {
-        Ok(p) => p.with_recorder(shared.rec.clone()),
+        Ok(p) => p.with_recorder(rec.clone()),
         Err(e) => return request_error_response(&e),
     };
     let (method, parallel, train) = match (preq.method_enum(), preq.parallel(), preq.train()) {
@@ -420,38 +602,57 @@ fn plan_response(
     let t_plan = Instant::now();
     let plan = match planner.plan(method, parallel, train) {
         Ok(plan) => plan,
-        Err(e) => return Response::new(422, format!("{method} cannot run at {parallel}: {e}\n")),
+        Err(e) => {
+            shared.store_trace(rec, &trace_id);
+            return Response::new(422, format!("{method} cannot run at {parallel}: {e}\n"))
+                .with_header(TRACE_HEADER, &trace_id);
+        }
     };
     // The verification gate: nothing leaves the process unverified.
-    let check = planner.verify_with(&plan, VerifyOptions::default());
+    let check = {
+        let _verify = rec.span_cat(keys::SPAN_SERVE_VERIFY, "serve");
+        planner.verify_with(&plan, VerifyOptions::default())
+    };
     if check.has_errors() {
         shared.rec.incr(keys::SERVE_VERIFY_REJECTED);
+        shared.flight.note_traced(
+            keys::FLIGHT_VERIFY_REJECTED,
+            format!("plan {digest} failed the verify gate"),
+            &trace_id,
+        );
+        shared.dump_flight(keys::FLIGHT_VERIFY_REJECTED);
+        shared.store_trace(rec, &trace_id);
         return Response::new(
             500,
             format!("planned artifact failed verification\n{check}"),
-        );
+        )
+        .with_header(TRACE_HEADER, &trace_id);
     }
     shared
         .rec
         .observe(keys::SERVE_PLAN_US, t_plan.elapsed().as_secs_f64() * 1e6);
 
     let body: Arc<str> = Arc::from(adapipe::plan_io::to_text(&plan));
-    let evicted = shared.cache.insert(&digest, Arc::clone(&body));
+    let evicted = {
+        let _insert = rec.span_cat(keys::SPAN_SERVE_CACHE_INSERT, "serve");
+        shared.cache.insert(&digest, Arc::clone(&body))
+    };
     if evicted > 0 {
         shared.rec.add(keys::SERVE_CACHE_EVICTIONS, evicted);
     }
 
-    let mut response = plan_ok(&digest, &body, "miss");
+    let mut response = plan_ok(&digest, &body, "miss").with_header(TRACE_HEADER, &trace_id);
     if let Some(limit) = deadline {
         let total = MicroSecs::new(enqueued.elapsed().as_secs_f64() * 1e6);
         if total > limit {
             // Too late but not wasted: serve the plan, record the miss
             // for the watchdog to classify.
             shared.rec.incr(keys::SERVE_DEADLINE_MISSED);
-            shared.record_deadline_miss(worker, seq, total, limit);
+            shared.record_deadline_miss(worker, seq, total, limit, &trace_id);
             response = response.with_header("X-Adapipe-Deadline", "missed");
         }
     }
+    shared.store_trace(rec, &trace_id);
     response
 }
 

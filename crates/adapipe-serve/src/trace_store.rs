@@ -1,0 +1,133 @@
+//! Bounded in-memory store of per-request Chrome traces.
+//!
+//! Each `POST /v1/plan` request that reaches a worker records its own
+//! span timeline (queue wait → parse → planner phases → verify → cache
+//! insert) into a request-scoped recorder; the rendered Chrome-trace
+//! JSON is parked here under the request's trace id so
+//! `GET /v1/trace/{id}` can hand it back. The store is a FIFO ring:
+//! capacity is fixed at construction and inserting past it evicts the
+//! oldest trace, so trace retention — like every other buffer in this
+//! daemon — is bounded no matter how long the process runs.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    order: VecDeque<String>,
+    traces: HashMap<String, Arc<str>>,
+}
+
+/// A fixed-capacity, evict-oldest trace id → Chrome-trace JSON map.
+#[derive(Debug)]
+pub struct TraceStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceStore {
+    /// A store retaining at most `capacity` traces (floored at 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceStore {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().order.len()
+    }
+
+    /// Whether the store holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().order.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicked inserter must not wedge trace retrieval.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stores `trace_json` under `id`, evicting the oldest trace when
+    /// at capacity. Re-inserting an existing id replaces its trace
+    /// without consuming extra capacity.
+    pub fn insert(&self, id: &str, trace_json: Arc<str>) {
+        let mut inner = self.lock();
+        if inner.traces.insert(id.to_string(), trace_json).is_some() {
+            return;
+        }
+        inner.order.push_back(id.to_string());
+        if inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.traces.remove(&old);
+            }
+        }
+    }
+
+    /// The trace stored under `id`, if still retained.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Arc<str>> {
+        self.lock().traces.get(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn stores_and_retrieves_by_id() {
+        let store = TraceStore::new(4);
+        store.insert("a-1", arc("[1]"));
+        assert_eq!(store.get("a-1").as_deref(), Some("[1]"));
+        assert_eq!(store.get("missing"), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let store = TraceStore::new(2);
+        store.insert("a", arc("[a]"));
+        store.insert("b", arc("[b]"));
+        store.insert("c", arc("[c]"));
+        assert_eq!(store.get("a"), None, "oldest evicted");
+        assert!(store.get("b").is_some() && store.get("c").is_some());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_consuming_capacity() {
+        let store = TraceStore::new(2);
+        store.insert("a", arc("[old]"));
+        store.insert("a", arc("[new]"));
+        store.insert("b", arc("[b]"));
+        assert_eq!(store.get("a").as_deref(), Some("[new]"));
+        assert!(store.get("b").is_some());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let store = TraceStore::new(0);
+        assert_eq!(store.capacity(), 1);
+        store.insert("a", arc("[a]"));
+        store.insert("b", arc("[b]"));
+        assert_eq!(store.get("a"), None);
+        assert!(store.get("b").is_some());
+    }
+}

@@ -294,6 +294,178 @@ fn metrics_expose_serve_and_iso_cache_families() {
 }
 
 #[test]
+fn trace_of_a_real_request_covers_every_phase() {
+    let (server, addr) = quick_server();
+    let req = gpt2_request();
+    let cold = client::post_plan(&addr, &req.to_wire_text()).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+
+    // The trace id is deterministic: digest prefix + sequence, no
+    // wall-clock. The first plan request of this server is sequence 1.
+    let trace_id = cold
+        .header("x-adapipe-trace")
+        .expect("plan responses carry X-Adapipe-Trace")
+        .to_string();
+    let digest = req.digest();
+    assert_eq!(trace_id, format!("{}-1", &digest[..16]));
+
+    let trace = client::get(&addr, &format!("/v1/trace/{trace_id}")).unwrap();
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    assert_eq!(trace.header("content-type"), Some("application/json"));
+    let json::Value::Array(events) = json::parse(&trace.body).expect("valid trace JSON") else {
+        panic!("trace must be a JSON array: {}", trace.body);
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    // Queue wait, parse, every planner phase, verify, cache insert.
+    for phase in [
+        keys::SPAN_SERVE_QUEUE_WAIT,
+        keys::SPAN_SERVE_PARSE,
+        keys::SPAN_PLAN,
+        keys::SPAN_PLAN_PROFILE,
+        keys::SPAN_PLAN_PARTITION,
+        keys::SPAN_PLAN_MATERIALIZE,
+        keys::SPAN_SERVE_VERIFY,
+        keys::SPAN_SERVE_CACHE_INSERT,
+    ] {
+        assert!(names.contains(&phase), "span {phase} missing in {names:?}");
+    }
+    // Chrome-trace structural invariants: sorted non-negative
+    // timestamps, every event complete ("X") or metadata ("M").
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in &events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph");
+        if ph == "M" {
+            continue;
+        }
+        assert_eq!(ph, "X", "only complete events: {ev:?}");
+        let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts >= last_ts && ts >= 0.0);
+        last_ts = ts;
+    }
+
+    // Cache hits trace too (queue wait + parse), under a fresh id.
+    let hit = client::post_plan(&addr, &req.to_wire_text()).unwrap();
+    let hit_id = hit.header("x-adapipe-trace").unwrap().to_string();
+    assert_eq!(hit_id, format!("{}-2", &digest[..16]));
+    assert_eq!(
+        client::get(&addr, &format!("/v1/trace/{hit_id}"))
+            .unwrap()
+            .status,
+        200
+    );
+
+    let missing = client::get(&addr, "/v1/trace/nope-0").unwrap();
+    assert_eq!(missing.status, 404);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn trace_store_retention_is_bounded() {
+    let (server, addr) = start(ServeConfig {
+        port: 0,
+        workers: 1,
+        trace_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let body = gpt2_request().to_wire_text();
+    let first = client::post_plan(&addr, &body).unwrap();
+    let second = client::post_plan(&addr, &body).unwrap(); // cache hit, new id
+    let first_id = first.header("x-adapipe-trace").unwrap().to_string();
+    let second_id = second.header("x-adapipe-trace").unwrap().to_string();
+    assert_ne!(first_id, second_id);
+    assert_eq!(
+        client::get(&addr, &format!("/v1/trace/{first_id}"))
+            .unwrap()
+            .status,
+        404,
+        "oldest trace must be evicted at capacity 1"
+    );
+    assert_eq!(
+        client::get(&addr, &format!("/v1/trace/{second_id}"))
+            .unwrap()
+            .status,
+        200
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn backpressure_and_admin_dump_produce_flight_artifacts() {
+    let flight_dir = std::env::temp_dir().join(format!(
+        "adapipe-flight-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let (server, addr) = start(ServeConfig {
+        port: 0,
+        workers: 1,
+        queue_depth: 1,
+        plan_delay: Some(Duration::from_millis(300)),
+        flight_dir: Some(flight_dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    // Deterministic 503 flood: six distinct cold digests against one
+    // slow worker and a depth-1 queue.
+    let mut req = gpt2_request();
+    req.seq_len = 256;
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            let mut req = req.clone();
+            req.global_batch = 8 * (i + 1);
+            std::thread::spawn(move || client::post_plan(&addr, &req.to_wire_text()).unwrap())
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let rejected = responses.iter().filter(|r| r.status == 503).count();
+    assert!(rejected >= 1, "flood must trigger backpressure");
+
+    // The automatic dump artifact exists and parses as adapipe-flight/v1.
+    let auto_path = flight_dir.join(format!("flight-{}.json", keys::FLIGHT_BACKPRESSURE));
+    let auto_text = std::fs::read_to_string(&auto_path)
+        .unwrap_or_else(|e| panic!("no auto dump at {}: {e}", auto_path.display()));
+    let auto = json::parse(&auto_text).expect("valid flight JSON");
+    assert_eq!(
+        auto.get("schema").and_then(|s| s.as_str()),
+        Some("adapipe-flight/v1")
+    );
+    assert_eq!(
+        auto.get("reason").and_then(|s| s.as_str()),
+        Some(keys::FLIGHT_BACKPRESSURE)
+    );
+
+    // The on-demand dump returns the ring with the rejection events.
+    let dump = client::request(&addr, "POST", "/admin/dump", None).unwrap();
+    assert_eq!(dump.status, 200, "{}", dump.body);
+    let v = json::parse(&dump.body).expect("valid dump JSON");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("adapipe-flight/v1")
+    );
+    assert_eq!(
+        v.get("reason").and_then(|s| s.as_str()),
+        Some(keys::FLIGHT_MANUAL)
+    );
+    let Some(json::Value::Array(events)) = v.get("events") else {
+        panic!("events array: {}", dump.body);
+    };
+    let backpressure = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some(keys::FLIGHT_BACKPRESSURE))
+        .count();
+    assert_eq!(backpressure, rejected, "one flight event per 503");
+
+    server.shutdown_and_join();
+    // lint: allow(swallowed-result): best-effort temp cleanup
+    let _cleaned = std::fs::remove_dir_all(&flight_dir);
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_requests() {
     let (server, addr) = start(ServeConfig {
         port: 0,

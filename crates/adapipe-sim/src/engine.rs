@@ -7,7 +7,7 @@
 use crate::error::SimError;
 use crate::report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 use crate::task::{Discipline, TaskGraph};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_units::{Bytes, MicroSecs};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -100,7 +100,7 @@ pub fn try_simulate(graph: &TaskGraph) -> Result<SimReport, SimError> {
 /// [`SimError::Deadlock`] when some tasks can never run.
 pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimReport, SimError> {
     let _span = rec
-        .span_cat("sim.run", "sim")
+        .span_cat(keys::SPAN_SIM_RUN, "sim")
         .with_arg("schedule", &graph.name);
     let mut events: u64 = 0;
     let mut ready_peak: usize = 0;
@@ -339,15 +339,12 @@ pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimRepor
             .then(a.device.cmp(&b.device))
     });
     if rec.is_enabled() {
-        rec.add("sim.tasks", n as u64);
-        rec.add("sim.events", events);
-        rec.gauge_max("sim.ready_queue.peak", ready_peak as f64);
+        rec.add(keys::SIM_TASKS, n as u64);
+        rec.add(keys::SIM_EVENTS, events);
+        rec.gauge_max(keys::SIM_READY_QUEUE_PEAK, ready_peak as f64);
         for dev in 0..d {
-            rec.gauge(&format!("sim.device{dev}.busy_us"), busy_time[dev]);
-            rec.gauge(
-                &format!("sim.device{dev}.bubble_us"),
-                makespan - busy_time[dev],
-            );
+            rec.gauge(&keys::sim_device_busy_us(dev), busy_time[dev]);
+            rec.gauge(&keys::sim_device_bubble_us(dev), makespan - busy_time[dev]);
         }
     }
     Ok(SimReport {

@@ -25,6 +25,7 @@ use adapipe_faults::{
     RetryPolicy, Watchdog,
 };
 use adapipe_model::{ParallelConfig, TrainConfig};
+use adapipe_obs::keys;
 use adapipe_sim::{schedule, try_simulate_traced, StageExec};
 use adapipe_units::Bytes;
 use std::collections::BTreeMap;
@@ -108,7 +109,7 @@ impl Planner {
         degraded: &DegradedCluster,
         cfg: &ChaosConfig,
     ) -> Result<ChaosOutcome, PlanError> {
-        let _span = self.recorder().span_cat("chaos", "chaos");
+        let _span = self.recorder().span_cat(keys::SPAN_CHAOS, "chaos");
         let stale = self.plan(Method::AdaPipe, parallel, train)?;
         let ctx = self.context(parallel, train);
 
@@ -140,7 +141,7 @@ impl Planner {
         let mut clock = FaultClock::new(degraded.plan());
         let mut events = Vec::with_capacity(cfg.steps);
         for _ in 0..cfg.steps {
-            let _span = self.recorder().span_cat("chaos.step", "chaos");
+            let _span = self.recorder().span_cat(keys::SPAN_CHAOS_STEP, "chaos");
             let execs = degraded_stage_execs(&planned, &clock);
             let mut graph = schedule::one_f_one_b(&execs, ctx.n, p2p);
             apply_stalls(&mut graph, &mut clock, cfg.steps);

@@ -5,7 +5,7 @@ use crate::plan::{Plan, StagePlan};
 use adapipe_hw::ClusterSpec;
 use adapipe_memory::{f1b_live_microbatches, MemoryModel, OptimizerSpec, StageMemory};
 use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig, TrainConfig};
-use adapipe_obs::Recorder;
+use adapipe_obs::{keys, Recorder};
 use adapipe_partition::{algorithm1, f1b_iteration_time, KnapsackCostProvider, StageTimes};
 use adapipe_profiler::{ProfileTable, Profiler};
 use adapipe_recompute::{strategy, KnapsackConfig, RecomputeStrategy};
@@ -127,7 +127,7 @@ impl Planner {
     }
 
     pub(crate) fn context(&self, parallel: ParallelConfig, train: TrainConfig) -> Context {
-        let _span = self.rec.span_cat("plan.profile", "planner");
+        let _span = self.rec.span_cat(keys::SPAN_PLAN_PROFILE, "planner");
         let table = Profiler::new(self.cluster.clone()).profile(&self.model, &parallel, &train);
         Context {
             seq: LayerSeq::for_model(&self.model),
@@ -161,7 +161,7 @@ impl Planner {
     ) -> Result<Plan, PlanError> {
         let _span = self
             .rec
-            .span_cat("plan", "planner")
+            .span_cat(keys::SPAN_PLAN, "planner")
             .with_arg("method", &method);
         train.validate_for(&parallel)?;
         if parallel.tensor() > self.cluster.devices_per_node() {
@@ -245,7 +245,7 @@ impl Planner {
                 .with_knapsack_config(self.knapsack)
                 .with_recorder(self.rec.clone());
         let plan = {
-            let _span = self.rec.span_cat("plan.partition", "planner");
+            let _span = self.rec.span_cat(keys::SPAN_PLAN_PARTITION, "planner");
             algorithm1::solve_traced(
                 &provider,
                 ctx.seq.len(),
@@ -282,7 +282,7 @@ impl Planner {
         provider: &KnapsackCostProvider<'_>,
         ranges: &[LayerRange],
     ) -> Result<Vec<StagePlan>, PlanError> {
-        let _span = self.rec.span_cat("plan.materialize", "planner");
+        let _span = self.rec.span_cat(keys::SPAN_PLAN_MATERIALIZE, "planner");
         // Materialize-boundary self-check: Algorithm 1 (and the even
         // ablation) must hand over a contiguous, monotone cover of the
         // layer sequence before any stage is committed.
@@ -427,7 +427,7 @@ impl Planner {
     pub fn evaluate(&self, plan: &Plan) -> Evaluation {
         let _span = self
             .rec
-            .span_cat("evaluate", "planner")
+            .span_cat(keys::SPAN_EVALUATE, "planner")
             .with_arg("method", &plan.method);
         let ctx = self.context(plan.parallel, plan.train);
         let p = plan.parallel.pipeline();
@@ -448,7 +448,7 @@ impl Planner {
             );
         }
         let mut report = {
-            let _span = self.rec.span_cat("evaluate.simulate", "planner");
+            let _span = self.rec.span_cat(keys::SPAN_EVALUATE_SIMULATE, "planner");
             simulate_traced(&graph, &self.rec)
         };
 

@@ -30,6 +30,7 @@ use crate::planner::Planner;
 use adapipe_faults::{run_retries, DegradedCluster, Diagnosis, RetryPolicy};
 use adapipe_memory::{f1b_live_microbatches, StageMemory};
 use adapipe_model::LayerRange;
+use adapipe_obs::keys;
 use adapipe_partition::{
     algorithm1, f1b_iteration_time, KnapsackCostProvider, StageCostProvider, StageTimes,
 };
@@ -226,7 +227,7 @@ impl Planner {
         cfg: &ReplanConfig,
         mut probe: impl FnMut(usize, usize, u32) -> bool,
     ) -> Result<ReplanOutcome, PlanError> {
-        let _span = self.recorder().span_cat("replan", "replan");
+        let _span = self.recorder().span_cat(keys::SPAN_REPLAN, "replan");
         let step = cfg.detected_at_step;
 
         // Rung 1: retry transient stalls with accounted backoff.
@@ -234,7 +235,7 @@ impl Planner {
         let mut escalated = false;
         for &(stage, micro_batch) in &diagnosis.transient_stalls {
             let outcome = run_retries(&cfg.retry, |attempt| probe(stage, micro_batch, attempt));
-            self.recorder().incr("replan.retries");
+            self.recorder().incr(keys::REPLAN_RETRIES);
             let (attempts, backoff) = match outcome {
                 adapipe_faults::RetryOutcome::Recovered { attempts, backoff }
                 | adapipe_faults::RetryOutcome::Exhausted { attempts, backoff } => {
@@ -296,13 +297,15 @@ impl Planner {
         };
 
         let solved = {
-            let _span = self.recorder().span_cat("replan.partition", "replan");
+            let _span = self
+                .recorder()
+                .span_cat(keys::SPAN_REPLAN_PARTITION, "replan");
             let started = self.recorder().is_enabled().then(std::time::Instant::now);
             let solved =
                 algorithm1::solve_traced(&provider, ctx.seq.len(), p, ctx.n, self.recorder());
             if let Some(t0) = started {
                 self.recorder()
-                    .observe("replan.solve.us", t0.elapsed().as_secs_f64() * 1e6);
+                    .observe(keys::REPLAN_SOLVE_US, t0.elapsed().as_secs_f64() * 1e6);
             }
             solved
         };
@@ -320,7 +323,7 @@ impl Planner {
             let (strat, cost) = match provider.provider_for(s).optimize_stage(s, range) {
                 Ok(opt) => (opt.strategy, opt.cost),
                 Err(_) => {
-                    self.recorder().incr("replan.fallback.full_recompute");
+                    self.recorder().incr(keys::REPLAN_FALLBACK_FULL_RECOMPUTE);
                     fallback_stages.push(s);
                     let strat = strategy::full(&units);
                     let cost = strategy::cost_of(&units, &strat);
@@ -358,9 +361,9 @@ impl Planner {
         let replanned_time = degraded_iteration_time(&plan, degraded, step);
         let (cache_hits, cache_misses) = provider.cache_stats();
         self.recorder()
-            .observe("replan.iso_cache.hits", cache_hits as f64);
+            .observe(keys::REPLAN_ISO_HITS, cache_hits as f64);
         self.recorder()
-            .observe("replan.iso_cache.misses", cache_misses as f64);
+            .observe(keys::REPLAN_ISO_MISSES, cache_misses as f64);
         Ok(ReplanOutcome {
             retries,
             plan: Some(plan),

@@ -92,6 +92,9 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 if QUEUE_CRATES.contains(&crate_name.as_str()) {
                     check_bounded_channel(&file, &mut violations);
                 }
+                if crate_name != "adapipe-obs" {
+                    check_stringly_metric(&file, &mut violations);
+                }
             }
         }
     }
@@ -116,6 +119,7 @@ const RULES: &[&str] = &[
     "index-confusion",
     "swallowed-result",
     "bounded-channel",
+    "stringly-metric",
 ];
 
 /// The crates whose public APIs must speak `adapipe-units` newtypes.
@@ -174,6 +178,78 @@ pub fn check_bounded_channel(file: &SourceFile, out: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+/// Method calls on the obs recorders whose first argument names a
+/// metric, span, or flight event.
+const METRIC_METHODS: &[&str] = &[
+    ".incr(",
+    ".add(",
+    ".gauge(",
+    ".gauge_max(",
+    ".observe(",
+    ".span(",
+    ".span_cat(",
+    ".time(",
+    ".note(",
+    ".note_traced(",
+];
+
+/// `stringly-metric`: metric/span/flight-event names in library code
+/// must be `adapipe_obs::keys` constants, not inline string literals.
+/// Scattered literals drift apart silently — `keys` is the single
+/// vocabulary that dashboards, the metrics report, and the golden
+/// observability tests all key off.
+///
+/// Detection rides the masking pass: string contents *and* their
+/// quotes blank to spaces, so a literal first argument shows up as a
+/// non-empty all-blank region between the call's `(` and the first
+/// `,`/`)`, while a `keys::` constant (or any other expression)
+/// leaves visible tokens.
+pub fn check_stringly_metric(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("stringly-metric", i) {
+            continue;
+        }
+        for method in METRIC_METHODS {
+            for (pos, _) in line.match_indices(method) {
+                if first_arg_is_blanked_literal(file, i, pos + method.len()) {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: i + 1,
+                        rule: "stringly-metric",
+                        message: format!(
+                            "string-literal name passed to `{}` — add a constant to \
+                             `adapipe_obs::keys` and pass that instead",
+                            method.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether the argument region starting at byte `col` of line `line` —
+/// everything up to the first `,` or `)`, scanning across a few
+/// continuation lines for wrapped calls — is non-empty and entirely
+/// blank in the masked source, i.e. was a string literal. Zero-arg
+/// calls (`s.time()` on some unrelated type) have an *empty* region
+/// and stay legal.
+fn first_arg_is_blanked_literal(file: &SourceFile, line: usize, col: usize) -> bool {
+    let mut seen_blank = false;
+    let mut start = col;
+    for l in file.lines.iter().skip(line).take(4) {
+        for c in l.get(start..).unwrap_or("").chars() {
+            match c {
+                ',' | ')' => return seen_blank,
+                c if c.is_whitespace() => seen_blank = true,
+                _ => return false,
+            }
+        }
+        start = 0;
+    }
+    false
 }
 
 /// A waiver must name real rules and carry a justification.
@@ -1022,6 +1098,43 @@ mod tests {
         );
         let mut v = Vec::new();
         check_bounded_channel(&f, &mut v);
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stringly_metric_flags_literal_names_only() {
+        let f = file(
+            "fn a(rec: &Recorder) { rec.incr(\"serve.requests\"); }\n\
+             fn b(rec: &Recorder) { rec.observe(keys::SERVE_WAIT_US, w); }\n\
+             fn c(rec: &Recorder) { rec.add(\n    \"serve.bytes\",\n    n,\n); }\n\
+             fn d(s: &Sweep) { let t = s.time(); }\n\
+             fn e(fl: &FlightRecorder) { fl.note(keys::FLIGHT_MANUAL, detail); }\n\
+             #[cfg(test)]\nmod t {\n fn f(rec: &Recorder) { rec.incr(\"fine.in.tests\"); }\n}\n",
+        );
+        let mut v = Vec::new();
+        check_stringly_metric(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert!(v.iter().all(|v| v.rule == "stringly-metric"));
+        assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn stringly_metric_waiver_suppresses() {
+        let f = file(
+            "// lint: allow(stringly-metric): one-off probe, not part of the taxonomy\n\
+             fn a(rec: &Recorder) { rec.incr(\"probe.count\"); }\n",
+        );
+        let mut v = Vec::new();
+        check_stringly_metric(&f, &mut v);
         assert!(
             v.is_empty(),
             "{:?}",

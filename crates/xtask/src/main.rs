@@ -1,23 +1,29 @@
 //! `xtask` — workspace maintenance tasks, invoked as
 //! `cargo run -p xtask -- <task>`.
 //!
-//! The only task today is `lint`: a zero-dependency source-level lint
-//! pass enforcing the panic-freedom and API-hygiene rules documented in
-//! `docs/static-analysis.md`. It is deliberately *not* a Rust parser —
-//! it scans masked source text (comments and strings blanked) so it
-//! stays dependency-free and fast, at the cost of only catching the
-//! idioms it was written for.
+//! * `lint` — a zero-dependency source-level lint pass enforcing the
+//!   panic-freedom and API-hygiene rules documented in
+//!   `docs/static-analysis.md`. It is deliberately *not* a Rust parser —
+//!   it scans masked source text (comments and strings blanked) so it
+//!   stays dependency-free and fast, at the cost of only catching the
+//!   idioms it was written for.
+//! * `bench-diff` — compares two directories of `BENCH_*.json` bench
+//!   artifacts and fails on >20% regression of any named metric (see
+//!   `docs/observability.md`).
 
-use xtask::lint;
+use xtask::{bench_diff, lint};
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <task>
 
 tasks:
-  lint    run the workspace source-level lint pass (see docs/static-analysis.md)
+  lint                              run the workspace source-level lint pass
+                                    (see docs/static-analysis.md)
+  bench-diff <baseline-dir> <new>   compare BENCH_*.json artifacts; exits
+                                    non-zero on >20% regression of a metric
 ";
 
 fn main() -> ExitCode {
@@ -28,6 +34,14 @@ fn main() -> ExitCode {
     };
     match task.as_str() {
         "lint" => lint_task(),
+        "bench-diff" => {
+            let (Some(baseline), Some(new)) = (args.next(), args.next()) else {
+                eprintln!("error: bench-diff needs <baseline-dir> and <new-dir>\n");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            bench_diff_task(&PathBuf::from(baseline), &PathBuf::from(new))
+        }
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -38,6 +52,39 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn bench_diff_task(baseline: &Path, new: &Path) -> ExitCode {
+    let report = match bench_diff::diff_dirs(baseline, new) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &report.missing_in_new {
+        println!("note: {name} present in baseline only — skipped");
+    }
+    for name in &report.only_in_new {
+        println!("note: {name} present in new run only — no baseline");
+    }
+    for d in &report.diffs {
+        println!("{d}");
+    }
+    let regressions = report.regressions(bench_diff::REGRESSION_THRESHOLD);
+    if regressions.is_empty() {
+        println!(
+            "bench-diff: ok — {} metric(s) compared, none regressed >{:.0}%",
+            report.diffs.len(),
+            bench_diff::REGRESSION_THRESHOLD * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("\nbench-diff: {} regression(s) >20%:", regressions.len());
+    for d in regressions {
+        println!("  REGRESSED {d}");
+    }
+    ExitCode::FAILURE
 }
 
 fn lint_task() -> ExitCode {

@@ -1,0 +1,15 @@
+//! Fixture: inline string metric/span names must fire
+//! `stringly-metric`.
+
+pub fn count(rec: &Recorder) {
+    rec.incr("serve.requests.total");
+    rec.observe("serve.wait.us", 12.0);
+    let _span = rec.span("plan");
+}
+
+pub fn named_constants_are_fine(rec: &Recorder, fl: &FlightRecorder) {
+    rec.incr(keys::SERVE_REQUESTS_TOTAL);
+    rec.observe(keys::SERVE_WAIT_US, 12.0);
+    let _span = rec.span_cat(keys::SPAN_PLAN, "planner");
+    fl.note(keys::FLIGHT_MANUAL, format!("dump #{n}"));
+}

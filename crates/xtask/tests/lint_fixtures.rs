@@ -9,8 +9,8 @@
 use std::path::{Path, PathBuf};
 use xtask::lint::{
     check_bounded_channel, check_float_eq, check_index_confusion, check_panic_freedom,
-    check_raw_quantities, check_swallowed_result, check_traced_pairs, check_unsafe_header,
-    check_waiver_reasons, Violation,
+    check_raw_quantities, check_stringly_metric, check_swallowed_result, check_traced_pairs,
+    check_unsafe_header, check_waiver_reasons, Violation,
 };
 use xtask::source::SourceFile;
 
@@ -63,6 +63,11 @@ fn each_rule_fires_on_its_fixture_and_respects_waivers() {
             "bounded-channel",
             "bounded_channel.rs",
             check_bounded_channel,
+        ),
+        (
+            "stringly-metric",
+            "stringly_metric.rs",
+            check_stringly_metric,
         ),
     ];
     for (rule, file, checker) in cases {

@@ -198,14 +198,22 @@ impl Criterion {
         self
     }
 
-    /// Renders all collected results as a JSON document.
+    /// Renders all collected results as a JSON document, stamped with
+    /// run metadata: `schema_version`, the git commit the bench ran at
+    /// (`$ADAPIPE_GIT_COMMIT` override, then `git rev-parse`, then
+    /// `unknown`), and the config name (`$ADAPIPE_BENCH_CONFIG`,
+    /// default `default`) — so `cargo run -p xtask -- bench-diff` can
+    /// tell which runs are comparable.
     #[must_use]
     pub fn summary_json(&self, bench_name: &str) -> String {
         let mut out = String::from("{\n");
         let _ = write!(
             out,
-            "  \"bench\": \"{}\",\n  \"unit\": \"ns\",\n",
-            escape(bench_name)
+            "  \"bench\": \"{}\",\n  \"schema_version\": \"adapipe-bench/v1\",\n  \
+             \"commit\": \"{}\",\n  \"config\": \"{}\",\n  \"unit\": \"ns\",\n",
+            escape(bench_name),
+            escape(&git_commit()),
+            escape(&bench_config_name())
         );
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -243,6 +251,29 @@ impl Criterion {
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The commit the bench ran at: `$ADAPIPE_GIT_COMMIT` if set (CI knows
+/// best), else `git rev-parse --short HEAD`, else `unknown` (benches
+/// must run outside a checkout too).
+fn git_commit() -> String {
+    if let Ok(commit) = std::env::var("ADAPIPE_GIT_COMMIT") {
+        return commit;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The named configuration of this run (`$ADAPIPE_BENCH_CONFIG`); bench
+/// artifacts from different configs are not comparable.
+fn bench_config_name() -> String {
+    std::env::var("ADAPIPE_BENCH_CONFIG").unwrap_or_else(|_| "default".to_string())
 }
 
 /// The bench target's name, recovered from `argv[0]`
