@@ -1,0 +1,136 @@
+//! Extension: cost of the optimality-verification machinery.
+//!
+//! `adapipe verify --optimality` buys its guarantees with brute force:
+//! exhaustive partition enumeration on small instances and 2^free
+//! subset enumeration inside each window. This bench measures what that
+//! costs next to the production DP stack and how tight the planner
+//! actually is — the observed DP-over-oracle gap across the pinned
+//! grids and a seeded random sweep, plus the certificate gap on a real
+//! GPT-2 plan. CI's `optimality` job regenerates `BENCH_oracle.json`
+//! from this binary and `xtask bench-diff` tracks drift.
+
+use adapipe::oracle::{
+    check_grid_agreement, check_model_grid, pinned_grid, search_counterexamples, OracleBounds,
+};
+use adapipe::{Method, OptimalityOptions, Planner};
+use adapipe_bench::{emit_bench_json, print_table};
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_obs::{keys, Recorder};
+
+fn main() {
+    let rec = Recorder::new();
+    let t0 = std::time::Instant::now();
+    let mut rows = Vec::new();
+
+    // Pinned synthetic grid: per-instance DP and oracle wall-clock.
+    let grid = pinned_grid();
+    let start = std::time::Instant::now();
+    for inst in &grid {
+        let _ = inst.dp_time();
+    }
+    let dp_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = std::time::Instant::now();
+    for inst in &grid {
+        let _ = inst.oracle_time();
+    }
+    let oracle_ms = start.elapsed().as_secs_f64() * 1e3;
+    rec.gauge("bench.oracle.grid.dp_ms", dp_ms);
+    rec.gauge("bench.oracle.grid.oracle_ms", oracle_ms);
+    rows.push(vec![
+        format!("synthetic grid ({} instances)", grid.len()),
+        format!("{dp_ms:.2}"),
+        format!("{oracle_ms:.2}"),
+    ]);
+
+    // Agreement sweeps populate oracle.instances / oracle.gap.pct.
+    let diags = check_grid_agreement(&rec);
+    assert!(diags.is_empty(), "pinned grid disagreement: {diags:?}");
+    let start = std::time::Instant::now();
+    let diags = check_model_grid(&rec);
+    assert!(diags.is_empty(), "model grid disagreement: {diags:?}");
+    let model_ms = start.elapsed().as_secs_f64() * 1e3;
+    rec.gauge("bench.oracle.model_grid.ms", model_ms);
+    rows.push(vec![
+        "tiny-gpt joint oracle grid".to_string(),
+        "-".to_string(),
+        format!("{model_ms:.2}"),
+    ]);
+
+    // Seeded random sweep: the same search CI runs at ≥1000 instances.
+    const SWEEP: usize = 256;
+    let start = std::time::Instant::now();
+    let hits = search_counterexamples(2024, SWEEP, &OracleBounds::default(), &rec);
+    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(hits.is_empty(), "counterexamples found: {hits:?}");
+    rec.gauge("bench.oracle.sweep.ms", sweep_ms);
+    rec.gauge("bench.oracle.sweep.instances", SWEEP as f64);
+    rows.push(vec![
+        format!("random sweep ({SWEEP} instances)"),
+        "-".to_string(),
+        format!("{sweep_ms:.2}"),
+    ]);
+
+    // Certificate on a real plan: gap and derivation cost.
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a()).with_recorder(rec.clone());
+    let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+    let train = TrainConfig::new(1, 1024, 32).expect("valid");
+    let plan = planner
+        .plan(Method::AdaPipe, parallel, train)
+        .expect("feasible");
+    let start = std::time::Instant::now();
+    let report = planner.verify_optimality(
+        &plan,
+        &OptimalityOptions {
+            search_iterations: 64,
+            ..OptimalityOptions::default()
+        },
+    );
+    let verify_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(!report.has_errors(), "{report}");
+    let cert = planner.certificate(&plan).expect("certifiable");
+    rec.gauge("bench.oracle.verify_optimality.ms", verify_ms);
+    rec.gauge("bench.oracle.certificate.gap_pct", cert.gap() * 100.0);
+    rows.push(vec![
+        "verify --optimality (gpt2, AdaPipe)".to_string(),
+        "-".to_string(),
+        format!("{verify_ms:.2}"),
+    ]);
+
+    print_table(
+        "Optimality-verification cost (DP vs brute-force oracles)",
+        &["workload", "dp ms", "oracle ms"],
+        &rows,
+    );
+    let snap = rec.snapshot();
+    println!(
+        "\n{} instances checked, {} disagreements; GPT-2 certificate gap {:.2}% \
+         (bound {:.3}ms ≤ cost {:.3}ms)",
+        snap.counters
+            .get(keys::ORACLE_INSTANCES)
+            .copied()
+            .unwrap_or(0),
+        snap.counters
+            .get(keys::ORACLE_DISAGREEMENTS)
+            .copied()
+            .unwrap_or(0),
+        cert.gap() * 100.0,
+        cert.lower_bound.as_millis(),
+        cert.plan_cost.as_millis(),
+    );
+    println!(
+        "Expected shape: zero disagreements everywhere; the exhaustive oracle is \
+         orders of magnitude slower than the DP, which is why it only guards small \
+         instances while the certificate covers real ones."
+    );
+
+    rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());
+    emit_bench_json(
+        "oracle",
+        &rec,
+        &[
+            ("extension", "optimality-verification"),
+            ("sweep_seed", "2024"),
+        ],
+    );
+}

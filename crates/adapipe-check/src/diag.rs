@@ -65,6 +65,14 @@ pub enum CheckCode {
     /// (time in microseconds, memory in bytes); accepting such a plan
     /// would silently rescale every Eq. (1)–(3) quantity.
     UnitMismatch,
+    /// The plan's predicted cost exceeds `(1 + ε)` times its optimality
+    /// certificate's lower bound, or the planner's DP disagrees with the
+    /// brute-force oracle on an instance small enough to enumerate.
+    OptimalityGap,
+    /// An `adapipe-certificate v1` artifact is internally inconsistent:
+    /// malformed terms, a non-finite bound, or a lower bound that
+    /// exceeds the plan cost it claims to certify.
+    CertificateInvalid,
 }
 
 impl CheckCode {
@@ -87,6 +95,8 @@ impl CheckCode {
             CheckCode::TaskDuration => "task-duration",
             CheckCode::IsoCacheDivergence => "iso-cache-divergence",
             CheckCode::UnitMismatch => "unit-mismatch",
+            CheckCode::OptimalityGap => "optimality-gap",
+            CheckCode::CertificateInvalid => "certificate-invalid",
         }
     }
 }

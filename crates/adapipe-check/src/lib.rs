@@ -28,10 +28,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod certificate;
 pub mod diag;
 pub mod graph;
 pub mod invariants;
 
+pub use certificate::{
+    check_certificate, Certificate, CertificateParseError, CERTIFICATE_HEADER, DEFAULT_EPSILON,
+};
 pub use diag::{CheckCode, CheckReport, Diagnostic, Severity};
 pub use graph::check_task_graph;
 pub use invariants::{

@@ -204,30 +204,98 @@ pub fn trace(mut args: Args) -> Result<String, ConfigError> {
     }
 }
 
+/// Parses a `--flag true|false` pair (absent means `false`).
+fn bool_flag(args: &mut Args, flag: &'static str) -> Result<bool, ConfigError> {
+    match args.take(flag).as_deref() {
+        None | Some("false") => Ok(false),
+        Some("true") => Ok(true),
+        Some(other) => Err(ConfigError::BadChoice {
+            flag,
+            value: other.to_string(),
+            choices: "true, false",
+        }),
+    }
+}
+
 /// `adapipe verify`: statically check a saved plan against the paper's
 /// feasibility invariants (Eq. (1)-(3), partition cover, schedule DAG)
 /// without executing it. `--quick true` skips the iso-cache spot-check.
+/// `--optimality true` additionally certifies the plan against its
+/// analytic lower bound and cross-checks the planner's DPs against the
+/// brute-force oracles (see docs/verification.md).
 pub fn verify(mut args: Args) -> Result<String, ConfigError> {
     let (plan, warnings) = read_plan(&mut args)?;
-    let quick = match args.take("quick").as_deref() {
-        None | Some("false") => false,
-        Some("true") => true,
-        Some(other) => {
-            return Err(ConfigError::BadChoice {
-                flag: "quick",
-                value: other.to_string(),
-                choices: "true, false",
-            })
-        }
-    };
-    let planner = build_planner(&mut args)?;
+    let quick = bool_flag(&mut args, "quick")?;
+    let optimality = bool_flag(&mut args, "optimality")?;
+    let epsilon: Option<f64> = args.take_parsed("epsilon", "a fraction like 0.35")?;
+    let oracle_seed: Option<u64> = args.take_parsed("oracle-seed", "an unsigned integer")?;
+    let oracle_iters: Option<usize> = args.take_parsed("oracle-iters", "an instance count")?;
+    let cert_out = args.take("certificate-out");
+    if !optimality
+        && (epsilon.is_some()
+            || oracle_seed.is_some()
+            || oracle_iters.is_some()
+            || cert_out.is_some())
+    {
+        return Err(ConfigError::Domain(
+            "--epsilon/--oracle-seed/--oracle-iters/--certificate-out need --optimality true"
+                .to_string(),
+        ));
+    }
+    let sink = ObsSink::from_args(&mut args, false);
+    let planner = build_planner(&mut args)?.with_recorder(sink.rec.clone());
     args.finish()?;
     let opts = if quick {
         adapipe::VerifyOptions::quick()
     } else {
         adapipe::VerifyOptions::default()
     };
-    let report = planner.verify_with(&plan, opts);
+    let mut report = planner.verify_with(&plan, opts);
+    let mut extra = String::new();
+    if optimality {
+        let mut oopts = adapipe::OptimalityOptions::default();
+        if let Some(e) = epsilon {
+            if !(e.is_finite() && e >= 0.0) {
+                return Err(ConfigError::Domain(format!(
+                    "--epsilon must be a non-negative fraction, got {e}"
+                )));
+            }
+            oopts.epsilon = e;
+        }
+        if let Some(s) = oracle_seed {
+            oopts.search_seed = s;
+        }
+        if let Some(i) = oracle_iters {
+            oopts.search_iterations = i;
+        }
+        report.extend(
+            planner
+                .verify_optimality(&plan, &oopts)
+                .diagnostics()
+                .iter()
+                .cloned(),
+        );
+        if let Some(path) = &cert_out {
+            match planner.certificate(&plan) {
+                Some(cert) => {
+                    write_artifact(path, &cert.to_text())?;
+                    extra.push_str(&format!(
+                        "certificate written to {path} (gap {:.2}%)\n",
+                        cert.gap() * 100.0
+                    ));
+                }
+                None => extra.push_str(
+                    "no certificate emitted: the plan has no Eq. (3) prediction or \
+                     overflows device memory\n",
+                ),
+            }
+        }
+    }
+    extra.push_str(&sink.flush(&[
+        ("command", "verify"),
+        ("model", planner.model().name()),
+        ("method", &plan.method.to_string()),
+    ])?);
     let header = format!(
         "{warnings}verifying {} plan ({} stages, n={}) against {} on {}\n",
         plan.method,
@@ -241,7 +309,7 @@ pub fn verify(mut args: Args) -> Result<String, ConfigError> {
             "plan failed verification\n{report}"
         )))
     } else {
-        Ok(format!("{header}{report}"))
+        Ok(format!("{header}{extra}{report}"))
     }
 }
 
@@ -745,7 +813,9 @@ USAGE:
   adapipe compare --tensor T --pipeline P [--data D] --seq S --global-batch G
                   [--metrics-out FILE] [--chrome-trace FILE] ...
   adapipe show    --plan FILE [--model M] [--cluster a|b] [--nodes N]
-  adapipe verify  --plan FILE [--quick true] [--model M] [--cluster a|b] [--nodes N]
+  adapipe verify  --plan FILE [--quick true] [--optimality true] [--epsilon F]
+                  [--oracle-seed N] [--oracle-iters N] [--certificate-out FILE]
+                  [--metrics-out FILE] [--model M] [--cluster a|b] [--nodes N]
   adapipe sim     --plan FILE [--model M] [--cluster a|b] [--nodes N]
   adapipe trace   --plan FILE [--out trace.json] [--model M] [--cluster a|b]
   adapipe chaos   --faults FILE --tensor T --pipeline P --seq S --global-batch G
@@ -765,7 +835,15 @@ VERIFY:
   budgets under the chosen save/recompute sets (Eq. (1)-(2)), contiguous
   full-cover partitioning, an acyclic deadlock-free task DAG, Eq. (3)
   breakdown consistency and iso-cache soundness — without executing it;
-  exits 1 if any error-severity finding is reported
+  exits 1 if any error-severity finding is reported; --optimality true
+  additionally (a) certifies the plan against an analytic lower bound on
+  any memory-feasible Eq. (3) plan (written as an adapipe-certificate v1
+  artifact by --certificate-out; an AdaPipe plan more than --epsilon
+  above the bound is an optimality-gap error, a baseline's gap is only a
+  warning), and (b) cross-checks Algorithm 1 and the recomputation
+  knapsack against brute-force oracles on pinned grids plus
+  --oracle-iters seeded random instances (--oracle-seed), shrinking any
+  disagreement to a minimal reproducer; see docs/verification.md
 
 SIM:
   executes a saved plan in the event simulator and checks every device's

@@ -76,6 +76,7 @@ pub fn render(title: &str, artifacts: &[Artifact]) -> String {
             .join(", "))
     );
     body.push_str(&histogram_section(artifacts));
+    body.push_str(&optimality_section(artifacts));
     body.push_str(&phase_section(artifacts));
     body.push_str(&timeline_section(artifacts));
     body.push_str(&bench_section(artifacts));
@@ -135,6 +136,63 @@ fn histogram_section(artifacts: &[Artifact]) -> String {
     }
     for (title, bars) in rows {
         let _ = write!(out, "<h3>{}</h3>\n{}", esc(&title), svg_hbars(&bars));
+    }
+    out
+}
+
+/// Optimality verification: oracle agreement and certificate counters
+/// from any metrics artifact that ran `verify --optimality` (or the
+/// `ext_oracle` bench). Disagreements and certificate failures mean the
+/// planner left its proven envelope, so they get a visible verdict row
+/// instead of hiding among generic counters.
+fn optimality_section(artifacts: &[Artifact]) -> String {
+    use adapipe_obs::keys;
+    let mut out = String::from("<h2>Optimality verification</h2>\n");
+    let mut any = false;
+    for a in artifacts {
+        let Artifact::Metrics { name, doc } = a else {
+            continue;
+        };
+        let counter = |key: &str| -> f64 {
+            doc.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        let instances = counter(keys::ORACLE_INSTANCES);
+        let checks = counter(keys::CERT_CHECKS);
+        if instances == 0.0 && checks == 0.0 {
+            continue;
+        }
+        any = true;
+        let disagreements = counter(keys::ORACLE_DISAGREEMENTS);
+        let failures = counter(keys::CERT_FAILURES);
+        let verdict = if disagreements == 0.0 && failures == 0.0 {
+            "all oracle instances agree; every certificate holds"
+        } else {
+            "DISAGREEMENT — the planner left its proven envelope"
+        };
+        let gap = doc
+            .get("histograms")
+            .and_then(|h| h.get(keys::CERT_GAP_PCT))
+            .and_then(|h| h.get("max"))
+            .and_then(Value::as_f64);
+        let _ = write!(
+            out,
+            "<h3>{}</h3>\n<table>\
+             <tr><th>oracle instances</th><th>disagreements</th>\
+             <th>certificate checks</th><th>failures</th>\
+             <th>worst certificate gap</th></tr>\
+             <tr><td>{instances}</td><td>{disagreements}</td>\
+             <td>{checks}</td><td>{failures}</td><td>{}</td></tr>\
+             </table>\n<p>{}</p>\n",
+            esc(name),
+            gap.map_or_else(|| "-".to_string(), |g| format!("{g:.2}%")),
+            esc(verdict)
+        );
+    }
+    if !any {
+        out.push_str("<p class=\"empty\">no optimality runs in the collected metrics</p>\n");
     }
     out
 }
@@ -483,6 +541,35 @@ mod tests {
     }
 
     #[test]
+    fn optimality_runs_get_a_verdict_table() {
+        let clean = classify(
+            "ok.json",
+            doc(r#"{"schema": "adapipe-obs/v1",
+                    "counters": {"oracle.instances": 1350,
+                                 "certificate.checks": 1},
+                    "histograms": {"certificate.gap.pct":
+                      {"count": 1, "sum": 10.4, "p50": 10.4, "p95": 10.4,
+                       "p99": 10.4, "max": 10.4}}}"#),
+        )
+        .expect("metrics");
+        let html = render("optimality", &[clean]);
+        assert!(html.contains("Optimality verification"));
+        assert!(html.contains("1350"));
+        assert!(html.contains("10.40%"));
+        assert!(html.contains("every certificate holds"));
+
+        let broken = classify(
+            "bad.json",
+            doc(r#"{"schema": "adapipe-obs/v1",
+                    "counters": {"oracle.instances": 8,
+                                 "oracle.disagreements": 1}}"#),
+        )
+        .expect("metrics");
+        let html = render("optimality", &[broken]);
+        assert!(html.contains("DISAGREEMENT"));
+    }
+
+    #[test]
     fn html_escapes_hostile_labels() {
         let html = render("<script>alert(1)</script>", &[]);
         assert!(!html.contains("<script>alert"));
@@ -494,6 +581,7 @@ mod tests {
         let html = render("empty", &[]);
         for hint in [
             "no histograms",
+            "no optimality runs",
             "no span aggregates",
             "no Chrome-trace",
             "no bench summaries",

@@ -88,6 +88,74 @@ fn rejected_artifacts_exit_one() {
 }
 
 #[test]
+fn optimality_verification_exit_codes() {
+    let plan = write_plan("optimality-plan.txt");
+    let cert = tmp("optimality-cert.txt");
+
+    // A fresh AdaPipe plan certifies within the default ε band and the
+    // oracles agree with the DPs: exit 0, certificate artifact written.
+    let output = adapipe()
+        .arg("verify")
+        .args(["--plan", plan.to_str().unwrap()])
+        .args(["--optimality", "true", "--oracle-iters", "16"])
+        .args(["--certificate-out", cert.to_str().unwrap()])
+        .args(SMALL_WORLD)
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "optimality verify of a fresh plan: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let cert_text = std::fs::read_to_string(&cert).unwrap();
+    assert!(
+        cert_text.starts_with("adapipe-certificate v1"),
+        "{cert_text}"
+    );
+
+    // ε = 0 leaves no room for the lower bound's deliberate slack: the
+    // same plan now reports an optimality gap, an error-severity
+    // finding, so the artifact is rejected with exit 1.
+    let output = adapipe()
+        .arg("verify")
+        .args(["--plan", plan.to_str().unwrap()])
+        .args([
+            "--optimality",
+            "true",
+            "--epsilon",
+            "0",
+            "--oracle-iters",
+            "0",
+        ])
+        .args(SMALL_WORLD)
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "zero-epsilon optimality verify: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("optimality-gap"), "{stderr}");
+
+    // Optimality tuning flags without --optimality true are a usage
+    // error (exit 2), not a silently ignored flag.
+    let status = adapipe()
+        .arg("verify")
+        .args(["--plan", plan.to_str().unwrap()])
+        .args(["--epsilon", "0.1"])
+        .args(SMALL_WORLD)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2), "--epsilon without --optimality");
+
+    let _ = std::fs::remove_file(&plan);
+    let _ = std::fs::remove_file(&cert);
+}
+
+#[test]
 fn internal_errors_exit_two() {
     let status = adapipe().arg("frobnicate").status().unwrap();
     assert_eq!(status.code(), Some(2), "unknown subcommand");

@@ -1,7 +1,7 @@
 use crate::optimizer::OptimizerSpec;
 use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig};
 use adapipe_profiler::ProfileTable;
-use adapipe_units::Bytes;
+use adapipe_units::{convert, Bytes};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -109,9 +109,9 @@ impl MemoryModel {
     #[must_use]
     pub fn static_bytes_split(&self, seq: &LayerSeq, range: LayerRange) -> (Bytes, Bytes) {
         let n = self.model.range_params(seq, range);
-        let t = self.parallel.tensor() as u64;
-        let d = self.parallel.data() as u64;
-        let params = n * self.model.dtype_bytes() as u64 / t;
+        let t = convert::usize_u64(self.parallel.tensor());
+        let d = convert::usize_u64(self.parallel.data());
+        let params = n * convert::usize_u64(self.model.dtype_bytes()) / t;
         let grads = n * self.optimizer.grad_bytes_per_param / t;
         let opt = n
             * (self.optimizer.state_bytes_per_param + self.optimizer.master_bytes_per_param)
@@ -134,7 +134,7 @@ impl MemoryModel {
         stage: usize,
         saved_bytes_per_mb: Bytes,
     ) -> StageMemory {
-        let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
+        let live = convert::usize_u64(f1b_live_microbatches(self.parallel.pipeline(), stage));
         StageMemory {
             static_bytes: self.static_bytes(seq, range),
             buffer_bytes: table.recompute_buffer_bytes(range),
@@ -157,7 +157,7 @@ impl MemoryModel {
         StageMemory {
             static_bytes: self.static_bytes(seq, range),
             buffer_bytes: table.recompute_buffer_bytes(range),
-            intermediate_bytes: saved_bytes_per_mb * live_microbatches as u64,
+            intermediate_bytes: saved_bytes_per_mb * convert::usize_u64(live_microbatches),
         }
     }
 
@@ -181,7 +181,7 @@ impl MemoryModel {
             .static_bytes(seq, range)
             .saturating_add(table.recompute_buffer_bytes(range));
         let free = capacity.checked_sub(fixed)?;
-        let live = f1b_live_microbatches(self.parallel.pipeline(), stage) as u64;
+        let live = convert::usize_u64(f1b_live_microbatches(self.parallel.pipeline(), stage));
         Some(free / live)
     }
 }

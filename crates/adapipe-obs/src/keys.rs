@@ -135,6 +135,27 @@ pub const REPLAN_ISO_MISSES: &str = "replan.iso_cache.misses";
 /// Wall-clock µs per replan solve (histogram).
 pub const REPLAN_SOLVE_US: &str = "replan.solve.us";
 
+// ---- optimality-verification names ---------------------------------
+// Produced by `adapipe::oracle` / `adapipe::certify` and surfaced by
+// `adapipe verify --optimality` and `adapipe report`.
+
+/// Instances evaluated by the DP-vs-oracle agreement sweeps and the
+/// counterexample search (counter, `adapipe`).
+pub const ORACLE_INSTANCES: &str = "oracle.instances";
+/// Instances where the DP left the calibrated gap band or beat the
+/// brute-force oracle (counter; nonzero means a planner bug).
+pub const ORACLE_DISAGREEMENTS: &str = "oracle.disagreements";
+/// Per-instance DP-over-oracle gap in percent (histogram).
+pub const ORACLE_GAP_PCT: &str = "oracle.gap.pct";
+
+/// Lower-bound certificates computed for plans (counter, `adapipe`).
+pub const CERT_CHECKS: &str = "certificate.checks";
+/// Certificates that failed validation: internally inconsistent, or a
+/// bound above the plan cost it claims to bound (counter).
+pub const CERT_FAILURES: &str = "certificate.failures";
+/// Certified plan-cost-over-lower-bound gap in percent (histogram).
+pub const CERT_GAP_PCT: &str = "certificate.gap.pct";
+
 /// Bench regenerator wall-clock gauge (seconds).
 pub const BENCH_WALL_S: &str = "bench.wall_s";
 /// Serve-load bench per-hit latency (histogram, µs).

@@ -17,7 +17,7 @@ use crate::cost::{F1bBreakdown, StageTimes};
 use crate::provider::StageCostProvider;
 use adapipe_model::LayerRange;
 use adapipe_obs::{keys, Recorder};
-use adapipe_units::{Cost, MicroSecs};
+use adapipe_units::{convert, Cost, MicroSecs};
 use serde::{Deserialize, Serialize};
 
 /// The output of Algorithm 1: per-stage layer ranges, their optimized
@@ -120,7 +120,7 @@ pub fn solve_traced(
                 m,
                 f: times.f,
                 b: times.b,
-                t: Cost::of(times.f + times.b + (n - 1) as f64 * m),
+                t: Cost::of(times.f + times.b + convert::count_f64(n - 1) * m),
                 split: l - 1,
             });
         }
@@ -142,11 +142,11 @@ pub fn solve_traced(
                 let Some(times) = provider.stage_times(s, range) else {
                     continue;
                 };
-                let ahead = (p - s - 1) as f64;
+                let ahead = convert::count_f64(p - s - 1);
                 let w = times.f + (next.w + next.b).max(ahead * times.f);
                 let e = times.b + (next.e + next.f).max(ahead * times.b);
                 let m = next.m.max(times.f + times.b);
-                let t = Cost::of(w + e + (n - p + s) as f64 * m);
+                let t = Cost::of(w + e + convert::count_f64(n - p + s) * m);
                 if best.is_none_or(|cur| t < cur.t) {
                     best = Some(State {
                         w,
@@ -186,7 +186,7 @@ pub fn solve_traced(
         stage_times,
         breakdown: F1bBreakdown {
             warmup: root.w,
-            steady: (n - p) as f64 * root.m,
+            steady: convert::count_f64(n - p) * root.m,
             ending: root.e,
             bottleneck: root.m,
         },

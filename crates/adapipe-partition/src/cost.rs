@@ -1,6 +1,6 @@
 //! The analytic 1F1B cost model (§5.1, Equation (3)).
 
-use adapipe_units::MicroSecs;
+use adapipe_units::{convert, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -84,7 +84,7 @@ pub fn f1b_iteration_time(times: &[StageTimes], n: usize) -> F1bBreakdown {
     let mut prev = last;
     for s in (0..p - 1).rev() {
         let cur = times[s];
-        let ahead = (p - s - 1) as f64;
+        let ahead = convert::count_f64(p - s - 1);
         w = cur.f + (w + prev.b).max(ahead * cur.f);
         e = cur.b + (e + prev.f).max(ahead * cur.b);
         m = m.max(cur.f + cur.b);
@@ -92,7 +92,7 @@ pub fn f1b_iteration_time(times: &[StageTimes], n: usize) -> F1bBreakdown {
     }
     F1bBreakdown {
         warmup: w,
-        steady: (n - p) as f64 * m,
+        steady: convert::count_f64(n - p) * m,
         ending: e,
         bottleneck: m,
     }

@@ -50,4 +50,4 @@ pub mod exhaustive;
 mod provider;
 
 pub use cost::{f1b_iteration_time, F1bBreakdown, StageTimes};
-pub use provider::{KnapsackCostProvider, StageCostProvider};
+pub use provider::{KnapsackCostProvider, OracleCostProvider, StageCostProvider};

@@ -6,7 +6,9 @@ use adapipe_memory::MemoryModel;
 use adapipe_model::{LayerKind, LayerRange, LayerSeq};
 use adapipe_obs::{keys, Recorder};
 use adapipe_profiler::ProfileTable;
-use adapipe_recompute::{optimize_traced, KnapsackConfig, OptimizedStage, StrategyError};
+use adapipe_recompute::{
+    optimize_exhaustive, optimize_traced, KnapsackConfig, OptimizedStage, StrategyError,
+};
 use adapipe_units::Bytes;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -177,6 +179,94 @@ impl StageCostProvider for KnapsackCostProvider<'_> {
     }
 }
 
+/// The verification twin of [`KnapsackCostProvider`]: budgets each
+/// `(stage, window)` through the *same* memory model, but optimizes the
+/// stage with the brute-force subset enumeration of
+/// [`adapipe_recompute::optimize_exhaustive`] instead of the knapsack DP.
+///
+/// Deliberately dumb: no isomorphism cache (only exact-key memoization,
+/// which is trivially sound), no knapsack tuning, no recorder plumbing —
+/// the fewer moving parts the oracle shares with the production path, the
+/// more a disagreement means. Usable only on instances small enough for
+/// `optimize_exhaustive`; windows whose stages exceed its enumeration
+/// limit are reported infeasible, so keep oracle instances within
+/// [`adapipe_recompute::exhaustive::MAX_ORACLE_FREE_UNITS`] free units
+/// per stage.
+#[derive(Debug)]
+pub struct OracleCostProvider<'a> {
+    seq: &'a LayerSeq,
+    table: &'a ProfileTable,
+    mem: &'a MemoryModel,
+    capacity: Bytes,
+    cache: RefCell<HashMap<(usize, LayerRange), Option<StageTimes>>>,
+}
+
+impl<'a> OracleCostProvider<'a> {
+    /// Creates an oracle provider over the same inputs as
+    /// [`KnapsackCostProvider::new`].
+    #[must_use]
+    pub fn new(
+        seq: &'a LayerSeq,
+        table: &'a ProfileTable,
+        mem: &'a MemoryModel,
+        capacity: Bytes,
+    ) -> Self {
+        OracleCostProvider {
+            seq,
+            table,
+            mem,
+            capacity,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The device capacity the oracle budgets against.
+    #[must_use]
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Brute-force-optimizes one concrete stage assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`StrategyError::OutOfMemory`] when the stage cannot fit even
+    /// under full recomputation; [`StrategyError::TooLargeForOracle`]
+    /// when the window has too many free units to enumerate.
+    pub fn optimize_stage(
+        &self,
+        stage: usize,
+        range: LayerRange,
+    ) -> Result<OptimizedStage, StrategyError> {
+        let budget = self
+            .mem
+            .activation_budget(self.table, self.seq, range, stage, self.capacity)
+            .ok_or(StrategyError::OutOfMemory {
+                required: Bytes::new(u64::MAX),
+                budget: Bytes::ZERO,
+            })?;
+        let units = self.table.units_in(range);
+        optimize_exhaustive(&units, budget)
+    }
+}
+
+impl StageCostProvider for OracleCostProvider<'_> {
+    fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
+        if let Some(cached) = self.cache.borrow().get(&(stage, range)) {
+            return *cached;
+        }
+        let result = self
+            .optimize_stage(stage, range)
+            .ok()
+            .map(|opt| StageTimes {
+                f: opt.cost.time_f,
+                b: opt.cost.time_b,
+            });
+        self.cache.borrow_mut().insert((stage, range), result);
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +362,54 @@ mod tests {
         let p = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(4));
         let whole = LayerRange::new(0, fx.seq.len() - 1);
         assert!(p.stage_times(0, whole).is_none());
+    }
+
+    #[test]
+    fn oracle_provider_agrees_with_knapsack_provider() {
+        // tiny_gpt windows are small enough to enumerate exhaustively;
+        // the GCD-rescaled knapsack is exact, so the two providers must
+        // report identical stage times for every feasible window.
+        let fx = fixture(
+            presets::tiny_gpt(),
+            ParallelConfig::new(1, 2, 1).unwrap(),
+            128,
+        );
+        let l = fx.seq.len();
+        let dp = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(2));
+        let oracle = OracleCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(2));
+        let mut feasible = 0usize;
+        for stage in 0..2 {
+            for first in 0..l {
+                for last in first..l {
+                    let r = LayerRange::new(first, last);
+                    let free = fx
+                        .table
+                        .units_in(r)
+                        .iter()
+                        .filter(|u| !u.is_pinned() && u.mem_saved > Bytes::ZERO)
+                        .count();
+                    if free > adapipe_recompute::exhaustive::MAX_ORACLE_FREE_UNITS {
+                        continue;
+                    }
+                    let (a, b) = (dp.stage_times(stage, r), oracle.stage_times(stage, r));
+                    match (a, b) {
+                        (Some(a), Some(b)) => {
+                            feasible += 1;
+                            assert!(
+                                (a.f - b.f).abs() < MicroSecs::new(1e-9)
+                                    && (a.b - b.b).abs() < MicroSecs::new(1e-6),
+                                "stage {stage} {r:?}: dp {a:?} vs oracle {b:?}"
+                            );
+                        }
+                        (None, None) => {}
+                        _ => panic!(
+                            "feasibility disagreement at stage {stage} {r:?}: {a:?} vs {b:?}"
+                        ),
+                    }
+                }
+            }
+        }
+        assert!(feasible > 0, "fixture produced no feasible windows");
     }
 
     #[test]

@@ -17,6 +17,15 @@ pub enum StrategyError {
         /// Memory available per micro-batch.
         budget: Bytes,
     },
+    /// The brute-force oracle was asked to enumerate more free units
+    /// than its exponential budget allows
+    /// ([`crate::exhaustive::MAX_ORACLE_FREE_UNITS`]).
+    TooLargeForOracle {
+        /// Sized free units in the stage.
+        free_units: usize,
+        /// The enumeration limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StrategyError {
@@ -26,6 +35,11 @@ impl fmt::Display for StrategyError {
                 f,
                 "pinned intermediates need {required} per micro-batch \
                  but only {budget} are available"
+            ),
+            StrategyError::TooLargeForOracle { free_units, limit } => write!(
+                f,
+                "stage has {free_units} sized free units but the \
+                 brute-force oracle enumerates at most {limit}"
             ),
         }
     }

@@ -5,7 +5,7 @@ use crate::error::StrategyError;
 use crate::strategy::{cost_of, RecomputeStrategy, StageCost};
 use adapipe_obs::{keys, Recorder};
 use adapipe_profiler::UnitProfile;
-use adapipe_units::{Bytes, Cost};
+use adapipe_units::{convert, Bytes, Cost};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -195,23 +195,26 @@ fn solve(
     let mut scale = g;
     // Re-bucket further if the capacity axis would still be too long.
     // Budget rounds DOWN: never pretend to more memory than exists.
-    let mut capacity = (budget.get() / scale) as usize;
+    let mut capacity = convert::u64_usize_saturating(budget.get() / scale);
     while capacity > config.max_capacity_cells {
         scale *= 2;
-        capacity = (budget.get() / scale) as usize;
+        capacity = convert::u64_usize_saturating(budget.get() / scale);
         rec.incr(keys::KNAPSACK_REBUCKETS);
     }
     // `scale == g` means both roundings below are exact and the DP is
     // optimal; the flag is recomputed by the bench ablations.
     let _exact = scale == g;
-    rec.gauge_max(keys::KNAPSACK_GCD_SCALE, scale as f64);
-    rec.add(keys::KNAPSACK_CELLS, ((capacity + 1) * free.len()) as u64);
+    rec.gauge_max(keys::KNAPSACK_GCD_SCALE, convert::u64_f64(scale));
+    rec.add(
+        keys::KNAPSACK_CELLS,
+        convert::usize_u64((capacity + 1) * free.len()),
+    );
 
     // Weights round UP: never pretend a unit is smaller than it is.
     // (With `scale == g` both roundings are exact and the DP is optimal.)
     let weights: Vec<usize> = free
         .iter()
-        .map(|(_, u)| (u.mem_saved.get().div_ceil(scale)) as usize)
+        .map(|(_, u)| convert::u64_usize_saturating(u.mem_saved.get().div_ceil(scale)))
         .collect();
 
     // value[m]: best saved forward time using capacity m. `Cost` gives

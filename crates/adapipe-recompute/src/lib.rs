@@ -48,11 +48,13 @@
 #![forbid(unsafe_code)]
 
 mod error;
+pub mod exhaustive;
 mod knapsack;
 pub mod offload;
 pub mod strategy;
 
 pub use error::StrategyError;
+pub use exhaustive::optimize_exhaustive;
 pub use knapsack::{optimize, optimize_traced, optimize_with, KnapsackConfig, OptimizedStage};
 pub use offload::{optimize_hybrid, HybridStage, OffloadLink, UnitDecision};
 pub use strategy::{RecomputeStrategy, StageCost};

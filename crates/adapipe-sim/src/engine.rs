@@ -8,7 +8,7 @@ use crate::error::SimError;
 use crate::report::{DeviceReport, MemorySample, SimReport, TimelineEntry};
 use crate::task::{Discipline, TaskGraph};
 use adapipe_obs::{keys, Recorder};
-use adapipe_units::{Bytes, MicroSecs};
+use adapipe_units::{convert, Bytes, MicroSecs};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -171,12 +171,12 @@ pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimRepor
             busy[t.device] = true;
             started[id] = true;
             dispatchable[t.device].remove(&(t.priority, id));
-            mem_cur[t.device] += t.mem_acquire.get() as i64;
+            mem_cur[t.device] += convert::u64_i64_saturating(t.mem_acquire.get());
             mem_peak[t.device] = mem_peak[t.device].max(mem_cur[t.device]);
             memory_timeline.push(MemorySample {
                 time: MicroSecs::new(now),
                 device: t.device,
-                bytes: Bytes::new(mem_cur[t.device].max(0) as u64),
+                bytes: Bytes::new(convert::i64_u64_clamped(mem_cur[t.device])),
             });
             busy_time[t.device] += t.dur.as_micros();
             let end = now + t.dur.as_micros();
@@ -257,11 +257,11 @@ pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimRepor
                     done[id] = true;
                     completed += 1;
                     busy[t.device] = false;
-                    mem_cur[t.device] -= t.mem_release.get() as i64;
+                    mem_cur[t.device] -= convert::u64_i64_saturating(t.mem_release.get());
                     memory_timeline.push(MemorySample {
                         time: MicroSecs::new(ev.time),
                         device: t.device,
-                        bytes: Bytes::new(mem_cur[t.device].max(0) as u64),
+                        bytes: Bytes::new(convert::i64_u64_clamped(mem_cur[t.device])),
                     });
                     makespan = makespan.max(ev.time);
                     touched.push(t.device);
@@ -329,7 +329,7 @@ pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimRepor
         .map(|dev| DeviceReport {
             busy: MicroSecs::new(busy_time[dev]),
             bubble: MicroSecs::new(makespan - busy_time[dev]),
-            peak_dynamic_bytes: Bytes::new(mem_peak[dev].max(0) as u64),
+            peak_dynamic_bytes: Bytes::new(convert::i64_u64_clamped(mem_peak[dev])),
         })
         .collect();
     memory_timeline.sort_by(|a, b| {
@@ -339,9 +339,9 @@ pub fn try_simulate_traced(graph: &TaskGraph, rec: &Recorder) -> Result<SimRepor
             .then(a.device.cmp(&b.device))
     });
     if rec.is_enabled() {
-        rec.add(keys::SIM_TASKS, n as u64);
+        rec.add(keys::SIM_TASKS, convert::usize_u64(n));
         rec.add(keys::SIM_EVENTS, events);
-        rec.gauge_max(keys::SIM_READY_QUEUE_PEAK, ready_peak as f64);
+        rec.gauge_max(keys::SIM_READY_QUEUE_PEAK, convert::count_f64(ready_peak));
         for dev in 0..d {
             rec.gauge(&keys::sim_device_busy_us(dev), busy_time[dev]);
             rec.gauge(&keys::sim_device_bubble_us(dev), makespan - busy_time[dev]);

@@ -5,7 +5,7 @@
 // lint: allow-file(swallowed-result): fmt::Write into a String cannot fail
 use crate::report::SimReport;
 use crate::task::OpKind;
-use adapipe_units::{Bytes, MicroSecs};
+use adapipe_units::{convert, Bytes, MicroSecs};
 use std::fmt::Write as _;
 
 /// Renders the report as an ASCII Gantt chart, one row per device,
@@ -22,18 +22,19 @@ pub fn render_ascii(report: &SimReport, width: usize) -> String {
     if report.makespan <= MicroSecs::ZERO {
         return out;
     }
-    let scale = width as f64 / report.makespan.as_micros();
+    let scale = convert::count_f64(width) / report.makespan.as_micros();
     for dev in 0..report.devices.len() {
         let mut line = vec!['.'; width];
         for e in report.timeline.iter().filter(|e| e.device == dev) {
-            let from = (e.start.as_micros() * scale).floor() as usize;
-            let to = ((e.end.as_micros() * scale).ceil() as usize)
+            let from = convert::f64_usize_clamped((e.start.as_micros() * scale).floor());
+            let to = convert::f64_usize_clamped((e.end.as_micros() * scale).ceil())
                 .min(width)
                 .max(from + 1);
             let ch = match e.meta.kind {
-                OpKind::Forward => {
-                    char::from_digit((e.meta.micro_batch % 10) as u32, 10).unwrap_or('F')
-                }
+                OpKind::Forward => u32::try_from(e.meta.micro_batch % 10)
+                    .ok()
+                    .and_then(|d| char::from_digit(d, 10))
+                    .unwrap_or('F'),
                 OpKind::Backward => 'B',
             };
             for c in line.iter_mut().take(to).skip(from) {
@@ -75,7 +76,7 @@ pub fn render_memory_sparkline(report: &SimReport, device: usize, width: usize) 
     let mut level = Bytes::ZERO;
     let mut cursor = 0usize;
     for (b, bucket) in buckets.iter_mut().enumerate() {
-        let end = report.makespan * ((b + 1) as f64 / width as f64);
+        let end = report.makespan * (convert::count_f64(b + 1) / convert::count_f64(width));
         let mut peak = level;
         while cursor < samples.len() && samples[cursor].time <= end {
             level = samples[cursor].bytes;
@@ -90,7 +91,10 @@ pub fn render_memory_sparkline(report: &SimReport, device: usize, width: usize) 
             if b == Bytes::ZERO {
                 '.'
             } else {
-                char::from_digit(((b.get() * 9) / max.get()) as u32, 10).unwrap_or('9')
+                u32::try_from((b.get() * 9) / max.get())
+                    .ok()
+                    .and_then(|d| char::from_digit(d, 10))
+                    .unwrap_or('9')
             }
         })
         .collect()

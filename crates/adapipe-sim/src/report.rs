@@ -1,5 +1,5 @@
 use crate::task::TaskMeta;
-use adapipe_units::{Bytes, MicroSecs};
+use adapipe_units::{convert, Bytes, MicroSecs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -66,7 +66,7 @@ impl SimReport {
     /// Fraction of device-time wasted in bubbles.
     #[must_use]
     pub fn bubble_ratio(&self) -> f64 {
-        let span = self.makespan * self.devices.len() as f64;
+        let span = self.makespan * convert::count_f64(self.devices.len());
         if span > MicroSecs::ZERO {
             self.total_bubble() / span
         } else {

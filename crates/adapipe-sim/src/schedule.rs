@@ -13,7 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::task::{Discipline, OpKind, StageExec, TaskGraph, TaskMeta};
-use adapipe_units::{Bytes, MicroSecs};
+use adapipe_units::{convert, Bytes, MicroSecs};
 
 /// Script position of op (`kind`, micro-batch `m`) in stage `s`'s 1F1B
 /// queue: `p − s − 1` warmup forwards, alternating steady phase, backward
@@ -36,7 +36,7 @@ fn f1b_script_pos(kind: OpKind, m: usize, s: usize, p: usize, n: usize) -> u64 {
             }
         }
     };
-    pos as u64
+    convert::usize_u64(pos)
 }
 
 /// Builds the 1F1B (DAPPLE) schedule: stage `s` runs `p − s − 1` warmup
@@ -137,7 +137,7 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: MicroSecs) -> TaskGraph {
                 deps,
                 stages[s].saved_bytes,
                 Bytes::ZERO,
-                m as u64,
+                convert::usize_u64(m),
                 TaskMeta {
                     kind: OpKind::Forward,
                     micro_batch: m,
@@ -161,7 +161,7 @@ pub fn gpipe(stages: &[StageExec], n: usize, p2p: MicroSecs) -> TaskGraph {
                 deps,
                 stages[s].buffer_bytes,
                 stages[s].buffer_bytes.saturating_add(stages[s].saved_bytes),
-                (n + (n - 1 - m)) as u64,
+                convert::usize_u64(n + (n - 1 - m)),
                 TaskMeta {
                     kind: OpKind::Backward,
                     micro_batch: m,
@@ -249,14 +249,14 @@ pub fn chimera(
     let unit = |m: usize| m / p;
     // Priority: earlier unit first; backward before forward within a unit
     // (Chimera's memory-driven rule); then micro-batch, then stage.
-    let fwd_prio = |m: usize, s: usize| ((unit(m) * 2 + 1) * n * p + m * p + s) as u64;
-    let bwd_prio = |m: usize, s: usize| ((unit(m) * 2) * n * p + m * p + s) as u64;
+    let fwd_prio = |m: usize, s: usize| convert::usize_u64((unit(m) * 2 + 1) * n * p + m * p + s);
+    let bwd_prio = |m: usize, s: usize| convert::usize_u64((unit(m) * 2) * n * p + m * p + s);
 
     let mut fwd_id = vec![vec![usize::MAX; p]; groups.len()];
     for (gi, ms) in groups.iter().enumerate() {
         let Some(&m0) = ms.first() else { continue };
         let dir = direction(m0);
-        let scale = ms.len() as f64;
+        let scale = convert::count_f64(ms.len());
         for s in 0..p {
             let dev = device_of(dir, s);
             let deps = if s == 0 {
@@ -268,7 +268,7 @@ pub fn chimera(
                 dev,
                 stages[s].time_f * scale,
                 deps,
-                stages[s].saved_bytes * ms.len() as u64,
+                stages[s].saved_bytes * convert::usize_u64(ms.len()),
                 Bytes::ZERO,
                 fwd_prio(m0, s),
                 TaskMeta {
@@ -382,8 +382,8 @@ pub fn interleaved(chunks: &[StageExec], devices: usize, n: usize, p2p: MicroSec
     // Backwards outrank forwards; within a kind, earlier micro-batches
     // and earlier virtual stages first (for B: later virtual stages
     // first, since gradients flow backwards).
-    let fwd_prio = |m: usize, vs: usize| (1_000_000_000 + m * vp + vs) as u64;
-    let bwd_prio = |m: usize, vs: usize| (m * vp + (vp - 1 - vs)) as u64;
+    let fwd_prio = |m: usize, vs: usize| convert::usize_u64(1_000_000_000 + m * vp + vs);
+    let bwd_prio = |m: usize, vs: usize| convert::usize_u64(m * vp + (vp - 1 - vs));
 
     let mut fwd_id = vec![vec![usize::MAX; vp]; n];
     for vs in 0..vp {

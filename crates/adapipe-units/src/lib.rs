@@ -739,10 +739,122 @@ index_type! {
     MicrobatchIdx
 }
 
+// ---------------------------------------------------------------------------
+// Designated numeric conversions
+// ---------------------------------------------------------------------------
+
+/// The sanctioned numeric conversions for cost-carrying code.
+///
+/// Bare `as` casts silently truncate, wrap or lose precision, so `xtask
+/// lint`'s `unchecked-cast` rule forbids them in the cost crates
+/// (adapipe-recompute, adapipe-partition, adapipe-sim, adapipe-memory,
+/// adapipe-check). Code there converts through these helpers — each one
+/// documents the rounding/saturation contract it implements — or through
+/// `try_from` when failure should be observable at the call site.
+pub mod convert {
+    /// A count (layers, stages, micro-batches, DP cells) as an `f64`
+    /// scaling factor — the `(n − p)` of Eq. (3). Exact for every count
+    /// below 2⁵³, which exceeds any quantity the planner enumerates.
+    #[must_use]
+    pub fn count_f64(n: usize) -> f64 {
+        // Counts in this workspace are bounded by layer/stage/microbatch
+        // limits far below 2^53, where u64→f64 is exact.
+        u64_f64(usize_u64(n))
+    }
+
+    /// A `u64` magnitude (bytes, scale factors) as an `f64` for ratio and
+    /// display math. Values above 2⁵³ round to the nearest representable
+    /// float — acceptable for the statistics this feeds, never used to
+    /// re-derive an integer.
+    #[must_use]
+    pub fn u64_f64(n: u64) -> f64 {
+        // `as` is the only primitive for this conversion; the rounding
+        // contract is documented above and this is the one sanctioned
+        // spelling (see docs/static-analysis.md, unchecked-cast).
+        #[allow(clippy::cast_precision_loss)]
+        let x = n as f64;
+        x
+    }
+
+    /// Widens a `usize` index or count to `u64`. Lossless on every
+    /// supported target (usize ≤ 64 bits).
+    #[must_use]
+    pub fn usize_u64(n: usize) -> u64 {
+        n as u64
+    }
+
+    /// Narrows a `u64` to `usize`, saturating at `usize::MAX` instead of
+    /// wrapping — for sizing DP axes from byte quantities, where a
+    /// saturated axis is still sound (it only over-allocates).
+    #[must_use]
+    pub fn u64_usize_saturating(n: u64) -> usize {
+        usize::try_from(n).unwrap_or(usize::MAX)
+    }
+
+    /// Truncates a non-negative `f64` toward zero into a `u64`,
+    /// clamping negatives to 0 and values beyond `u64::MAX` (or NaN) to
+    /// `u64::MAX` — the byte-quantization rule for modeled capacities.
+    #[must_use]
+    pub fn f64_u64_clamped(x: f64) -> u64 {
+        if x.is_nan() || x <= 0.0 {
+            0
+        } else if x >= u64_f64(u64::MAX) {
+            u64::MAX
+        } else {
+            // In-range by the guards above; `as` truncates toward zero.
+            x as u64
+        }
+    }
+
+    /// Truncates an `f64` into a `usize` with the same clamping contract
+    /// as [`f64_u64_clamped`] — for mapping continuous time/ratio axes
+    /// onto discrete render or DP cells.
+    #[must_use]
+    pub fn f64_usize_clamped(x: f64) -> usize {
+        u64_usize_saturating(f64_u64_clamped(x))
+    }
+
+    /// Reinterprets a `u64` magnitude as a signed delta, saturating at
+    /// `i64::MAX` — for signed running-balance accounting (memory
+    /// high-water tracking) fed by unsigned byte quantities.
+    #[must_use]
+    pub fn u64_i64_saturating(n: u64) -> i64 {
+        i64::try_from(n).unwrap_or(i64::MAX)
+    }
+
+    /// Reads a signed running balance back as an unsigned magnitude,
+    /// clamping negatives to 0 — a transient negative balance means
+    /// "released more than acquired so far", which is zero held bytes.
+    #[must_use]
+    pub fn i64_u64_clamped(n: i64) -> u64 {
+        u64::try_from(n).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn convert_helpers_honor_their_contracts() {
+        assert_eq!(convert::count_f64(0), 0.0);
+        assert_eq!(convert::count_f64(12), 12.0);
+        assert_eq!(convert::u64_f64(1 << 53), 9_007_199_254_740_992.0);
+        assert_eq!(convert::usize_u64(7), 7);
+        assert_eq!(convert::u64_usize_saturating(42), 42);
+        assert_eq!(convert::f64_u64_clamped(-1.5), 0);
+        assert_eq!(convert::f64_u64_clamped(f64::NAN), 0);
+        assert_eq!(convert::f64_u64_clamped(3.9), 3);
+        assert_eq!(convert::f64_u64_clamped(f64::INFINITY), u64::MAX);
+        assert_eq!(convert::f64_u64_clamped(2e19 * 10.0), u64::MAX);
+        assert_eq!(convert::f64_usize_clamped(7.9), 7);
+        assert_eq!(convert::f64_usize_clamped(-3.0), 0);
+        assert_eq!(convert::u64_i64_saturating(5), 5);
+        assert_eq!(convert::u64_i64_saturating(u64::MAX), i64::MAX);
+        assert_eq!(convert::i64_u64_clamped(-9), 0);
+        assert_eq!(convert::i64_u64_clamped(9), 9);
+    }
 
     #[test]
     fn roofline_division_lands_in_microseconds() {

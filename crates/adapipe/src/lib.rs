@@ -47,10 +47,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod certify;
 pub mod chaos;
 mod error;
 mod evaluate;
 mod method;
+pub mod oracle;
 mod plan;
 pub mod plan_io;
 mod planner;
@@ -58,6 +60,7 @@ pub mod replan;
 mod search;
 pub mod verify;
 
+pub use certify::OptimalityOptions;
 pub use chaos::{ChaosConfig, ChaosOutcome};
 pub use error::PlanError;
 pub use evaluate::{Evaluation, Throughput};
@@ -71,7 +74,11 @@ pub use replan::{
 pub use search::{best_outcome, sweep_parallel_strategies, StrategyOutcome};
 pub use verify::VerifyOptions;
 
-pub use adapipe_check::{CheckCode, CheckReport, Diagnostic, Severity};
+pub use adapipe_check::{
+    check_certificate, Certificate, CertificateParseError, CheckCode, CheckReport, Diagnostic,
+    Severity, CERTIFICATE_HEADER, DEFAULT_EPSILON,
+};
+pub use oracle::{Counterexample, CounterexampleParseError, OracleBounds, SyntheticInstance};
 
 pub use adapipe_obs::Recorder;
 pub use adapipe_partition::F1bBreakdown;

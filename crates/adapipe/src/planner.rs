@@ -230,6 +230,16 @@ impl Planner {
                 !report.has_errors(),
                 "planner emitted an invalid {method} plan:\n{report}"
             );
+            // Soundness half of the optimality certificate: the analytic
+            // lower bound may never exceed the plan's own predicted cost.
+            // (The ε-band half is a property of the *search*, checked by
+            // `verify --optimality`, not of every emitted plan.)
+            if let Some(cert) = self.certificate(&plan) {
+                debug_assert!(
+                    cert.lower_bound <= cert.plan_cost * (1.0 + 1e-9),
+                    "plan certificate claims an unsound lower bound: {cert}"
+                );
+            }
         }
         Ok(plan)
     }

@@ -92,6 +92,9 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 if QUEUE_CRATES.contains(&crate_name.as_str()) {
                     check_bounded_channel(&file, &mut violations);
                 }
+                if CAST_CRATES.contains(&crate_name.as_str()) {
+                    check_unchecked_cast(&file, &mut violations);
+                }
                 if crate_name != "adapipe-obs" {
                     check_stringly_metric(&file, &mut violations);
                 }
@@ -120,6 +123,7 @@ const RULES: &[&str] = &[
     "swallowed-result",
     "bounded-channel",
     "stringly-metric",
+    "unchecked-cast",
 ];
 
 /// The crates whose public APIs must speak `adapipe-units` newtypes.
@@ -142,6 +146,63 @@ const COST_CRATES: &[&str] = &[
 /// (inter-stage activation channels). An unbounded queue there turns
 /// overload into silent memory growth instead of an explicit rejection.
 const QUEUE_CRATES: &[&str] = &["adapipe-serve", "adapipe-train"];
+
+/// The crates where a silent numeric truncation corrupts a cost, a byte
+/// budget, or a verifier verdict. Bare `as` casts there must be replaced
+/// by the documented `adapipe_units::convert` helpers or `try_from`.
+/// `adapipe-units` itself is exempt: it *defines* the sanctioned
+/// conversions, with the rounding contract in their doc comments.
+const CAST_CRATES: &[&str] = &[
+    "adapipe-recompute",
+    "adapipe-partition",
+    "adapipe-sim",
+    "adapipe-memory",
+    "adapipe-check",
+];
+
+/// The primitive numeric types a bare `as` cast can target.
+const NUMERIC_PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// `unchecked-cast`: no bare `as` numeric casts in cost-carrying lib
+/// code. `as` silently truncates (`f64`→integer), wraps (`u64`→`usize`
+/// on 32-bit), and loses precision (`u64`→`f64`), and every one of those
+/// failure modes lands directly in an Eq. (1)–(3) quantity here. Convert
+/// through `adapipe_units::convert` — each helper documents its
+/// rounding/saturation contract — or `try_from` when the call site
+/// should observe failure.
+///
+/// Detection is token-based on the masked source: a standalone `as`
+/// keyword whose next token is a primitive numeric type. `as_secs`-style
+/// identifiers and `use x as y` renames don't match.
+pub fn check_unchecked_cast(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("unchecked-cast", i) {
+            continue;
+        }
+        for (pos, _) in line.match_indices(" as ") {
+            let target: String = line[pos + " as ".len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NUMERIC_PRIMITIVES.contains(&target.as_str()) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    rule: "unchecked-cast",
+                    message: format!(
+                        "bare `as {target}` cast — convert through `adapipe_units::convert` \
+                         (documented rounding contract) or `try_from` so truncation is an \
+                         explicit decision"
+                    ),
+                });
+            }
+        }
+    }
+}
 
 /// `bounded-channel`: no unbounded queues in the queue crates.
 /// `mpsc::channel()` buffers without limit (use
@@ -1150,6 +1211,44 @@ mod tests {
         assert_eq!(
             v.len(),
             2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unchecked_cast_flags_numeric_targets_only() {
+        let f = file(
+            "fn a(n: usize) -> f64 { n as f64 }\n\
+             fn b(b: u64) -> usize { b as usize }\n\
+             fn c(t: MicroSecs) -> f64 { t.as_micros() }\n\
+             fn d(x: Foo) -> Bar { x as Bar }\n\
+             fn e(s: &str) { let masked = \"n as f64\"; }\n\
+             #[cfg(test)]\nmod t {\n fn f(n: usize) -> f64 { n as f64 }\n}\n",
+        );
+        let mut v = Vec::new();
+        check_unchecked_cast(&f, &mut v);
+        assert_eq!(
+            v.len(),
+            2,
+            "{:?}",
+            v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert!(v.iter().all(|v| v.rule == "unchecked-cast"));
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+        assert!(v[0].message.contains("as f64"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unchecked_cast_waiver_suppresses() {
+        let f = file(
+            "// lint: allow(unchecked-cast): count below 2^53, exact in f64\n\
+             fn a(n: usize) -> f64 { n as f64 }\n",
+        );
+        let mut v = Vec::new();
+        check_unchecked_cast(&f, &mut v);
+        assert!(
+            v.is_empty(),
             "{:?}",
             v.iter().map(|v| v.to_string()).collect::<Vec<_>>()
         );

@@ -1,0 +1,18 @@
+//! Fixture: bare `as` numeric casts in a cost crate must fire
+//! `unchecked-cast`.
+
+pub fn cost_math(n: usize, bytes: u64, t: f64) -> f64 {
+    let scale = n as f64;
+    let cells = bytes as usize;
+    let ticks = t as u64;
+    scale + cells as f64 + ticks as f64
+}
+
+pub fn sanctioned_spellings(n: usize, x: f64) -> u64 {
+    // Identifiers containing `as` and renames do not match the rule.
+    let micros = duration.as_micros();
+    let wide = u64::try_from(n).unwrap_or(u64::MAX);
+    let floor = adapipe_units::convert::f64_u64_clamped(x);
+    // A cast inside a string stays masked: "n as f64".
+    wide + floor + micros
+}

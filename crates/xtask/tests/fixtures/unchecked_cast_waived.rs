@@ -1,0 +1,7 @@
+//! Fixture: a justified waiver silences `unchecked-cast`.
+
+pub fn cost_math(n: usize) -> f64 {
+    // lint: allow(unchecked-cast): count below 2^53, exact in f64
+    let scale = n as f64;
+    scale
+}

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use xtask::lint::{
     check_bounded_channel, check_float_eq, check_index_confusion, check_panic_freedom,
     check_raw_quantities, check_stringly_metric, check_swallowed_result, check_traced_pairs,
-    check_unsafe_header, check_waiver_reasons, Violation,
+    check_unchecked_cast, check_unsafe_header, check_waiver_reasons, Violation,
 };
 use xtask::source::SourceFile;
 
@@ -69,6 +69,7 @@ fn each_rule_fires_on_its_fixture_and_respects_waivers() {
             "stringly_metric.rs",
             check_stringly_metric,
         ),
+        ("unchecked-cast", "unchecked_cast.rs", check_unchecked_cast),
     ];
     for (rule, file, checker) in cases {
         let bad = violations(*checker, file);
@@ -115,6 +116,21 @@ fn index_confusion_fixture_flags_construction_and_extraction() {
     );
     assert!(v.iter().any(|v| v.message.contains("LayerIdx(..)")));
     assert!(v.iter().any(|v| v.message.contains(".get()")));
+}
+
+/// The unchecked-cast fixture holds five bare numeric casts across four
+/// lines; `as_micros`, `try_from`, the `convert` helper and the cast
+/// inside a string literal all stay silent.
+#[test]
+fn unchecked_cast_fixture_flags_every_bare_cast() {
+    let v = violations(check_unchecked_cast, "unchecked_cast.rs");
+    assert_eq!(
+        v.len(),
+        5,
+        "{:?}",
+        v.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    assert!(v.iter().all(|v| v.rule == "unchecked-cast"));
 }
 
 /// `unsafe-header` works on raw crate-root text, not a SourceFile: the

@@ -1,0 +1,180 @@
+//! Tier-1 optimality-verification suite: the planner's DPs against the
+//! brute-force oracles, the lower-bound certificate against every plan,
+//! and the golden counterexample corpus replayed as regression tests.
+//!
+//! The contract under test (see `docs/verification.md`): Algorithm 1
+//! must stay within the calibrated gap band of the exhaustive partition
+//! search and must never *beat* it (the two share one cost model, so
+//! "better than brute force" means the model diverged), and the
+//! `adapipe-certificate v1` lower bound must never exceed the cost of
+//! any memory-feasible Eq. (3) plan.
+
+use adapipe::oracle::{
+    check_grid_agreement, check_model_grid, gap_band, search_counterexamples, OracleBounds,
+    SyntheticInstance,
+};
+use adapipe::{
+    check_certificate, Certificate, Counterexample, Method, OptimalityOptions, Planner, Recorder,
+    DEFAULT_EPSILON,
+};
+use adapipe_check::DEFAULT_TOLERANCE;
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use adapipe_units::MicroSecs;
+use proptest::prelude::*;
+use std::path::Path;
+
+type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+// ---------------------------------------------------------------------
+// Pinned grids: the DP agrees with brute force everywhere we can afford
+// brute force.
+
+#[test]
+fn pinned_synthetic_grid_has_no_disagreements() {
+    let diags = check_grid_agreement(&Recorder::disabled());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tiny_gpt_model_grid_has_no_disagreements() {
+    let diags = check_model_grid(&Recorder::disabled());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------
+// Golden corpus: every committed counterexample must stay fixed.
+
+#[test]
+fn golden_counterexamples_replay_clean() -> TestResult {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/counterexamples");
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cx") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let cx =
+            Counterexample::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        assert!(
+            !cx.instance.violates(),
+            "{}: committed counterexample violates again (dp {:?} vs oracle {:?})",
+            path.display(),
+            cx.instance.dp_time(),
+            cx.instance.oracle_time()
+        );
+        replayed += 1;
+    }
+    // An empty corpus is the expected passing state; the README must be
+    // there so the directory survives checkouts.
+    assert!(dir.join("README.md").exists());
+    println!("replayed {replayed} golden counterexample(s)");
+    Ok(())
+}
+
+#[test]
+fn seeded_search_finds_no_counterexamples() {
+    let hits = search_counterexamples(2024, 128, &OracleBounds::default(), &Recorder::disabled());
+    assert!(hits.is_empty(), "new counterexamples: {hits:?}");
+}
+
+// ---------------------------------------------------------------------
+// Certificates: golden plans and freshly planned artifacts certify.
+
+#[test]
+fn golden_adapipe_plan_certifies_within_epsilon() -> TestResult {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/gpt2_adapipe.plan");
+    let text = std::fs::read_to_string(path)?;
+    let (plan, _) = adapipe::plan_io::from_text_with_warnings(&text)?;
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+    let cert = planner
+        .certificate(&plan)
+        .ok_or("golden plan must certify")?;
+    assert!(cert.lower_bound > MicroSecs::ZERO);
+    let diags = check_certificate(&cert, DEFAULT_EPSILON, DEFAULT_TOLERANCE);
+    assert!(diags.is_empty(), "gap {:.3}: {diags:?}", cert.gap());
+    // And the artifact format round-trips bit-exactly.
+    assert_eq!(Certificate::from_text(&cert.to_text())?, cert);
+    Ok(())
+}
+
+#[test]
+fn verify_optimality_accepts_fresh_adapipe_plans() -> TestResult {
+    let planner = Planner::new(presets::gpt2_small(), hw::cluster_a());
+    let plan = planner.plan(
+        Method::AdaPipe,
+        ParallelConfig::new(2, 4, 1)?,
+        TrainConfig::new(1, 1024, 32)?,
+    )?;
+    let opts = OptimalityOptions {
+        search_iterations: 16,
+        ..OptimalityOptions::default()
+    };
+    let report = planner.verify_optimality(&plan, &opts);
+    assert!(!report.has_errors(), "{report}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Agreement laws, property-tested over random small instances.
+
+// The vec's 4-layer floor keeps every drawn instance feasible (p ≤ 4
+// stages never exceeds the layer count).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DP never beats brute force: both searches price partitions
+    /// with the same Eq. (3) evaluator, so a "better" DP result means
+    /// the cost model forked.
+    #[test]
+    fn dp_never_beats_the_oracle(
+        p in 2usize..5,
+        extra in 0usize..11,
+        layer_times in proptest::collection::vec((0.2f64..3.0, 0.2f64..3.0), 4..10),
+    ) {
+        let inst = SyntheticInstance { stages: p, micro_batches: p + extra, layer_times };
+        let dp = inst.dp_time().expect("synthetic instances are feasible");
+        let oracle = inst.oracle_time().expect("synthetic instances are feasible");
+        prop_assert!(
+            dp >= oracle - MicroSecs::new(1e-9 * oracle.as_micros().max(1.0)),
+            "dp {dp} beats oracle {oracle}"
+        );
+    }
+
+    /// The DP stays inside the calibrated band of the optimum.
+    #[test]
+    fn dp_stays_in_the_calibrated_band(
+        p in 2usize..5,
+        extra in 0usize..11,
+        layer_times in proptest::collection::vec((0.2f64..3.0, 0.2f64..3.0), 4..10),
+    ) {
+        let inst = SyntheticInstance { stages: p, micro_batches: p + extra, layer_times };
+        let dp = inst.dp_time().expect("feasible");
+        let oracle = inst.oracle_time().expect("feasible");
+        let band = gap_band(inst.stages, inst.micro_batches);
+        prop_assert!(
+            dp <= oracle * band + MicroSecs::new(1e-9),
+            "dp {dp} vs oracle {oracle} (band {band})"
+        );
+        prop_assert!(!inst.violates());
+    }
+
+    /// Counterexample artifacts round-trip through their text format.
+    #[test]
+    fn counterexample_text_round_trips(
+        p in 2usize..5,
+        extra in 0usize..11,
+        layer_times in proptest::collection::vec((0.2f64..3.0, 0.2f64..3.0), 4..10),
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = SyntheticInstance { stages: p, micro_batches: p + extra, layer_times };
+        let cx = Counterexample {
+            dp_time: inst.dp_time().expect("feasible"),
+            oracle_time: inst.oracle_time().expect("feasible"),
+            instance: inst,
+            seed,
+        };
+        prop_assert_eq!(Counterexample::from_text(&cx.to_text()).unwrap(), cx);
+    }
+}
