@@ -5,10 +5,15 @@
 //! jobs) makes the planner a natural service; what the service adds is
 //! *result reuse*. This load test drives an in-process `adapipe-serve`
 //! daemon over real loopback HTTP and measures the two regimes the
-//! ISSUE pins: cold misses (full §4+§5 search per request) and cache
-//! hits on the golden GPT-2 config (digest lookup + byte-identical
-//! replay). Hits must return in under a millisecond at the median and
-//! sustain at least 10x the miss throughput.
+//! ISSUE pins: cold misses (a full §4+§5 search per request, warmed by
+//! the daemon-global subproblem cache after the first one — the miss
+//! requests differ only in global batch, so their knapsack leaves are
+//! shared) and cache hits on the golden GPT-2 config (digest lookup +
+//! byte-identical replay). Hits must return in under a millisecond at
+//! the median; the hit/miss throughput gap shrinks as the subcache
+//! speeds the misses themselves, so the gate on the ratio is loose and
+//! the real regression fence is `xtask bench-diff` on the absolute
+//! miss/hit rates in the emitted artifact.
 
 use adapipe_bench::{emit_bench_json, print_table};
 use adapipe_obs::{keys, Recorder};
@@ -97,11 +102,13 @@ fn main() {
     let p99 = latencies_us[latencies_us.len() * 99 / 100];
     let speedup = hit_rps / miss_rps;
 
+    // Percentiles stay in the `bench.serve_load.hit.us` histogram only:
+    // gauges feed the `xtask bench-diff` 20% gate, and single-run tail
+    // latencies are far too noisy to gate (throughput and the hit/miss
+    // ratio are the tracked metrics).
     for (key, value) in [
         ("bench.serve_load.miss.rps", miss_rps),
         ("bench.serve_load.hit.rps", hit_rps),
-        ("bench.serve_load.hit.p50_us", p50),
-        ("bench.serve_load.hit.p99_us", p99),
         ("bench.serve_load.hit_over_miss", speedup),
     ] {
         rec.gauge(key, value);
@@ -129,10 +136,16 @@ fn main() {
         ],
     );
     println!(
-        "\nhit/miss throughput = {speedup:.1}x; every hit byte-identical to the cold plan.\n\
-         Expected shape: p50 under 1 ms and at least a 10x throughput gap — the cache\n\
-         turns a full Algorithm 1 search into a digest lookup."
+        "\nhit/miss throughput = {speedup:.1}x (hit p99 {p99:.0}us); every hit\n\
+         byte-identical to the cold plan. Expected shape: p50 under 1 ms. The plan\n\
+         cache turns a full Algorithm 1 search into a digest lookup, while the shared\n\
+         subproblem cache speeds the misses themselves (shared knapsack leaves across\n\
+         requests), narrowing the ratio."
     );
+
+    // Fold the engine counters (exec pool, global subcache) into the
+    // artifact before the snapshot below.
+    server.publish_engine_gauges();
 
     let summary = server.shutdown_and_join();
     assert_eq!(summary.rejected, 0, "no request should have been shed");
@@ -141,8 +154,8 @@ fn main() {
         "cache-hit p50 must be under 1ms, got {p50:.0}us"
     );
     assert!(
-        speedup >= 10.0,
-        "cache hits must sustain >= 10x miss throughput, got {speedup:.1}x"
+        speedup >= 2.0,
+        "cache hits must still clearly beat subcache-assisted misses, got {speedup:.1}x"
     );
 
     rec.gauge(keys::BENCH_WALL_S, t0.elapsed().as_secs_f64());

@@ -4,9 +4,11 @@
 use crate::args::Args;
 use crate::config::{self, ConfigError};
 use adapipe::{best_outcome, sweep_parallel_strategies, ChaosConfig, Method, Planner};
+use adapipe_exec::ExecPool;
 use adapipe_faults::{DegradedCluster, FaultPlan};
 use adapipe_memory::OptimizerSpec;
 use adapipe_obs::{keys, Recorder};
+use adapipe_partition::CacheStats;
 use adapipe_serve::{client, PlanRequest, ServeConfig, Server};
 use adapipe_units::MicroSecs;
 use std::time::Duration;
@@ -56,21 +58,18 @@ impl ObsSink {
         }
     }
 
-    /// `(hits, misses, hit_rate)` of the §5.3 isomorphism cache, if any
-    /// lookups were recorded.
-    fn iso_cache_stats(&self) -> Option<(u64, u64, f64)> {
+    /// Hit/miss stats of the §5.3 isomorphism cache, if any lookups
+    /// were recorded.
+    fn iso_cache_stats(&self) -> Option<CacheStats> {
         let snap = self.rec.snapshot();
-        let hits = snap.counters.get("partition.iso_cache.hits").copied()?;
+        let hits = snap.counters.get(keys::ISO_CACHE_HITS).copied()?;
         let misses = snap
             .counters
-            .get("partition.iso_cache.misses")
+            .get(keys::ISO_CACHE_MISSES)
             .copied()
             .unwrap_or(0);
-        let total = hits + misses;
-        if total == 0 {
-            return None;
-        }
-        Some((hits, misses, hits as f64 / total as f64))
+        let stats = CacheStats::new(hits, misses);
+        (stats.lookups() > 0).then_some(stats)
     }
 
     /// Writes the requested artifacts and returns status lines for the
@@ -80,9 +79,11 @@ impl ObsSink {
         if self.metrics_out.is_none() && self.chrome_trace.is_none() {
             return Ok(out);
         }
-        if let Some((_, _, rate)) = self.iso_cache_stats() {
-            self.rec.gauge(keys::ISO_CACHE_HIT_RATE, rate);
+        if let Some(stats) = self.iso_cache_stats() {
+            self.rec.gauge(keys::ISO_CACHE_HIT_RATE, stats.hit_rate());
         }
+        // lint: allow(swallowed-result): None only means the subproblem cache saw no traffic
+        let _sub = keys::publish_subcache_hit_rate(&self.rec);
         let snap = self.rec.snapshot();
         if let Some(path) = &self.metrics_out {
             let json = adapipe_obs::report::metrics_json(&snap, meta);
@@ -126,6 +127,12 @@ fn build_planner(args: &mut Args) -> Result<Planner, ConfigError> {
                 })
             }
         }
+    }
+    // ADAPIPE_THREADS > 1 opts the search into parallel leaf prefill
+    // (plans are byte-identical either way, see docs/parallel.md).
+    let pool = ExecPool::from_env();
+    if pool.threads() > 1 {
+        planner = planner.with_exec_pool(std::sync::Arc::new(pool));
     }
     Ok(planner)
 }
@@ -475,11 +482,8 @@ pub fn sweep(mut args: Args) -> Result<String, ConfigError> {
         Some(best) => out.push_str(&format!("best: {best}\n")),
         None => out.push_str("no memory-feasible strategy\n"),
     }
-    if let Some((hits, misses, rate)) = sink.iso_cache_stats() {
-        out.push_str(&format!(
-            "iso-cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
-            rate * 100.0
-        ));
+    if let Some(stats) = sink.iso_cache_stats() {
+        out.push_str(&format!("iso-cache: {stats}\n"));
     }
     out.push_str(&sink.flush(&[
         ("command", "sweep"),
@@ -524,11 +528,8 @@ pub fn compare(mut args: Args) -> Result<String, ConfigError> {
     if let Some((method, t)) = best {
         out.push_str(&format!("fastest: {method} at {:.3}s\n", t.as_secs()));
     }
-    if let Some((hits, misses, rate)) = sink.iso_cache_stats() {
-        out.push_str(&format!(
-            "iso-cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
-            rate * 100.0
-        ));
+    if let Some(stats) = sink.iso_cache_stats() {
+        out.push_str(&format!("iso-cache: {stats}\n"));
     }
     out.push_str(&sink.flush(&[("command", "compare"), ("model", planner.model().name())])?);
     Ok(out)

@@ -1,0 +1,487 @@
+//! The seeded, deterministic work-stealing fork-join pool.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Byte-identical results at any thread count.** [`ExecPool::map`]
+//!    only ever distributes *indices* into a pre-enumerated task slice
+//!    and writes each result into its own output slot, so scheduling
+//!    (worker count, steal order, seed) can reorder *execution* but
+//!    never the *result vector*. Callers that need full determinism
+//!    must pass pure tasks; the pool guarantees the rest.
+//! 2. **No `unsafe`.** Workers are scoped threads
+//!    (`std::thread::scope`), so they may borrow the task slice and
+//!    the closure directly; the deques are plain
+//!    `Mutex<VecDeque<usize>>` and batch completion is a
+//!    `Mutex`/`Condvar` latch. This costs a lock per pop — irrelevant
+//!    against multi-microsecond knapsack leaves — and keeps the crate
+//!    inside the workspace-wide `#![forbid(unsafe_code)]` law.
+//! 3. **Panic containment.** Every task runs under
+//!    `catch_unwind`; a panicking task records a typed failure for its
+//!    slot and the batch *keeps draining*, so the scope always joins
+//!    and shutdown cannot deadlock. The first failing index (lowest,
+//!    for determinism) is reported as [`ExecError::TaskPanicked`].
+//!
+//! The pool is a configuration object: threads are spawned per batch
+//! and joined before [`ExecPool::map`] returns, so constructing one is
+//! free and a pool embedded in a long-lived daemon holds no idle
+//! threads. With one worker (or one task) the batch runs inline on the
+//! caller with zero spawns.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Environment variable selecting the worker count for
+/// [`ExecPool::from_env`]. Unset or unparsable values fall back to the
+/// machine's available parallelism.
+pub const THREADS_ENV: &str = "ADAPIPE_THREADS";
+
+/// Typed failure of a pool batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A task panicked; `index` is the lowest failing input index and
+    /// `detail` the stringified panic payload.
+    TaskPanicked {
+        /// Input index of the failing task.
+        index: usize,
+        /// Panic payload, when it was a string.
+        detail: String,
+    },
+    /// A slot was never filled — a pool invariant was broken (never
+    /// expected; reported as an error instead of a panic so the
+    /// planner degrades instead of aborting).
+    LostTask {
+        /// Input index whose result went missing.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::TaskPanicked { index, detail } => {
+                write!(f, "pool task {index} panicked: {detail}")
+            }
+            ExecError::LostTask { index } => write!(f, "pool task {index} produced no result"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Cumulative pool counters, snapshotted by [`ExecPool::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Configured worker count.
+    pub workers: u64,
+    /// Fork-join batches executed.
+    pub batches: u64,
+    /// Tasks executed across all batches.
+    pub tasks: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// High watermark of any worker's initial queue depth.
+    pub max_queue_depth: u64,
+}
+
+/// A deterministic work-stealing fork-join pool.
+///
+/// See the module docs for the design. Cheap to construct and clone
+/// counters are interior, so a daemon can share one pool behind an
+/// `Arc` across request workers.
+#[derive(Debug)]
+pub struct ExecPool {
+    threads: usize,
+    seed: u64,
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl ExecPool {
+    /// A pool with `threads` workers (floored at 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ExecPool {
+            threads: threads.max(1),
+            seed: 0x00ad_a91e,
+            batches: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool sized by `ADAPIPE_THREADS`, falling back to the
+    /// machine's available parallelism (and then to 1).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        ExecPool::new(threads)
+    }
+
+    /// Overrides the steal-order seed (determinism never depends on
+    /// it; it only varies which victim a starved worker tries first).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: to_u64(self.threads),
+            batches: self.batches.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies `f` to every item, in parallel across the pool's
+    /// workers, returning the results **in input order**.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::TaskPanicked`] if any task panicked (the batch
+    /// still drains fully first, so the pool stays usable).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(to_u64(n), Ordering::Relaxed);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(n);
+        self.max_queue_depth
+            .fetch_max(to_u64(n.div_ceil(workers)), Ordering::Relaxed);
+        if workers <= 1 {
+            return map_inline(items, &f);
+        }
+
+        // Pre-distribute indices round-robin; workers steal from the
+        // back of other deques once their own drains.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let mut q = VecDeque::with_capacity(n.div_ceil(workers));
+                q.extend((w..n).step_by(workers));
+                Mutex::new(q)
+            })
+            .collect();
+        let slots: Vec<Mutex<Option<Result<R, String>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(n);
+        let steals = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let (deques, slots, latch, steals, f) = (&deques, &slots, &latch, &steals, &f);
+                scope.spawn(move || {
+                    worker_loop(w, self.seed, deques, items, slots, f, latch, steals);
+                });
+            }
+            // The caller is worker 0; when its loop drains it waits on
+            // the latch so the batch is complete before the scope even
+            // begins joining.
+            worker_loop(0, self.seed, &deques, items, &slots, &f, &latch, &steals);
+            latch.wait();
+        });
+        self.steals
+            .fetch_add(steals.load(Ordering::Relaxed), Ordering::Relaxed);
+
+        let mut out = Vec::with_capacity(n);
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(detail)) => return Err(ExecError::TaskPanicked { index, detail }),
+                None => return Err(ExecError::LostTask { index }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::from_env()
+    }
+}
+
+/// Serial fallback used when one worker (or one task) makes spawning
+/// pointless; semantics — including panic containment and
+/// lowest-failing-index reporting — match the parallel path.
+fn map_inline<T, R, F>(items: &[T], f: &F) -> Result<Vec<R>, ExecError>
+where
+    F: Fn(&T) -> R,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(value) => out.push(value),
+            Err(payload) => {
+                return Err(ExecError::TaskPanicked {
+                    index,
+                    detail: payload_text(payload.as_ref()),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<T, R, F>(
+    w: usize,
+    seed: u64,
+    deques: &[Mutex<VecDeque<usize>>],
+    items: &[T],
+    slots: &[Mutex<Option<Result<R, String>>>],
+    f: &F,
+    latch: &Latch,
+    steals: &AtomicU64,
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = deques.len();
+    // Seeded permutation start: which victim this worker tries first.
+    let start = 1 + usize_mod(
+        splitmix64(seed ^ to_u64(w)),
+        workers.saturating_sub(1).max(1),
+    );
+    loop {
+        // Own deque first, front-to-back (cache-friendly order).
+        let own = lock(&deques[w]).pop_front();
+        let job = match own {
+            Some(i) => Some(i),
+            None => {
+                // Steal from the back of the first non-empty victim,
+                // visiting victims in the seeded rotation.
+                let mut stolen = None;
+                for off in 0..workers {
+                    let victim = (w + start + off) % workers;
+                    if victim == w {
+                        continue;
+                    }
+                    if let Some(i) = lock(&deques[victim]).pop_back() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        stolen = Some(i);
+                        break;
+                    }
+                }
+                stolen
+            }
+        };
+        // All deques empty: no new work ever arrives mid-batch, so
+        // this worker is done (others may still be executing).
+        let Some(i) = job else { break };
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|p| payload_text(p.as_ref()));
+        *lock(&slots[i]) = Some(outcome);
+        latch.done_one();
+    }
+}
+
+/// Batch-completion latch: counts outstanding tasks down to zero.
+/// This is the `Condvar` side of the pool — worker *exit* only means a
+/// worker found every deque empty, while the latch means every task
+/// has actually finished (a stolen task can still be running after
+/// the thief's queues drain).
+#[derive(Debug)]
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn done_one(&self) {
+        let mut left = lock(&self.remaining);
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = lock(&self.remaining);
+        while *left > 0 {
+            left = self.zero.wait(left).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Locks a mutex, treating poisoning as recovered: a panicked task is
+/// already contained by `catch_unwind`, so the data a poisoned lock
+/// guards is still valid.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer, used only to seed the
+/// steal rotation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `usize` → `u64` without a bare `as` cast (lossless on every
+/// supported platform; saturates if `usize` ever exceeds 64 bits).
+fn to_u64(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// `u64 % usize-count` as a `usize` (the modulus makes it fit).
+fn usize_mod(v: u64, m: usize) -> usize {
+    usize::try_from(v % to_u64(m.max(1))).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let pool = ExecPool::new(4);
+        let out: Vec<u32> = pool.map(&[] as &[u32], |x| *x).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let pool = ExecPool::new(4);
+        let items: Vec<usize> = (0..103).collect();
+        let out = pool.map(&items, |&i| i * 2).unwrap();
+        assert_eq!(out, (0..103).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&i| splitmix64(i)).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let pool = ExecPool::new(threads);
+            assert_eq!(pool.map(&items, |&i| splitmix64(i)).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn seed_does_not_change_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let a = ExecPool::new(4)
+            .with_seed(1)
+            .map(&items, |&i| i + 1)
+            .unwrap();
+        let b = ExecPool::new(4)
+            .with_seed(99)
+            .map(&items, |&i| i + 1)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panicking_task_reports_lowest_index_and_pool_survives() {
+        let pool = ExecPool::new(4);
+        let items: Vec<usize> = (0..40).collect();
+        let err = pool
+            .map(&items, |&i| {
+                assert!(!(i == 7 || i == 23), "boom at {i}");
+                i
+            })
+            .unwrap_err();
+        match err {
+            ExecError::TaskPanicked { index, detail } => {
+                assert_eq!(index, 7);
+                assert!(detail.contains("boom"), "{detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The pool is still usable after a contained panic.
+        assert_eq!(pool.map(&items, |&i| i).unwrap(), items);
+    }
+
+    #[test]
+    fn inline_path_contains_panics_too() {
+        let pool = ExecPool::new(1);
+        let err = pool
+            .map(&[1, 2, 3], |&i: &i32| assert_ne!(i, 2))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::TaskPanicked { index: 1, .. }));
+    }
+
+    #[test]
+    fn stats_count_batches_and_tasks_exactly() {
+        let pool = ExecPool::new(3);
+        let items: Vec<usize> = (0..50).collect();
+        for _ in 0..4 {
+            pool.map(&items, |&i| i).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.tasks, 200);
+        assert!(stats.max_queue_depth >= 17);
+    }
+
+    #[test]
+    fn from_env_reads_thread_override() {
+        // Env mutation is process-global; keep it inside one test.
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(ExecPool::from_env().threads(), 5);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(ExecPool::from_env().threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(ExecPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = ExecError::TaskPanicked {
+            index: 3,
+            detail: "x".into(),
+        };
+        assert!(e.to_string().contains("task 3"));
+        assert!(ExecError::LostTask { index: 9 }.to_string().contains("9"));
+    }
+}

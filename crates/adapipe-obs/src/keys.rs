@@ -103,6 +103,42 @@ pub const PARTITION_LEAF_US: &str = "partition.leaf.us";
 pub const ALG1_STATES: &str = "partition.alg1.states";
 /// Split points scored across all states (counter).
 pub const ALG1_CANDIDATES: &str = "partition.alg1.candidates";
+/// Isomorphism-class representative leaves evaluated by the parallel
+/// prefill pass (counter, `adapipe` planner).
+pub const PREFILL_LEAVES: &str = "partition.prefill.leaves";
+
+// ---- execution-engine names ----------------------------------------
+// Produced by consumers of `adapipe-exec` (the planner, the serve
+// daemon, the benches) from `ExecPool::stats()` and the global
+// subproblem cache; see docs/parallel.md.
+
+/// Workers configured in the deterministic exec pool (gauge).
+pub const EXEC_POOL_WORKERS: &str = "exec.pool.workers";
+/// Fork-join batches executed by the pool so far (gauge, cumulative).
+pub const EXEC_POOL_BATCHES: &str = "exec.pool.batches";
+/// Tasks executed across all pool batches so far (gauge, cumulative).
+pub const EXEC_POOL_TASKS: &str = "exec.pool.tasks";
+/// Tasks obtained by work-stealing from another worker's deque
+/// (gauge, cumulative).
+pub const EXEC_POOL_STEALS: &str = "exec.pool.steals";
+/// High-water initial per-worker queue depth (gauge, max-tracked).
+pub const EXEC_POOL_QUEUE_DEPTH_MAX: &str = "exec.pool.queue.depth.max";
+
+/// Process-global subproblem-cache lookup hits (counter,
+/// `adapipe-partition`).
+pub const SUBCACHE_HITS: &str = "subcache.hits";
+/// Process-global subproblem-cache lookup misses (counter).
+pub const SUBCACHE_MISSES: &str = "subcache.misses";
+/// Subproblem-cache hit rate in `[0, 1]` (gauge, derived from the two
+/// counters by [`publish_subcache_hit_rate`]).
+pub const SUBCACHE_HIT_RATE: &str = "subcache.hit_rate";
+/// Subproblem-cache entries evicted by the LRU bound (gauge,
+/// cumulative over the process lifetime).
+pub const SUBCACHE_EVICTIONS: &str = "subcache.evictions";
+/// Approximate bytes currently held by the subproblem cache (gauge).
+pub const SUBCACHE_BYTES: &str = "subcache.bytes";
+/// Entries currently held by the subproblem cache (gauge).
+pub const SUBCACHE_ENTRIES: &str = "subcache.entries";
 
 /// Simulator events processed (counter, `adapipe-sim`).
 pub const SIM_EVENTS: &str = "sim.events";
@@ -169,6 +205,8 @@ pub const SPAN_PLAN: &str = "plan";
 pub const SPAN_PLAN_PROFILE: &str = "plan.profile";
 /// §5 partition-search phase (wraps [`SPAN_PARTITION_ALG1`]).
 pub const SPAN_PLAN_PARTITION: &str = "plan.partition";
+/// Parallel leaf-prefill phase preceding the serial DP sweep.
+pub const SPAN_PLAN_PREFILL: &str = "plan.prefill";
 /// Plan-materialization phase.
 pub const SPAN_PLAN_MATERIALIZE: &str = "plan.materialize";
 /// Plan evaluation (wraps [`SPAN_EVALUATE_SIMULATE`]).
@@ -253,6 +291,13 @@ pub fn publish_serve_cache_hit_rate(rec: &Recorder) -> Option<(u64, u64, f64)> {
         SERVE_CACHE_MISSES,
         SERVE_CACHE_HIT_RATE,
     )
+}
+
+/// Publishes the global subproblem-cache hit rate
+/// ([`SUBCACHE_HIT_RATE`]) from its counters. Returns
+/// `(hits, misses, rate)` when any lookup was recorded.
+pub fn publish_subcache_hit_rate(rec: &Recorder) -> Option<(u64, u64, f64)> {
+    publish_hit_rate(rec, SUBCACHE_HITS, SUBCACHE_MISSES, SUBCACHE_HIT_RATE)
 }
 
 #[cfg(test)]

@@ -193,6 +193,46 @@ pub fn solve_traced(
     })
 }
 
+/// Enumerates every `(stage, layer window)` pair [`solve`] can query for
+/// an instance of `num_layers` layers over `p` stages, in the same order
+/// the DP visits them. Feed the result to
+/// [`KnapsackCostProvider::prefill`](crate::KnapsackCostProvider::prefill)
+/// to evaluate the isomorphism-class representatives in parallel before
+/// the serial DP sweep; the DP then answers every `stage_times` query
+/// from the warm cache.
+///
+/// The sweep over-approximates slightly: `solve` skips a window when the
+/// tail `P[s+1][j+1]` is already known infeasible, while this
+/// enumeration cannot know that. Extra windows only cost extra cached
+/// leaves — the returned plan is unaffected.
+///
+/// # Panics
+///
+/// Panics under the same preconditions as [`solve`]: `p == 0` or
+/// `p > num_layers`.
+#[must_use]
+pub fn reachable_windows(num_layers: usize, p: usize) -> Vec<(usize, LayerRange)> {
+    assert!(p > 0, "pipeline size must be positive");
+    assert!(
+        p <= num_layers,
+        "more stages ({p}) than layers ({num_layers})"
+    );
+    let l = num_layers;
+    let mut windows = Vec::new();
+    for i in (p - 1)..l {
+        windows.push((p - 1, LayerRange::new(i, l - 1)));
+    }
+    for s in (0..p - 1).rev() {
+        let remaining = p - s;
+        for i in s..=(l - remaining) {
+            for j in i..=(l - remaining) {
+                windows.push((s, LayerRange::new(i, j)));
+            }
+        }
+    }
+    windows
+}
+
 /// Evaluates a *given* partition (e.g. the even-partitioning baseline)
 /// under the same per-stage optimization: each stage still gets its best
 /// recomputation strategy, only the boundaries are fixed. Returns `None`
@@ -358,6 +398,41 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    /// Records every query a wrapped provider receives.
+    struct Recording<'a> {
+        inner: &'a Synthetic,
+        seen: std::sync::Mutex<Vec<(usize, LayerRange)>>,
+    }
+
+    impl StageCostProvider for Recording<'_> {
+        fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
+            self.seen.lock().unwrap().push((stage, range));
+            self.inner.stage_times(stage, range)
+        }
+    }
+
+    #[test]
+    fn reachable_windows_covers_every_solve_query() {
+        for (l, p, n) in [(6usize, 2usize, 8usize), (8, 4, 8), (9, 3, 20), (5, 5, 5)] {
+            let inner = Synthetic {
+                weights: vec![1.0; l],
+            };
+            let rec = Recording {
+                inner: &inner,
+                seen: std::sync::Mutex::new(Vec::new()),
+            };
+            let _ = solve(&rec, l, p, n);
+            let reachable: std::collections::HashSet<(usize, LayerRange)> =
+                reachable_windows(l, p).into_iter().collect();
+            for q in rec.seen.lock().unwrap().iter() {
+                assert!(
+                    reachable.contains(q),
+                    "l={l} p={p}: solve queried {q:?} outside reachable_windows"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //!   knapsack result is computed once per equivalence class.
 //! * **GCD rescaling** — inherited from the knapsack itself.
 //!
+//! On top of those, two engine-level accelerations (docs/parallel.md)
+//! keep plans byte-identical while cutting cold-plan latency:
+//!
+//! * **Parallel leaf prefill** — [`KnapsackCostProvider::prefill`] fans
+//!   the isomorphism-class representatives of
+//!   [`algorithm1::reachable_windows`] out over an
+//!   [`adapipe_exec::ExecPool`]; the DP then runs serially against a
+//!   fully warmed cache.
+//! * **Content-addressed subproblem cache** — [`subcache`] keys each
+//!   leaf by its layer-window *profile* (not absolute indices), so
+//!   isomorphic leaves are shared across solves, requests and models
+//!   via a process-global sharded cache.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +61,9 @@ pub mod algorithm1;
 mod cost;
 pub mod exhaustive;
 mod provider;
+pub mod subcache;
 
+pub use adapipe_exec::CacheStats;
 pub use cost::{f1b_iteration_time, F1bBreakdown, StageTimes};
 pub use provider::{KnapsackCostProvider, OracleCostProvider, StageCostProvider};
+pub use subcache::SubproblemCache;

@@ -1,7 +1,17 @@
 //! Stage-cost providers: map `(stage, layer window)` to optimized
 //! forward/backward times by running the recomputation knapsack.
+//!
+//! [`KnapsackCostProvider`] is shareable concurrent state (`Sync`):
+//! the §5.3 isomorphism cache sits behind a `Mutex` and the hit/miss
+//! counters are atomics, so leaf evaluations can fan out over an
+//! [`adapipe_exec::ExecPool`] (see [`KnapsackCostProvider::prefill`])
+//! while Algorithm 1 itself stays serial — which is what keeps plans
+//! byte-identical at any thread count.
 
 use crate::cost::StageTimes;
+use crate::subcache::{self, SubproblemCache};
+use adapipe_exec::cache::Digest;
+use adapipe_exec::{CacheStats, ExecError, ExecPool};
 use adapipe_memory::MemoryModel;
 use adapipe_model::{LayerKind, LayerRange, LayerSeq};
 use adapipe_obs::{keys, Recorder};
@@ -9,9 +19,11 @@ use adapipe_profiler::ProfileTable;
 use adapipe_recompute::{
     optimize_exhaustive, optimize_traced, KnapsackConfig, OptimizedStage, StrategyError,
 };
-use adapipe_units::Bytes;
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use adapipe_units::{convert, Bytes};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Source of the `f[s,i,j]` / `b[s,i,j]` arrays consumed by Algorithm 1.
 ///
@@ -37,7 +49,9 @@ struct IsoKey {
 
 /// The production provider: budgets each `(stage, window)` with the
 /// memory model and optimizes it with the recomputation knapsack, caching
-/// by isomorphism class.
+/// by isomorphism class — and, when a [`SubproblemCache`] is attached,
+/// consulting the process-global content-addressed leaf cache so
+/// isomorphic windows of *other* solves and requests are reused too.
 #[derive(Debug)]
 pub struct KnapsackCostProvider<'a> {
     seq: &'a LayerSeq,
@@ -47,9 +61,15 @@ pub struct KnapsackCostProvider<'a> {
     iso_cache: bool,
     knapsack: KnapsackConfig,
     rec: Recorder,
-    cache: RefCell<HashMap<IsoKey, Option<StageTimes>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    subcache: Option<&'a SubproblemCache>,
+    /// Per-layer content digests, built once on first subcache lookup:
+    /// window keys then hash `O(len)` digest bytes instead of
+    /// re-serializing every unit profile, which would cost more than
+    /// the microsecond-scale knapsack solve the cache skips.
+    layer_digests: OnceLock<Vec<Digest>>,
+    cache: Mutex<HashMap<IsoKey, Option<StageTimes>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> KnapsackCostProvider<'a> {
@@ -70,9 +90,11 @@ impl<'a> KnapsackCostProvider<'a> {
             iso_cache: true,
             knapsack: KnapsackConfig::default(),
             rec: Recorder::disabled(),
-            cache: RefCell::new(HashMap::new()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            subcache: None,
+            layer_digests: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -91,20 +113,35 @@ impl<'a> KnapsackCostProvider<'a> {
         self
     }
 
+    /// Attaches a content-addressed subproblem cache consulted (and
+    /// filled) by every leaf evaluation. Pass
+    /// [`subcache::global()`](crate::subcache::global) to share leaves
+    /// process-wide; results are byte-identical either way because a
+    /// cached leaf replays exactly what the knapsack would compute.
+    #[must_use]
+    pub fn with_subproblem_cache(mut self, cache: &'a SubproblemCache) -> Self {
+        self.subcache = Some(cache);
+        self
+    }
+
     /// Attaches an observability recorder. The provider reports
-    /// `partition.iso_cache.{hits,misses}`, `partition.leaf_evals` and
-    /// per-leaf timing (`partition.leaf.us`), and forwards the recorder
-    /// into the recomputation knapsack it runs per leaf.
+    /// `partition.iso_cache.{hits,misses}`, `partition.leaf_evals`,
+    /// `subcache.{hits,misses}` (when a subproblem cache is attached)
+    /// and per-leaf timing (`partition.leaf.us`), and forwards the
+    /// recorder into the recomputation knapsack it runs per leaf.
     #[must_use]
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.rec = rec;
         self
     }
 
-    /// `(cache hits, cache misses)` accumulated so far.
+    /// Isomorphism-cache hits/misses accumulated so far.
     #[must_use]
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits.get(), self.misses.get())
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The device capacity the provider budgets against.
@@ -134,7 +171,83 @@ impl<'a> KnapsackCostProvider<'a> {
                 budget: Bytes::ZERO,
             })?;
         let units = self.table.units_in(range);
-        optimize_traced(&units, budget, self.knapsack, &self.rec)
+        let keyed = self.subcache.and_then(|sc| {
+            let digests = self
+                .layer_digests
+                .get_or_init(|| {
+                    (0..self.table.num_layers())
+                        .map(|l| subcache::layer_digest(self.table.layer_units(l)))
+                        .collect()
+                })
+                .get(range.first..=range.last)?;
+            Some((sc, subcache::leaf_key(digests, budget, self.knapsack)))
+        });
+        let Some((sc, key)) = keyed else {
+            return optimize_traced(&units, budget, self.knapsack, &self.rec);
+        };
+        if let Some(outcome) = sc.lookup(&key) {
+            self.rec.incr(keys::SUBCACHE_HITS);
+            return subcache::rebuild(&units, budget, &outcome);
+        }
+        self.rec.incr(keys::SUBCACHE_MISSES);
+        let result = optimize_traced(&units, budget, self.knapsack, &self.rec);
+        if let Some(outcome) = subcache::outcome_of(&result) {
+            sc.store(key, outcome);
+        }
+        result
+    }
+
+    /// Evaluates, in parallel over `pool`, one representative leaf for
+    /// every isomorphism class among `windows` that is not cached yet,
+    /// so a following serial [`algorithm1::solve`](crate::algorithm1)
+    /// run answers every query from the cache. Returns how many leaves
+    /// were computed. Pair with
+    /// [`algorithm1::reachable_windows`](crate::algorithm1::reachable_windows);
+    /// over-approximation only costs extra cached leaves, never a
+    /// different plan — the DP itself stays serial and the leaves are
+    /// pure, which is the byte-identity argument (docs/parallel.md).
+    ///
+    /// No-op (0 computed) when the isomorphism cache is disabled or the
+    /// pool has a single worker; each computed representative counts as
+    /// one isomorphism-cache miss, exactly as it would when the DP
+    /// discovered it serially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] if a pooled leaf evaluation panicked.
+    pub fn prefill(
+        &self,
+        pool: &ExecPool,
+        windows: &[(usize, LayerRange)],
+    ) -> Result<usize, ExecError> {
+        if !self.iso_cache || pool.threads() < 2 {
+            return Ok(0);
+        }
+        let mut reps: Vec<(IsoKey, usize, LayerRange)> = Vec::new();
+        {
+            let cache = self.lock_cache();
+            let mut seen: HashSet<IsoKey> = HashSet::new();
+            for &(stage, range) in windows {
+                let key = self.iso_key(stage, range);
+                if cache.contains_key(&key) || !seen.insert(key) {
+                    continue;
+                }
+                reps.push((key, stage, range));
+            }
+        }
+        if reps.len() < 2 {
+            return Ok(0);
+        }
+        let computed = pool.map(&reps, |&(_, stage, range)| self.compute(stage, range))?;
+        self.misses
+            .fetch_add(convert::usize_u64(reps.len()), Ordering::Relaxed);
+        self.rec
+            .add(keys::ISO_CACHE_MISSES, convert::usize_u64(reps.len()));
+        let mut cache = self.lock_cache();
+        for ((key, _, _), times) in reps.iter().zip(computed) {
+            cache.insert(*key, times);
+        }
+        Ok(reps.len())
     }
 
     fn compute(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
@@ -151,30 +264,41 @@ impl<'a> KnapsackCostProvider<'a> {
             b: opt.cost.time_b,
         })
     }
+
+    fn iso_key(&self, stage: usize, range: LayerRange) -> IsoKey {
+        IsoKey {
+            stage,
+            first_kind: self.seq.layer(range.first).kind,
+            len: range.len(),
+            ends_last: range.last == self.seq.len() - 1,
+        }
+    }
+
+    /// Locks the iso cache, treating poisoning as recovered: leaf
+    /// evaluations contain their panics inside the exec pool, so the
+    /// map behind a poisoned lock is still consistent.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<IsoKey, Option<StageTimes>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl StageCostProvider for KnapsackCostProvider<'_> {
     fn stage_times(&self, stage: usize, range: LayerRange) -> Option<StageTimes> {
         if !self.iso_cache {
-            self.misses.set(self.misses.get() + 1);
+            self.misses.fetch_add(1, Ordering::Relaxed);
             self.rec.incr(adapipe_obs::keys::ISO_CACHE_MISSES);
             return self.compute(stage, range);
         }
-        let key = IsoKey {
-            stage,
-            first_kind: self.seq.layer(range.first).kind,
-            len: range.len(),
-            ends_last: range.last == self.seq.len() - 1,
-        };
-        if let Some(cached) = self.cache.borrow().get(&key) {
-            self.hits.set(self.hits.get() + 1);
+        let key = self.iso_key(stage, range);
+        if let Some(cached) = self.lock_cache().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             self.rec.incr(adapipe_obs::keys::ISO_CACHE_HITS);
             return *cached;
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.rec.incr(adapipe_obs::keys::ISO_CACHE_MISSES);
         let result = self.compute(stage, range);
-        self.cache.borrow_mut().insert(key, result);
+        self.lock_cache().insert(key, result);
         result
     }
 }
@@ -307,17 +431,15 @@ mod tests {
                     let r = LayerRange::new(first, last);
                     assert_eq!(cached.stage_times(stage, r), raw.stage_times(stage, r));
                     // Querying twice hits the cache.
-                    let (h0, _) = cached.cache_stats();
+                    let h0 = cached.cache_stats().hits;
                     let _ = cached.stage_times(stage, r);
-                    let (h1, _) = cached.cache_stats();
+                    let h1 = cached.cache_stats().hits;
                     assert_eq!(h1, h0 + 1);
                 }
             }
         }
-        let (hits, _) = cached.cache_stats();
-        assert!(hits > 0);
-        let (raw_hits, _) = raw.cache_stats();
-        assert_eq!(raw_hits, 0);
+        assert!(cached.cache_stats().hits > 0);
+        assert_eq!(raw.cache_stats().hits, 0);
     }
 
     #[test]
@@ -428,5 +550,93 @@ mod tests {
             .collect();
         let bd = f1b_iteration_time(&times, 16);
         assert!(!bd.total().is_invalid_cost() && bd.total() > MicroSecs::ZERO);
+    }
+
+    #[test]
+    fn subproblem_cache_does_not_change_stage_times() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let shared = SubproblemCache::new(1024);
+        let plain = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let warm = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80))
+            .with_subproblem_cache(&shared);
+        // A *second* provider on the same cache answers from shared
+        // leaves (the cross-request warm-start path).
+        let reuse = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80))
+            .with_subproblem_cache(&shared);
+        for stage in 0..4 {
+            for first in [0usize, 2, 9] {
+                for last in [11usize, 19, 25] {
+                    let r = LayerRange::new(first, last);
+                    let expect = plain.stage_times(stage, r);
+                    assert_eq!(warm.stage_times(stage, r), expect);
+                    assert_eq!(reuse.stage_times(stage, r), expect);
+                }
+            }
+        }
+        let stats = shared.stats();
+        assert!(stats.hits > 0, "second provider must hit shared leaves");
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn subproblem_cache_round_trips_optimize_stage() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let shared = SubproblemCache::new(256);
+        let plain = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let warm = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80))
+            .with_subproblem_cache(&shared);
+        let r = LayerRange::new(3, 12);
+        // First call fills the cache, second replays it; both must be
+        // byte-identical to the uncached solve.
+        let expect = plain.optimize_stage(1, r).unwrap();
+        assert_eq!(warm.optimize_stage(1, r).unwrap(), expect);
+        assert_eq!(warm.optimize_stage(1, r).unwrap(), expect);
+        assert_eq!(shared.stats().hits, 1);
+    }
+
+    #[test]
+    fn prefill_answers_every_solve_query_from_cache() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let pool = ExecPool::new(4);
+        let l = fx.seq.len();
+        let (p, n) = (4usize, 16usize);
+        let serial = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let pooled = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let windows = crate::algorithm1::reachable_windows(l, p);
+        let computed = pooled.prefill(&pool, &windows).unwrap();
+        assert!(computed > 0, "prefill must evaluate representatives");
+        let a = crate::algorithm1::solve(&serial, l, p, n);
+        let b = crate::algorithm1::solve(&pooled, l, p, n);
+        assert_eq!(a, b, "prefilled solve must be identical");
+        // Every query the DP made after prefill was a cache hit.
+        let stats = pooled.cache_stats();
+        assert_eq!(stats.misses, convert::usize_u64(computed));
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn prefill_is_a_noop_on_single_worker_pools() {
+        let fx = fixture(
+            presets::gpt2_small(),
+            ParallelConfig::new(2, 4, 1).unwrap(),
+            1024,
+        );
+        let provider = KnapsackCostProvider::new(&fx.seq, &fx.table, &fx.mem, Bytes::from_gib(80));
+        let windows = crate::algorithm1::reachable_windows(fx.seq.len(), 4);
+        let computed = provider.prefill(&ExecPool::new(1), &windows).unwrap();
+        assert_eq!(computed, 0);
+        assert_eq!(provider.cache_stats(), CacheStats::ZERO);
     }
 }

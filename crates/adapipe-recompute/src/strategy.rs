@@ -19,6 +19,12 @@ pub struct RecomputeStrategy {
 impl RecomputeStrategy {
     /// Builds a strategy from per-unit saved flags.
     ///
+    /// Saved flags are also the *portable* form of a knapsack solution:
+    /// the cross-request subproblem cache (`adapipe_partition::subcache`)
+    /// stores only these flags and replays them through
+    /// [`RecomputeStrategy::from_flags`] against the requesting window,
+    /// so a cache hit re-derives costs rather than trusting stored ones.
+    ///
     /// # Panics
     ///
     /// Panics if `saved` marks a pinned unit as recomputed — pinned units

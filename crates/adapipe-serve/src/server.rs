@@ -56,9 +56,11 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::request::{PlanRequest, RequestError};
 use crate::trace_store::TraceStore;
 use adapipe::VerifyOptions;
+use adapipe_exec::ExecPool;
 use adapipe_faults::{DegradationEvent, Diagnosis, Watchdog};
 use adapipe_obs::{flight, keys, report, trace, FlightRecorder, Recorder};
-use adapipe_units::MicroSecs;
+use adapipe_partition::subcache;
+use adapipe_units::{convert, MicroSecs};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -149,6 +151,9 @@ struct Shared {
     cfg: ServeConfig,
     addr: SocketAddr,
     cache: PlanCache,
+    /// Deterministic work-stealing pool shared by every worker's
+    /// planner for parallel leaf prefill (`ADAPIPE_THREADS` sizes it).
+    exec: Arc<ExecPool>,
     queue: BoundedQueue<Job>,
     rec: Recorder,
     traces: TraceStore,
@@ -264,6 +269,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cache: PlanCache::new(cfg.cache_capacity),
+            exec: Arc::new(ExecPool::from_env()),
             queue: BoundedQueue::new(cfg.queue_depth),
             rec,
             traces: TraceStore::new(cfg.trace_capacity),
@@ -309,6 +315,16 @@ impl Server {
     #[must_use]
     pub fn flight(&self) -> &FlightRecorder {
         &self.shared.flight
+    }
+
+    /// Publishes the search-engine gauges (`exec.pool.*`, `subcache.*`)
+    /// into the recorder. `GET /metrics` does this on every scrape;
+    /// embedders that read the recorder directly (e.g. the serve_load
+    /// bench artifact) call it once before snapshotting.
+    pub fn publish_engine_gauges(&self) {
+        // lint: allow(swallowed-result): None only means "no traffic yet"
+        let _sub = keys::publish_subcache_hit_rate(&self.shared.rec);
+        publish_engine_gauges(&self.shared);
     }
 
     /// Starts a graceful drain: stop accepting, finish queued and
@@ -589,9 +605,16 @@ fn plan_response(
 
     // The planner records into the *request* recorder: its span tree
     // lands in this request's trace, its metrics are absorbed into the
-    // shared registry when the request completes.
+    // shared registry when the request completes. Every daemon planner
+    // shares the exec pool and the process-global subproblem cache, so
+    // cold plans prefill leaves in parallel and warm-start from leaves
+    // any earlier request already solved (plans stay byte-identical —
+    // docs/parallel.md).
     let planner = match preq.planner() {
-        Ok(p) => p.with_recorder(rec.clone()),
+        Ok(p) => p
+            .with_recorder(rec.clone())
+            .with_exec_pool(Arc::clone(&shared.exec))
+            .with_shared_subcache(true),
         Err(e) => return request_error_response(&e),
     };
     let (method, parallel, train) = match (preq.method_enum(), preq.parallel(), preq.train()) {
@@ -661,6 +684,9 @@ fn metrics_response(shared: &Shared) -> Response {
     let _iso = keys::publish_iso_cache_hit_rate(&shared.rec);
     // lint: allow(swallowed-result): None only means "no traffic yet"
     let _hit = keys::publish_serve_cache_hit_rate(&shared.rec);
+    // lint: allow(swallowed-result): None only means "no traffic yet"
+    let _sub = keys::publish_subcache_hit_rate(&shared.rec);
+    publish_engine_gauges(shared);
     let diagnosis = shared.deadline_diagnosis();
     shared.rec.gauge(
         keys::SERVE_DEADLINE_PERSISTENT,
@@ -680,4 +706,24 @@ fn metrics_response(shared: &Shared) -> Response {
         ],
     );
     Response::json(200, json)
+}
+
+/// Publishes the execution-engine state — exec-pool counters and the
+/// process-global subproblem cache — as gauges on the shared registry,
+/// so `/metrics` and the serve bench artifact expose them.
+fn publish_engine_gauges(shared: &Shared) {
+    let pool = shared.exec.stats();
+    let rec = &shared.rec;
+    rec.gauge(keys::EXEC_POOL_WORKERS, convert::u64_f64(pool.workers));
+    rec.gauge(keys::EXEC_POOL_BATCHES, convert::u64_f64(pool.batches));
+    rec.gauge(keys::EXEC_POOL_TASKS, convert::u64_f64(pool.tasks));
+    rec.gauge(keys::EXEC_POOL_STEALS, convert::u64_f64(pool.steals));
+    rec.gauge(
+        keys::EXEC_POOL_QUEUE_DEPTH_MAX,
+        convert::u64_f64(pool.max_queue_depth),
+    );
+    let sub = subcache::global();
+    rec.gauge(keys::SUBCACHE_ENTRIES, convert::count_f64(sub.len()));
+    rec.gauge(keys::SUBCACHE_EVICTIONS, convert::u64_f64(sub.evictions()));
+    rec.gauge(keys::SUBCACHE_BYTES, convert::u64_f64(sub.bytes()));
 }

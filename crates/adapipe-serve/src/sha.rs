@@ -1,220 +1,25 @@
-//! A minimal SHA-256 (FIPS 180-4) for content-addressing canonical
-//! plan requests.
+//! SHA-256 content addressing for canonical plan requests.
 //!
-//! The workspace is hermetic (no registry crates), so the digest the
-//! plan cache keys on is implemented here against the published test
-//! vectors. It is used only for cache addressing — collisions would
-//! cost a wrong cache hit, not a security property — but the full
-//! standard algorithm keeps digests stable across versions and lets
-//! clients recompute them with any off-the-shelf `sha256sum`.
+//! The implementation moved to [`adapipe_exec::sha`] so the serve plan
+//! cache and the partition subproblem cache share one digest; this
+//! module re-exports it to keep `crate::sha::sha256_hex` call sites and
+//! the public `adapipe_serve::sha` path stable.
 
-use std::fmt::Write as _;
-
-/// Round constants: the first 32 bits of the fractional parts of the
-/// cube roots of the first 64 primes.
-const K: [u32; 64] = [
-    0x428a_2f98,
-    0x7137_4491,
-    0xb5c0_fbcf,
-    0xe9b5_dba5,
-    0x3956_c25b,
-    0x59f1_11f1,
-    0x923f_82a4,
-    0xab1c_5ed5,
-    0xd807_aa98,
-    0x1283_5b01,
-    0x2431_85be,
-    0x550c_7dc3,
-    0x72be_5d74,
-    0x80de_b1fe,
-    0x9bdc_06a7,
-    0xc19b_f174,
-    0xe49b_69c1,
-    0xefbe_4786,
-    0x0fc1_9dc6,
-    0x240c_a1cc,
-    0x2de9_2c6f,
-    0x4a74_84aa,
-    0x5cb0_a9dc,
-    0x76f9_88da,
-    0x983e_5152,
-    0xa831_c66d,
-    0xb003_27c8,
-    0xbf59_7fc7,
-    0xc6e0_0bf3,
-    0xd5a7_9147,
-    0x06ca_6351,
-    0x1429_2967,
-    0x27b7_0a85,
-    0x2e1b_2138,
-    0x4d2c_6dfc,
-    0x5338_0d13,
-    0x650a_7354,
-    0x766a_0abb,
-    0x81c2_c92e,
-    0x9272_2c85,
-    0xa2bf_e8a1,
-    0xa81a_664b,
-    0xc24b_8b70,
-    0xc76c_51a3,
-    0xd192_e819,
-    0xd699_0624,
-    0xf40e_3585,
-    0x106a_a070,
-    0x19a4_c116,
-    0x1e37_6c08,
-    0x2748_774c,
-    0x34b0_bcb5,
-    0x391c_0cb3,
-    0x4ed8_aa4a,
-    0x5b9c_ca4f,
-    0x682e_6ff3,
-    0x748f_82ee,
-    0x78a5_636f,
-    0x84c8_7814,
-    0x8cc7_0208,
-    0x90be_fffa,
-    0xa450_6ceb,
-    0xbef9_a3f7,
-    0xc671_78f2,
-];
-
-/// Initial hash values: the first 32 bits of the fractional parts of
-/// the square roots of the first 8 primes.
-const H0: [u32; 8] = [
-    0x6a09_e667,
-    0xbb67_ae85,
-    0x3c6e_f372,
-    0xa54f_f53a,
-    0x510e_527f,
-    0x9b05_688c,
-    0x1f83_d9ab,
-    0x5be0_cd19,
-];
-
-/// The SHA-256 digest of `data`.
-#[must_use]
-pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut msg = data.to_vec();
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
-
-    let mut h = H0;
-    for block in msg.chunks_exact(64) {
-        let mut w = [0u32; 64];
-        for (slot, word) in w.iter_mut().zip(block.chunks_exact(4)) {
-            let mut v = 0u32;
-            for &b in word {
-                v = (v << 8) | u32::from(b);
-            }
-            *slot = v;
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for (&k, &wv) in K.iter().zip(w.iter()) {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(k)
-                .wrapping_add(wv);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
-            *slot = slot.wrapping_add(v);
-        }
-    }
-
-    let mut out = [0u8; 32];
-    for (slot, byte) in out
-        .iter_mut()
-        .zip(h.iter().flat_map(|word| word.to_be_bytes()))
-    {
-        *slot = byte;
-    }
-    out
-}
-
-/// The SHA-256 digest of `data` as 64 lowercase hex characters — the
-/// wire form used in `/v1/plan/{digest}` URLs and response headers.
-#[must_use]
-pub fn sha256_hex(data: &[u8]) -> String {
-    let mut out = String::with_capacity(64);
-    for b in sha256(data) {
-        // Writing into a String cannot fail.
-        // lint: allow(swallowed-result): fmt::Write into a String cannot fail
-        let _w = write!(out, "{b:02x}");
-    }
-    out
-}
+pub use adapipe_exec::{sha256, sha256_hex};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The NIST "abc" vector still holds through the re-export (the
+    /// full vector suite lives with the implementation in
+    /// `adapipe-exec`).
     #[test]
-    fn empty_input_matches_the_nist_vector() {
-        assert_eq!(
-            sha256_hex(b""),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
-    }
-
-    #[test]
-    fn abc_matches_the_nist_vector() {
+    fn nist_abc_vector_survives_the_move() {
         assert_eq!(
             sha256_hex(b"abc"),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
-    }
-
-    #[test]
-    fn two_block_message_matches_the_nist_vector() {
-        assert_eq!(
-            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
-            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
-        );
-    }
-
-    #[test]
-    fn long_input_crosses_many_blocks() {
-        let input = vec![b'a'; 1000];
-        // sha256("a" * 1000), cross-checked against sha256sum.
-        assert_eq!(
-            sha256_hex(&input),
-            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
-        );
-    }
-
-    #[test]
-    fn hex_is_64_lowercase_chars() {
-        let hex = sha256_hex(b"adapipe");
-        assert_eq!(hex.len(), 64);
-        assert!(hex
-            .chars()
-            .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+        assert_eq!(sha256(b"abc").len(), 32);
     }
 }

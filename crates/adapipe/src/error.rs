@@ -22,6 +22,13 @@ pub enum PlanError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The parallel execution engine failed (a pooled leaf evaluation
+    /// panicked). The serial path would have panicked outright; the pool
+    /// contains it into this typed error instead.
+    Exec {
+        /// The contained [`adapipe_exec::ExecError`], rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -32,6 +39,7 @@ impl fmt::Display for PlanError {
                 write!(f, "no memory-feasible plan exists ({context})")
             }
             PlanError::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
+            PlanError::Exec { detail } => write!(f, "parallel search engine failed: {detail}"),
         }
     }
 }
@@ -48,6 +56,14 @@ impl Error for PlanError {
 impl From<ConfigError> for PlanError {
     fn from(e: ConfigError) -> Self {
         PlanError::Config(e)
+    }
+}
+
+impl From<adapipe_exec::ExecError> for PlanError {
+    fn from(e: adapipe_exec::ExecError) -> Self {
+        PlanError::Exec {
+            detail: e.to_string(),
+        }
     }
 }
 

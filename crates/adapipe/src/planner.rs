@@ -2,15 +2,19 @@ use crate::error::PlanError;
 use crate::evaluate::{Evaluation, Throughput};
 use crate::method::Method;
 use crate::plan::{Plan, StagePlan};
+use adapipe_exec::ExecPool;
 use adapipe_hw::ClusterSpec;
 use adapipe_memory::{f1b_live_microbatches, MemoryModel, OptimizerSpec, StageMemory};
 use adapipe_model::{LayerRange, LayerSeq, ModelSpec, ParallelConfig, TrainConfig};
 use adapipe_obs::{keys, Recorder};
-use adapipe_partition::{algorithm1, f1b_iteration_time, KnapsackCostProvider, StageTimes};
+use adapipe_partition::{
+    algorithm1, f1b_iteration_time, subcache, KnapsackCostProvider, StageTimes,
+};
 use adapipe_profiler::{ProfileTable, Profiler};
 use adapipe_recompute::{strategy, KnapsackConfig, RecomputeStrategy};
 use adapipe_sim::{schedule, simulate_traced, StageExec};
-use adapipe_units::{Bytes, Flops, FlopsPerSec};
+use adapipe_units::{convert, Bytes, Flops, FlopsPerSec};
+use std::sync::Arc;
 
 /// The AdaPipe search engine plus baseline planners and the evaluation
 /// harness (§6: "AdaPipe consists of a search engine and an execution
@@ -26,6 +30,15 @@ pub struct Planner {
     search_headroom: f64,
     knapsack: KnapsackConfig,
     rec: Recorder,
+    /// Work-stealing pool for parallel leaf prefill; `None` keeps the
+    /// search fully serial (the default — plans are byte-identical
+    /// either way, see docs/parallel.md).
+    exec: Option<Arc<ExecPool>>,
+    /// Whether adaptive searches consult the process-global
+    /// content-addressed subproblem cache. Off by default so one-shot
+    /// planners keep exact per-plan knapsack counters; the serving
+    /// daemon turns it on to warm-start across requests.
+    shared_subcache: bool,
 }
 
 pub(crate) struct Context {
@@ -47,7 +60,33 @@ impl Planner {
             search_headroom: 0.875,
             knapsack: KnapsackConfig::default(),
             rec: Recorder::disabled(),
+            exec: None,
+            shared_subcache: false,
         }
+    }
+
+    /// Attaches a work-stealing pool: `plan(AdaPipe, ..)` evaluates the
+    /// isomorphism-class representative leaves in parallel over it
+    /// before the serial Algorithm 1 sweep. The resulting plan is
+    /// byte-identical to the serial one at any thread count; pools with
+    /// a single worker are equivalent to `None`.
+    #[must_use]
+    pub fn with_exec_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.exec = Some(pool);
+        self
+    }
+
+    /// Enables the process-global content-addressed subproblem cache
+    /// ([`adapipe_partition::subcache::global`]): knapsack leaves are
+    /// keyed by their layer-window *profile* and shared across plans and
+    /// requests, so a cold plan for a similar model warm-starts from
+    /// cached leaves. Replayed leaves are byte-identical to freshly
+    /// solved ones; per-plan knapsack-effort counters shrink on hits,
+    /// which is why this is opt-in.
+    #[must_use]
+    pub fn with_shared_subcache(mut self, enabled: bool) -> Self {
+        self.shared_subcache = enabled;
+        self
     }
 
     /// Attaches an observability recorder. Every phase of the search —
@@ -244,16 +283,51 @@ impl Planner {
         Ok(plan)
     }
 
-    /// AdaPipe proper: Algorithm 1 over knapsack-optimized windows.
+    /// Builds the adaptive-search cost provider, attaching the global
+    /// subproblem cache when [`Planner::with_shared_subcache`] opted in.
+    fn adaptive_provider<'a>(&self, ctx: &'a Context) -> KnapsackCostProvider<'a> {
+        let provider =
+            KnapsackCostProvider::new(&ctx.seq, &ctx.table, &ctx.mem, self.search_capacity())
+                .with_knapsack_config(self.knapsack)
+                .with_recorder(self.rec.clone());
+        if self.shared_subcache {
+            provider.with_subproblem_cache(subcache::global())
+        } else {
+            provider
+        }
+    }
+
+    /// AdaPipe proper: Algorithm 1 over knapsack-optimized windows. With
+    /// an attached [`ExecPool`], the isomorphism-class representatives
+    /// of every window the DP can query are knapsack-optimized in
+    /// parallel first; the serial sweep then runs against the warm cache
+    /// and produces the same bytes it would have produced alone.
     fn plan_adapipe(
         &self,
         ctx: &Context,
         parallel: ParallelConfig,
     ) -> Result<Vec<StagePlan>, PlanError> {
-        let provider =
-            KnapsackCostProvider::new(&ctx.seq, &ctx.table, &ctx.mem, self.search_capacity())
-                .with_knapsack_config(self.knapsack)
-                .with_recorder(self.rec.clone());
+        let provider = self.adaptive_provider(ctx);
+        if let Some(pool) = &self.exec {
+            let _span = self.rec.span_cat(keys::SPAN_PLAN_PREFILL, "planner");
+            let windows = algorithm1::reachable_windows(ctx.seq.len(), parallel.pipeline());
+            let computed = provider.prefill(pool, &windows)?;
+            let stats = pool.stats();
+            self.rec
+                .gauge(keys::EXEC_POOL_WORKERS, convert::count_f64(pool.threads()));
+            self.rec
+                .gauge(keys::EXEC_POOL_BATCHES, convert::u64_f64(stats.batches));
+            self.rec
+                .gauge(keys::EXEC_POOL_TASKS, convert::u64_f64(stats.tasks));
+            self.rec
+                .gauge(keys::EXEC_POOL_STEALS, convert::u64_f64(stats.steals));
+            self.rec.gauge(
+                keys::EXEC_POOL_QUEUE_DEPTH_MAX,
+                convert::u64_f64(stats.max_queue_depth),
+            );
+            self.rec
+                .add(keys::PREFILL_LEAVES, convert::usize_u64(computed));
+        }
         let plan = {
             let _span = self.rec.span_cat(keys::SPAN_PLAN_PARTITION, "planner");
             algorithm1::solve_traced(
@@ -277,10 +351,9 @@ impl Planner {
         ctx: &Context,
         parallel: ParallelConfig,
     ) -> Result<Vec<StagePlan>, PlanError> {
-        let provider =
-            KnapsackCostProvider::new(&ctx.seq, &ctx.table, &ctx.mem, self.search_capacity())
-                .with_knapsack_config(self.knapsack)
-                .with_recorder(self.rec.clone());
+        // Only p windows are queried here; prefill overhead would exceed
+        // the work, so the even ablation gets the subcache but no pool.
+        let provider = self.adaptive_provider(ctx);
         let ranges = ctx.seq.even_partition(parallel.pipeline());
         self.materialize_adaptive(ctx, parallel, &provider, &ranges)
     }

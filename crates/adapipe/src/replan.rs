@@ -32,7 +32,7 @@ use adapipe_memory::{f1b_live_microbatches, StageMemory};
 use adapipe_model::LayerRange;
 use adapipe_obs::keys;
 use adapipe_partition::{
-    algorithm1, f1b_iteration_time, KnapsackCostProvider, StageCostProvider, StageTimes,
+    algorithm1, f1b_iteration_time, CacheStats, KnapsackCostProvider, StageCostProvider, StageTimes,
 };
 use adapipe_recompute::strategy;
 use adapipe_units::{Bytes, MicroSecs};
@@ -161,14 +161,12 @@ impl DegradedProvider<'_> {
             .map_or(&self.healthy, |(_, p)| p)
     }
 
-    fn cache_stats(&self) -> (u64, u64) {
-        let (mut hits, mut misses) = self.healthy.cache_stats();
+    fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.healthy.cache_stats();
         for (_, p) in &self.shrunk {
-            let (h, m) = p.cache_stats();
-            hits += h;
-            misses += m;
+            stats += p.cache_stats();
         }
-        (hits, misses)
+        stats
     }
 }
 
@@ -359,7 +357,10 @@ impl Planner {
             predicted: Some(f1b_iteration_time(&times, ctx.n)),
         };
         let replanned_time = degraded_iteration_time(&plan, degraded, step);
-        let (cache_hits, cache_misses) = provider.cache_stats();
+        let CacheStats {
+            hits: cache_hits,
+            misses: cache_misses,
+        } = provider.cache_stats();
         self.recorder()
             .observe(keys::REPLAN_ISO_HITS, cache_hits as f64);
         self.recorder()

@@ -209,7 +209,7 @@ impl Planner {
                 ));
             }
         }
-        let (hits, _) = cached.cache_stats();
+        let hits = cached.cache_stats().hits;
         if hits < ranges.len() as u64 {
             out.push(Diagnostic::error(
                 CheckCode::IsoCacheDivergence,

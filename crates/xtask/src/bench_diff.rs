@@ -13,8 +13,12 @@
 //!
 //! `bench.wall_s` is skipped: end-to-end wall clock of the regenerator
 //! binary is machine load in a trench coat, not a tracked metric.
-//! Metrics with a non-positive baseline are skipped too — a relative
-//! change from zero is undefined.
+//! `exec.pool.*` gauges are skipped for the same reason — worker count,
+//! batch/steal totals and queue depth echo the machine and
+//! `ADAPIPE_THREADS`, not plan quality, so a 1-thread baseline would
+//! spuriously "regress" against an N-thread run. Metrics with a
+//! non-positive baseline are skipped too — a relative change from zero
+//! is undefined.
 
 use adapipe_obs::json::{self, Value};
 use std::collections::BTreeMap;
@@ -184,7 +188,7 @@ fn extract_metrics(doc: &Value) -> BTreeMap<String, (f64, Direction)> {
     for family in ["counters", "gauges"] {
         if let Some(Value::Object(map)) = doc.get(family) {
             for (key, value) in map {
-                if key == "bench.wall_s" {
+                if key == "bench.wall_s" || key.starts_with("exec.pool.") {
                     continue;
                 }
                 if let Some(n) = value.as_f64() {
@@ -230,7 +234,8 @@ mod tests {
     fn obs_schema_extracts_counters_and_gauges_with_direction() {
         let m = extract_metrics(&doc(r#"{"schema": "adapipe-obs/v1", "meta": {},
                 "counters": {"recompute.knapsack.cells": 5000},
-                "gauges": {"serve.rps": 800.0, "bench.wall_s": 1.5},
+                "gauges": {"serve.rps": 800.0, "bench.wall_s": 1.5,
+                           "exec.pool.workers": 8.0, "exec.pool.steals": 120.0},
                 "histograms": {}, "spans": {}}"#));
         assert_eq!(
             m.get("recompute.knapsack.cells"),
@@ -241,6 +246,10 @@ mod tests {
             Some(&(800.0, Direction::HigherIsBetter))
         );
         assert!(!m.contains_key("bench.wall_s"), "wall clock is not tracked");
+        assert!(
+            !m.contains_key("exec.pool.workers") && !m.contains_key("exec.pool.steals"),
+            "pool-shape gauges echo the machine, not plan quality"
+        );
     }
 
     #[test]

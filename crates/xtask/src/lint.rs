@@ -26,6 +26,9 @@
 //! |                | `VecDeque::new()`/`default()`) in the serving/training   |
 //! |                | crates — queues there are backpressure boundaries and    |
 //! |                | must carry an explicit capacity                          |
+//! | `unpooled-thread` | bare `std::thread::spawn` in library crates outside   |
+//! |                | `adapipe-exec`/`adapipe-serve` — fork-join compute goes  |
+//! |                | through the deterministic `adapipe_exec::ExecPool`       |
 //!
 //! Any rule can be waived at a site with `// lint: allow(rule): reason`
 //! (covers that line and the next) or for a whole file with
@@ -98,6 +101,9 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 if crate_name != "adapipe-obs" {
                     check_stringly_metric(&file, &mut violations);
                 }
+                if !POOLED_CRATES.contains(&crate_name.as_str()) {
+                    check_unpooled_thread(&file, &mut violations);
+                }
             }
         }
     }
@@ -124,6 +130,7 @@ const RULES: &[&str] = &[
     "bounded-channel",
     "stringly-metric",
     "unchecked-cast",
+    "unpooled-thread",
 ];
 
 /// The crates whose public APIs must speak `adapipe-units` newtypes.
@@ -159,6 +166,14 @@ const CAST_CRATES: &[&str] = &[
     "adapipe-memory",
     "adapipe-check",
 ];
+
+/// The crates allowed to spawn bare threads: `adapipe-exec` *is* the
+/// pool, and `adapipe-serve`'s acceptor/worker threads are long-lived
+/// daemon infrastructure, not fork-join compute. Everywhere else,
+/// planner parallelism must go through the deterministic
+/// `adapipe_exec::ExecPool` so results stay byte-identical at any
+/// thread count.
+const POOLED_CRATES: &[&str] = &["adapipe-exec", "adapipe-serve"];
 
 /// The primitive numeric types a bare `as` cast can target.
 const NUMERIC_PRIMITIVES: &[&str] = &[
@@ -237,6 +252,33 @@ pub fn check_bounded_channel(file: &SourceFile, out: &mut Vec<Violation>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+/// `unpooled-thread`: no bare `std::thread::spawn` in library code
+/// outside the pooled crates. An ad-hoc thread bypasses the
+/// deterministic work-stealing pool — its scheduling is OS-dependent,
+/// its panics unwind past the typed `ExecError` containment, and its
+/// results escape the byte-identity argument of docs/parallel.md. Use
+/// `adapipe_exec::ExecPool::map` (fork-join) instead; `thread::scope`
+/// spawns inside `adapipe-exec` itself are how the pool is built and
+/// do not match this pattern.
+pub fn check_unpooled_thread(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.test_lines[i] || file.is_waived("unpooled-thread", i) {
+            continue;
+        }
+        if line.contains("thread::spawn(") {
+            out.push(Violation {
+                path: file.path.clone(),
+                line: i + 1,
+                rule: "unpooled-thread",
+                message: "bare `thread::spawn` in library code — route fork-join compute \
+                          through `adapipe_exec::ExecPool::map` so scheduling stays \
+                          deterministic and panics become typed `ExecError`s"
+                    .to_string(),
+            });
         }
     }
 }

@@ -1,0 +1,31 @@
+//! Fixture: a bare thread spawn in library code must fire
+//! `unpooled-thread`.
+
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    let handle = std::thread::spawn(move || items.iter().sum());
+    let short = thread::spawn(|| 42);
+    drop(short);
+    handle.join().unwrap_or_default()
+}
+
+pub fn pooled_is_fine(pool: &ExecPool, items: &[u64]) -> Vec<u64> {
+    // Fork-join through the deterministic pool does not match.
+    pool.map(items, |&i| i * 2).unwrap_or_default()
+}
+
+pub fn scoped_is_fine(items: &[u64]) {
+    // `scope.spawn` / `s.spawn` is the pool's own building block and
+    // does not match the bare-spawn pattern.
+    std::thread::scope(|s| {
+        s.spawn(|| items.len());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_threads_are_exempt() {
+        let h = std::thread::spawn(|| 1);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified waiver silences `unpooled-thread`.
+
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    // lint: allow(unpooled-thread): long-lived watcher thread, not fork-join compute
+    let handle = std::thread::spawn(move || items.iter().sum());
+    handle.join().unwrap_or_default()
+}

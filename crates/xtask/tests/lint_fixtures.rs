@@ -10,7 +10,8 @@ use std::path::{Path, PathBuf};
 use xtask::lint::{
     check_bounded_channel, check_float_eq, check_index_confusion, check_panic_freedom,
     check_raw_quantities, check_stringly_metric, check_swallowed_result, check_traced_pairs,
-    check_unchecked_cast, check_unsafe_header, check_waiver_reasons, Violation,
+    check_unchecked_cast, check_unpooled_thread, check_unsafe_header, check_waiver_reasons,
+    Violation,
 };
 use xtask::source::SourceFile;
 
@@ -70,6 +71,11 @@ fn each_rule_fires_on_its_fixture_and_respects_waivers() {
             check_stringly_metric,
         ),
         ("unchecked-cast", "unchecked_cast.rs", check_unchecked_cast),
+        (
+            "unpooled-thread",
+            "unpooled_thread.rs",
+            check_unpooled_thread,
+        ),
     ];
     for (rule, file, checker) in cases {
         let bad = violations(*checker, file);

@@ -1,0 +1,104 @@
+//! Determinism laws for the parallel search engine (`docs/parallel.md`):
+//! attaching the work-stealing pool or the shared subproblem cache must
+//! never change a single byte of an emitted plan. The pool only
+//! *prefills* isomorphism-class representatives — the DP itself stays
+//! serial — and the subcache stores per-unit save flags that are
+//! re-costed against the requesting window, so both layers are
+//! byte-transparent by construction. These tests pin that law.
+
+use std::sync::Arc;
+
+use adapipe::{plan_io, Method, Planner};
+use adapipe_exec::ExecPool;
+use adapipe_hw::presets as hw;
+use adapipe_model::{presets, ParallelConfig, TrainConfig};
+use proptest::prelude::*;
+
+fn gpt2_planner() -> Planner {
+    Planner::new(presets::gpt2_small(), hw::cluster_a_with_nodes(1))
+}
+
+fn text_of(
+    planner: &Planner,
+    method: Method,
+    parallel: ParallelConfig,
+    train: TrainConfig,
+) -> String {
+    let plan = planner
+        .plan(method, parallel, train)
+        .unwrap_or_else(|e| panic!("{method} must plan on a loose configuration: {e}"));
+    plan_io::to_text(&plan)
+}
+
+/// The same AdaPipe plan, byte for byte, with no pool and with pools of
+/// 1, 2 and 8 workers: thread count is not allowed to leak into search
+/// results.
+#[test]
+fn adapipe_plans_are_byte_identical_at_any_thread_count() {
+    let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+    let train = TrainConfig::new(1, 1024, 32).expect("valid");
+    let baseline = text_of(&gpt2_planner(), Method::AdaPipe, parallel, train);
+    for threads in [1usize, 2, 8] {
+        let pooled = gpt2_planner().with_exec_pool(Arc::new(ExecPool::new(threads)));
+        let text = text_of(&pooled, Method::AdaPipe, parallel, train);
+        assert_eq!(
+            text, baseline,
+            "plan diverged from the sequential baseline at {threads} worker(s)"
+        );
+    }
+}
+
+/// The work-stealing seed orders *scheduling*, never results: two pools
+/// with different seeds produce the same bytes.
+#[test]
+fn pool_seed_does_not_leak_into_plans() {
+    let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+    let train = TrainConfig::new(1, 2048, 32).expect("valid");
+    let a = gpt2_planner().with_exec_pool(Arc::new(ExecPool::new(4).with_seed(1)));
+    let b = gpt2_planner().with_exec_pool(Arc::new(ExecPool::new(4).with_seed(0xdead_beef)));
+    assert_eq!(
+        text_of(&a, Method::AdaPipe, parallel, train),
+        text_of(&b, Method::AdaPipe, parallel, train),
+    );
+}
+
+/// The process-global subproblem cache is byte-transparent: a planner
+/// with the shared cache enabled (cold, then warm — the second plan
+/// replays stored save-flags) emits exactly the uncached bytes, for
+/// both adaptive methods.
+#[test]
+fn shared_subcache_replays_byte_identical_plans() {
+    let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+    let train = TrainConfig::new(1, 1024, 64).expect("valid");
+    for method in [Method::AdaPipe, Method::EvenPartitioning] {
+        let uncached = text_of(&gpt2_planner(), method, parallel, train);
+        let cached_planner = gpt2_planner().with_shared_subcache(true);
+        let cold = text_of(&cached_planner, method, parallel, train);
+        let warm = text_of(&cached_planner, method, parallel, train);
+        assert_eq!(cold, uncached, "{method}: cold cached plan diverged");
+        assert_eq!(warm, uncached, "{method}: warm cached plan diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pool + shared subcache together, against the sequential baseline,
+    /// across randomized shapes: the full daemon configuration (what
+    /// adapipe-serve runs) is byte-transparent too.
+    #[test]
+    fn daemon_configuration_is_byte_transparent(
+        seq_kb in 1usize..=4,
+        gbs_chunks in 1usize..=4,
+        threads in 2usize..=6,
+    ) {
+        let parallel = ParallelConfig::new(2, 4, 1).expect("valid");
+        let train = TrainConfig::new(1, seq_kb * 512, gbs_chunks * 16).expect("valid");
+        let baseline = text_of(&gpt2_planner(), Method::AdaPipe, parallel, train);
+        let daemon = gpt2_planner()
+            .with_exec_pool(Arc::new(ExecPool::new(threads)))
+            .with_shared_subcache(true);
+        let text = text_of(&daemon, Method::AdaPipe, parallel, train);
+        prop_assert_eq!(text, baseline);
+    }
+}
